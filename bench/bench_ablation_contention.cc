@@ -1,0 +1,91 @@
+// Ablation bench: dynamic contention-slot adjustment (Section 3.5) on/off.
+//
+// A registration storm hits a loaded cell.  With the dynamic controller the
+// base station converts data slots into extra contention slots while the
+// collision rate is high and reclaims them afterwards; the static variant
+// keeps the single configured contention slot.
+#include <cstdio>
+#include <vector>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+
+namespace {
+
+struct StormOutcome {
+  double p50 = 0;
+  double p90 = 0;
+  double max = 0;
+  int registered = 0;
+  std::int64_t collisions = 0;
+};
+
+StormOutcome RunStorm(bool dynamic, std::uint64_t seed) {
+  mac::CellConfig config;
+  config.seed = seed;
+  config.mac.dynamic_contention_slots = dynamic;
+  mac::Cell cell(config);
+  std::vector<int> veterans;
+  for (int i = 0; i < 6; ++i) {
+    veterans.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(veterans.back());
+  }
+  cell.RunCycles(8);
+  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
+  // Saturated background: data demand would claim every assignable slot,
+  // so without dynamic adjustment only the single reserved contention slot
+  // remains for the storm.
+  traffic::PoissonUplinkWorkload background(
+      cell, veterans, traffic::MeanInterarrivalTicks(1.2, 6, 9, sizes.MeanBytes()), sizes,
+      Rng(seed + 1));
+  cell.RunCycles(20);
+
+  std::vector<int> crowd;
+  for (int i = 0; i < 6; ++i) {
+    crowd.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(crowd.back());
+  }
+  cell.RunCycles(60);
+
+  StormOutcome out;
+  SampleSet latency;
+  for (int node : crowd) {
+    const auto& sub = cell.subscriber(node);
+    if (sub.state() == mac::MobileSubscriber::State::kActive) ++out.registered;
+    const auto& s = sub.stats().registration_latency_cycles;
+    latency.Add(s.empty() ? 60.0 : s.samples()[0]);
+  }
+  out.p50 = latency.Median();
+  out.p90 = latency.Quantile(0.9);
+  out.max = latency.Max();
+  out.collisions = cell.base_station().counters().collisions;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: dynamic contention-slot adjustment during a 6-unit storm\n");
+  std::printf("%-22s %10s %10s %10s %12s %12s\n", "variant", "p50", "p90", "max",
+              "registered", "collisions");
+  for (const bool dynamic : {true, false}) {
+    double p50 = 0, p90 = 0, max = 0, reg = 0, coll = 0;
+    const int repeats = 5;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const StormOutcome o = RunStorm(dynamic, 100 + static_cast<std::uint64_t>(rep));
+      p50 += o.p50;
+      p90 += o.p90;
+      max = std::max(max, o.max);
+      reg += o.registered;
+      coll += static_cast<double>(o.collisions);
+    }
+    std::printf("%-22s %10.1f %10.1f %10.0f %12.1f %12.1f\n",
+                dynamic ? "dynamic (paper)" : "static (1 slot)", p50 / repeats,
+                p90 / repeats, max, reg / repeats, coll / repeats);
+  }
+  std::printf("\n(latencies in cycles, averaged over 5 seeds; expected: the dynamic\n"
+              " controller cuts storm registration latency at the cost of briefly\n"
+              " borrowing data slots)\n");
+  return 0;
+}

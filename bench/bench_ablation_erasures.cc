@@ -1,0 +1,75 @@
+// Ablation bench: erasure side-information decoding (extension; the
+// burst-erasure idea of the paper's reference [2]) on fading channels.
+//
+// Sweeps fade severity (mean fade length) and reports GPS report loss and
+// uplink decode failures with and without side information.  Expected:
+// side information rescues fades up to ~15 symbols (the erasure budget of
+// RS(64,48) with one parity symbol spared for verification); very long
+// fades defeat both receivers.
+#include <cstdio>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+
+namespace {
+
+struct Outcome {
+  double gps_loss = 0;
+  std::int64_t data_failures = 0;
+};
+
+Outcome Run(double p_bad_to_good, bool side_info, std::uint64_t seed) {
+  mac::CellConfig config;
+  config.seed = seed;
+  config.erasure_side_information = side_info;
+  config.reverse.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+  config.reverse.ge.p_good_to_bad = 0.01;
+  config.reverse.ge.p_bad_to_good = p_bad_to_good;
+  config.reverse.ge.error_prob_good = 1e-4;
+  config.reverse.ge.error_prob_bad = 0.9;
+  mac::Cell cell(config);
+  std::vector<int> nodes;
+  for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(nodes.back());
+  }
+  cell.RunCycles(25);
+  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
+  traffic::PoissonUplinkWorkload w(
+      cell, nodes, traffic::MeanInterarrivalTicks(0.5, 4, 8, sizes.MeanBytes()), sizes,
+      Rng(seed + 1));
+  cell.ResetStats();
+  cell.RunCycles(400);
+
+  Outcome out;
+  const auto& bs = cell.base_station().counters();
+  const double gps_total =
+      static_cast<double>(bs.gps_packets_received + bs.gps_packets_failed);
+  out.gps_loss = gps_total > 0 ? static_cast<double>(bs.gps_packets_failed) / gps_total
+                               : 0.0;
+  out.data_failures = bs.decode_failures;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: erasure side information on Gilbert-Elliott fades\n");
+  std::printf("(error rate in fades: 0.9/symbol; RS(64,48): 8-error / 15-erasure budget)\n\n");
+  std::printf("%16s | %12s %12s | %12s %12s\n", "mean fade (sym)", "gps_loss",
+              "gps_loss_ei", "data_fail", "data_fail_ei");
+  for (double p_recover : {0.30, 0.15, 0.08, 0.04}) {
+    const Outcome plain = Run(p_recover, false, 500);
+    const Outcome with_ei = Run(p_recover, true, 500);
+    std::printf("%16.1f | %12.4f %12.4f | %12lld %12lld\n", 1.0 / p_recover,
+                plain.gps_loss, with_ei.gps_loss,
+                static_cast<long long>(plain.data_failures),
+                static_cast<long long>(with_ei.data_failures));
+  }
+  std::printf("\n(expected: side information wins decisively for medium fades and\n"
+              " converges with the plain receiver once fades exceed the erasure\n"
+              " budget; residual GPS loss is never retransmitted, per the paper)\n");
+  return 0;
+}

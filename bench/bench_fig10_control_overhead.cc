@@ -1,0 +1,29 @@
+// Regenerates Figure 10: control overhead — the ratio of reservation
+// packets (transmitted in contention slots) to data packets (transmitted
+// in data slots) — versus the load index.
+//
+// Expected shape (paper): DECREASES with load, "because as the load
+// increases, reservation requests are usually piggybacked in the
+// reservation bit of the packets sent uplink".
+#include <cstdio>
+
+#include "sweep_common.h"
+
+using namespace osumac;
+using namespace osumac::bench;
+
+int main() {
+  metrics::TablePrinter table({"rho", "ctrl_overhead", "resv_sent", "data_sent"}, 14);
+  std::printf("Figure 10: control overhead (reservation packets / data packets)\n");
+  table.PrintHeader();
+  for (double rho : LoadSweep()) {
+    SweepPoint point;
+    point.rho = rho;
+    const SweepResult r = RunLoadPoint(point);
+    table.PrintRow({rho, r.figure.control_overhead,
+                    static_cast<double>(r.bs.reservation_packets_received),
+                    static_cast<double>(r.bs.data_packets_received)});
+  }
+  std::printf("\n(paper Fig. 10 shape: overhead decreases as load increases)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates Figure 12:
+//   (a) bandwidth gained by the second set of control fields — the share
+//       of data packets carried in the last reverse data slot (which
+//       overlaps CF1 of the next cycle and is only usable because its user
+//       can listen to CF2 instead).  Paper: 5-14 %, growing with load.
+//   (b) average number of reverse data slots used per cycle with 1 vs 4
+//       GPS users — dynamic slot re-adjustment fuses the unused GPS slots
+//       of format 2 into a 9th data slot.  Paper: up to ~15 % more
+//       bandwidth at high load.
+// Also runs the matching ablations (second CF disabled / dynamic slots
+// disabled) to isolate each mechanism's contribution.
+#include <cstdio>
+
+#include "sweep_common.h"
+
+using namespace osumac;
+using namespace osumac::bench;
+
+int main() {
+  std::printf("Figure 12(a): bandwidth gain from the second set of control fields\n");
+  metrics::TablePrinter ta({"rho", "cf2_gain", "last_slot_pkts", "all_pkts",
+                            "util_with", "util_without"},
+                           14);
+  ta.PrintHeader();
+  for (double rho : LoadSweep()) {
+    SweepPoint with_cf2;
+    with_cf2.rho = rho;
+    const SweepResult on = RunLoadPoint(with_cf2);
+    SweepPoint without_cf2 = with_cf2;
+    without_cf2.mac.use_second_control_field = false;
+    const SweepResult off = RunLoadPoint(without_cf2);
+    ta.PrintRow({rho, on.figure.second_cf_gain,
+                 static_cast<double>(on.bs.last_slot_data_packets),
+                 static_cast<double>(on.bs.data_packets_received), on.figure.utilization,
+                 off.figure.utilization});
+  }
+  std::printf("(paper: 5%% to 14%% of packets ride in the last slot)\n\n");
+
+  std::printf("Figure 12(b): average data slots used per cycle, 1 vs 4 GPS users\n");
+  metrics::TablePrinter tb({"rho", "gps1_dynamic", "gps1_static", "gps4_dynamic",
+                            "gps4_static"},
+                           14);
+  tb.PrintHeader();
+  for (double rho : LoadSweep()) {
+    std::vector<double> row = {rho};
+    for (int gps : {1, 4}) {
+      for (bool dynamic : {true, false}) {
+        SweepPoint point;
+        point.rho = rho;
+        point.gps_users = gps;
+        point.mac.dynamic_gps_slots = dynamic;
+        // Hold the per-user offered byte rate constant across the arms by
+        // computing the interarrival for the dynamic format's slot count
+        // (RunLoadPoint already derives d from the format; with dynamic
+        // disabled, format 1's 8 slots make the same traffic a heavier
+        // relative load — exactly the bandwidth loss the figure shows).
+        const SweepResult r = RunLoadPoint(point);
+        row.push_back(r.figure.avg_data_slots_used);
+      }
+    }
+    tb.PrintRow(row);
+  }
+  std::printf("(paper: with <= 3 GPS users the fused slot buys up to ~15%% more\n"
+              " bandwidth at high load; with 4+ GPS users the arms coincide)\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Microbenchmarks of the MAC's hot paths (google-benchmark): scheduler
+// allocation, forward-schedule construction, control-field serialization,
+// GPS slot management, full base-station cycle planning and a whole
+// simulated notification cycle.
+#include <benchmark/benchmark.h>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+using namespace osumac::mac;
+
+namespace {
+
+void BM_RoundRobinAllocate(benchmark::State& state) {
+  RoundRobinScheduler rr;
+  std::map<UserId, int> demand;
+  for (UserId u = 0; u < static_cast<UserId>(state.range(0)); ++u) demand[u] = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rr.Allocate(demand, 8));
+  }
+}
+BENCHMARK(BM_RoundRobinAllocate)->Arg(4)->Arg(16)->Arg(60);
+
+void BM_BuildForwardSchedule(benchmark::State& state) {
+  ForwardScheduleInput in;
+  in.format = ReverseFormat::kFormat1;
+  for (UserId u = 0; u < 20; ++u) {
+    in.demand[u] = 3;
+    in.slot0_eligible.insert(u);
+  }
+  for (int i = 0; i < 8; ++i) in.gps_schedule[static_cast<std::size_t>(i)] = static_cast<UserId>(30 + i);
+  for (int i = 1; i < 8; ++i) in.reverse_schedule[static_cast<std::size_t>(i)] = static_cast<UserId>(i);
+  in.cf2_listener = 7;
+  in.cf2_listener_tx_tail_end = 11850;
+  RoundRobinScheduler rr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildForwardSchedule(in, rr));
+  }
+}
+BENCHMARK(BM_BuildForwardSchedule);
+
+void BM_ControlFieldSerialize(benchmark::State& state) {
+  ControlFields cf;
+  for (int i = 0; i < 8; ++i) cf.gps_schedule[static_cast<std::size_t>(i)] = static_cast<UserId>(i);
+  for (int i = 0; i < 9; ++i) cf.reverse_schedule[static_cast<std::size_t>(i)] = static_cast<UserId>(10 + i);
+  for (int i = 0; i < 37; ++i) cf.forward_schedule[static_cast<std::size_t>(i)] = static_cast<UserId>(i % 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeControlFields(cf));
+  }
+}
+BENCHMARK(BM_ControlFieldSerialize);
+
+void BM_ControlFieldParse(benchmark::State& state) {
+  const auto blocks = SerializeControlFields(ControlFields{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseControlFields(blocks[0], blocks[1]));
+  }
+}
+BENCHMARK(BM_ControlFieldParse);
+
+void BM_ControlFieldEncodeDecodeRs(benchmark::State& state) {
+  // The full control-field air path: serialize, RS-encode both codewords,
+  // decode, parse — what every subscriber does every cycle.
+  const auto& rs = fec::ReedSolomon::Osu6448();
+  ControlFields cf;
+  for (auto _ : state) {
+    const auto blocks = SerializeControlFields(cf);
+    const auto cw0 = rs.Encode(blocks[0]);
+    const auto cw1 = rs.Encode(blocks[1]);
+    const auto d0 = rs.Decode(cw0);
+    const auto d1 = rs.Decode(cw1);
+    benchmark::DoNotOptimize(ParseControlFields(d0->data, d1->data));
+  }
+}
+BENCHMARK(BM_ControlFieldEncodeDecodeRs);
+
+void BM_GpsSlotChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    GpsSlotManager mgr;
+    for (UserId u = 0; u < 8; ++u) mgr.Admit(u);
+    mgr.Release(2);
+    mgr.Release(5);
+    mgr.Admit(10);
+    mgr.Release(0);
+    benchmark::DoNotOptimize(mgr.Schedule());
+  }
+}
+BENCHMARK(BM_GpsSlotChurn);
+
+void BM_BaseStationPlanCycle(benchmark::State& state) {
+  MacConfig config;
+  BaseStation bs(config);
+  std::uint16_t cycle = 0;
+  // Populate: 4 GPS + 10 data users with standing demand.
+  for (Ein ein = 1; ein <= 14; ++ein) {
+    RegistrationPacket reg;
+    reg.ein = ein;
+    reg.wants_gps = ein <= 4;
+    phy::SlotReception r;
+    r.outcome = phy::SlotOutcome::kDecoded;
+    r.info = {SerializeRegistrationPacket(reg)};
+    bs.OnDataSlotResolved(1, r);
+    bs.PlanCycle(cycle++);
+  }
+  for (const auto& [uid, ein] : bs.registered_users()) {
+    ReservationPacket res;
+    res.src = uid;
+    res.slots_requested = 10;
+    phy::SlotReception r;
+    r.outcome = phy::SlotOutcome::kDecoded;
+    r.info = {SerializeReservationPacket(res)};
+    bs.OnDataSlotResolved(1, r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bs.PlanCycle(cycle++));
+  }
+}
+BENCHMARK(BM_BaseStationPlanCycle);
+
+void BM_FullNotificationCycle(benchmark::State& state) {
+  // One whole simulated cycle of a loaded cell, including every RS
+  // encode/decode on the air.  This is the simulator's end-to-end unit of
+  // work (~4 simulated seconds per iteration).
+  CellConfig config;
+  config.seed = 1;
+  Cell cell(config);
+  std::vector<int> nodes;
+  for (int i = 0; i < 10; ++i) {
+    nodes.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(nodes.back());
+  }
+  for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
+  cell.RunCycles(10);
+  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
+  traffic::PoissonUplinkWorkload w(
+      cell, nodes, traffic::MeanInterarrivalTicks(0.8, 10, 8, sizes.MeanBytes()), sizes,
+      Rng(2));
+  for (auto _ : state) {
+    cell.RunCycles(1);
+  }
+  state.SetLabel("one 3.98 s notification cycle per iteration");
+}
+BENCHMARK(BM_FullNotificationCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Regenerates the Section-2.1 registration design requirement check:
+// "80% of the registration requests can be approved in two notification
+// cycles, and 99% can be made in 10 cycles."
+//
+// Two conditions: isolated arrivals against a quiet cell (the design
+// point) and arrivals against a busy cell with background data traffic.
+#include <cstdio>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+
+namespace {
+
+SampleSet MeasureLatency(double background_rho, int arrivals, std::uint64_t seed) {
+  mac::CellConfig config;
+  config.seed = seed;
+  mac::Cell cell(config);
+  std::vector<int> veterans;
+  for (int i = 0; i < 8; ++i) {
+    veterans.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(veterans.back());
+  }
+  cell.RunCycles(10);
+  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
+  std::unique_ptr<traffic::PoissonUplinkWorkload> workload;
+  if (background_rho > 0) {
+    workload = std::make_unique<traffic::PoissonUplinkWorkload>(
+        cell, veterans,
+        traffic::MeanInterarrivalTicks(background_rho, 8, 9, sizes.MeanBytes()), sizes,
+        Rng(seed + 1));
+    cell.RunCycles(30);
+  }
+
+  SampleSet latency;
+  Rng rng(seed + 2);
+  for (int i = 0; i < arrivals; ++i) {
+    const int node = cell.AddSubscriber(false);
+    cell.PowerOn(node);
+    // Registrations trickle in a few cycles apart (the design point).
+    cell.RunCycles(static_cast<int>(rng.UniformInt(2, 5)));
+    const auto& s = cell.subscriber(node).stats().registration_latency_cycles;
+    if (!s.empty()) {
+      latency.Add(s.samples()[0]);
+    } else {
+      // Still unregistered after the window; keep waiting so the sample
+      // is counted honestly rather than dropped.
+      int extra = 0;
+      while (cell.subscriber(node).state() != mac::MobileSubscriber::State::kActive &&
+             extra++ < 40) {
+        cell.RunCycles(1);
+      }
+      const auto& s2 = cell.subscriber(node).stats().registration_latency_cycles;
+      latency.Add(s2.empty() ? 40.0 : s2.samples()[0]);
+    }
+    // The measured unit leaves again (commuter churn); otherwise 60
+    // arrivals would exhaust the 6-bit user-ID space and later arrivals
+    // would be rejected for capacity rather than contention reasons.
+    cell.SignOff(node);
+  }
+  return latency;
+}
+
+void Report(const char* label, SampleSet& latency) {
+  std::printf("  %-28s p50 %5.1f   p80 %5.1f   p99 %5.1f   max %5.1f   (n=%zu)\n", label,
+              latency.Median(), latency.Quantile(0.80), latency.Quantile(0.99),
+              latency.Max(), latency.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Registration latency in notification cycles (Section 2.1 targets:\n"
+              "80%% within 2 cycles, 99%% within 10 cycles)\n\n");
+  auto quiet = MeasureLatency(0.0, 60, 11);
+  Report("quiet cell:", quiet);
+  auto busy = MeasureLatency(0.8, 60, 13);
+  Report("busy cell (rho = 0.8):", busy);
+
+  const bool p80 = quiet.Quantile(0.80) <= 2.0;
+  const bool p99 = quiet.Quantile(0.99) <= 10.0;
+  std::printf("\n  design targets met at the design point: p80<=2: %s, p99<=10: %s\n",
+              p80 ? "YES" : "NO", p99 ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks of the Reed-Solomon substrate (google-benchmark):
+// encode, clean decode, decode with 1..8 errors, erasure decode — the
+// operations on every packet and control field of the MAC.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fec/reed_solomon.h"
+
+using namespace osumac;
+using fec::GfElem;
+using fec::ReedSolomon;
+
+namespace {
+
+std::vector<GfElem> RandomData(int k, Rng& rng) {
+  std::vector<GfElem> data(static_cast<std::size_t>(k));
+  for (auto& b : data) b = static_cast<GfElem>(rng.UniformInt(0, 255));
+  return data;
+}
+
+void BM_RsEncode6448(benchmark::State& state) {
+  Rng rng(1);
+  const auto& rs = ReedSolomon::Osu6448();
+  const auto data = RandomData(rs.k(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * rs.k());
+}
+BENCHMARK(BM_RsEncode6448);
+
+void BM_RsDecodeClean(benchmark::State& state) {
+  Rng rng(2);
+  const auto& rs = ReedSolomon::Osu6448();
+  const auto cw = rs.Encode(RandomData(rs.k(), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(cw));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * rs.k());
+}
+BENCHMARK(BM_RsDecodeClean);
+
+void BM_RsDecodeWithErrors(benchmark::State& state) {
+  const int errors = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto& rs = ReedSolomon::Osu6448();
+  auto cw = rs.Encode(RandomData(rs.k(), rng));
+  for (int e = 0; e < errors; ++e) {
+    cw[static_cast<std::size_t>(e * 7)] ^= static_cast<GfElem>(rng.UniformInt(1, 255));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(cw));
+  }
+}
+BENCHMARK(BM_RsDecodeWithErrors)->DenseRange(1, 8);
+
+void BM_RsDecodeFailure(benchmark::State& state) {
+  // Beyond-capacity word: the decoder must detect and reject.
+  Rng rng(4);
+  const auto& rs = ReedSolomon::Osu6448();
+  auto cw = rs.Encode(RandomData(rs.k(), rng));
+  for (int e = 0; e < 16; ++e) {
+    cw[static_cast<std::size_t>(e * 3)] ^= static_cast<GfElem>(rng.UniformInt(1, 255));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(cw));
+  }
+}
+BENCHMARK(BM_RsDecodeFailure);
+
+void BM_RsErasureDecode(benchmark::State& state) {
+  const int erasures = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const auto& rs = ReedSolomon::Osu6448();
+  auto cw = rs.Encode(RandomData(rs.k(), rng));
+  std::vector<int> positions;
+  for (int e = 0; e < erasures; ++e) {
+    positions.push_back(e * 3);
+    cw[static_cast<std::size_t>(e * 3)] = 0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.DecodeWithErasures(cw, positions));
+  }
+}
+BENCHMARK(BM_RsErasureDecode)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GpsShortCode(benchmark::State& state) {
+  // The RS(32,9) inner code of the 72-bit GPS reports.
+  Rng rng(6);
+  const ReedSolomon rs(32, 9);
+  const auto cw = rs.Encode(RandomData(rs.k(), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(cw));
+  }
+}
+BENCHMARK(BM_GpsShortCode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

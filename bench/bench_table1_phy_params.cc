@@ -1,0 +1,75 @@
+// Regenerates Table 1: "List of parameters in the physical layer that
+// pertain to the MAC design."  Every number is *derived* from the symbol
+// rates and framing constants, exactly as the paper derives them.
+#include <cstdio>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+using namespace osumac::phy;
+
+namespace {
+void Row(const char* name, const char* fwd, const char* rev) {
+  std::printf("  %-46s %14s %14s\n", name, fwd, rev);
+}
+void RowD(const char* name, double fwd, double rev, const char* fmt = "%.6g") {
+  char a[32], b[32];
+  std::snprintf(a, sizeof a, fmt, fwd);
+  std::snprintf(b, sizeof b, fmt, rev);
+  Row(name, a, b);
+}
+}  // namespace
+
+int main() {
+  std::printf("Table 1: physical-layer parameters pertaining to the MAC design\n");
+  std::printf("  %-46s %14s %14s\n", "", "Forward", "Reverse");
+  std::printf("  -- general physical layer characteristics --\n");
+  RowD("Channel symbol rate (symbols/s)", kForwardSymbolRate, kReverseSymbolRate);
+  RowD("Coding rate (coded bits/symbol)", kBitsPerSymbol, kBitsPerSymbol);
+  RowD("Information symbols in a pilot frame", kInfoSymbolsPerPilotFrame,
+       kInfoSymbolsPerPilotFrame);
+  RowD("Channel symbols in a pilot frame", kSymbolsPerPilotFrame, kSymbolsPerPilotFrame);
+  RowD("Information bits per RS(64,48) codeword", kRsInfoBits, kRsInfoBits);
+  RowD("Bits per RS(64,48) codeword", kRsCodewordBits, kRsCodewordBits);
+
+  std::printf("  -- packet size --\n");
+  RowD("RS codewords per packet", 1, 1);
+  RowD("Pilot frames per regular data packet", kPilotFramesPerCodeword,
+       kPilotFramesPerCodeword);
+  RowD("Channel symbols per regular packet", kRegularPacketSymbols, kRegularPacketSymbols);
+  RowD("Time per regular packet (s)", ToSeconds(kRegularPacketForwardTicks),
+       ToSeconds(kRegularPacketReverseTicks));
+
+  std::printf("  -- cycle preamble --\n");
+  Row("Cycle preamble length (channel symbols)", "450", "n/a");
+  Row("Time per cycle preamble (s)", "0.140625", "n/a");
+
+  std::printf("  -- packet parameters on the reverse channel --\n");
+  std::printf("  %-46s %14s %14s\n", "", "GPS", "Regular");
+  RowD("Packet size (information bits)", kGpsInfoBits, mac::kPacketInfoBytes * 8);
+  RowD("Packet size (channel symbols)", kGpsBodySymbols, kRegularPacketSymbols);
+  RowD("Packet preamble (channel symbols)", kGpsPreambleSymbols, kRegularPreambleSymbols);
+  RowD("Packet preamble (s)", ToSeconds(ReverseSymbols(kGpsPreambleSymbols)),
+       ToSeconds(ReverseSymbols(kRegularPreambleSymbols)), "%.5f");
+  RowD("Packet postamble (channel symbols)", kGpsPostambleSymbols, kRegularPostambleSymbols);
+  RowD("Packet postamble (s)", ToSeconds(ReverseSymbols(kGpsPostambleSymbols)),
+       ToSeconds(ReverseSymbols(kRegularPostambleSymbols)), "%.5f");
+  RowD("Packet guard time (channel symbols)", kPacketGuardSymbols, kPacketGuardSymbols);
+  RowD("Packet guard time (s)", ToSeconds(ReverseSymbols(kPacketGuardSymbols)),
+       ToSeconds(ReverseSymbols(kPacketGuardSymbols)), "%.4f");
+  RowD("Total length (channel symbols)", kGpsSlotSymbols, kReverseDataSlotSymbols);
+  RowD("Total length (s)", ToSeconds(kGpsSlotTicks), ToSeconds(kReverseDataSlotTicks),
+       "%.5f");
+
+  std::printf("\nDerived protocol constants (Sections 3.3-3.4):\n");
+  std::printf("  forward data slots per cycle N = %d (paper: 37)\n", mac::kForwardDataSlots);
+  std::printf("  max reverse data slots     M = %d (paper: 9)\n", mac::kMaxReverseDataSlots);
+  std::printf("  notification cycle length    = %.6f s (paper: 3.9844)\n",
+              ToSeconds(mac::kCycleTicks));
+  std::printf("  reverse cycle shift          = %.5f s (paper: 0.30125)\n",
+              ToSeconds(mac::kReverseShiftTicks));
+  std::printf("  control fields               = %d bits in 2 codewords, %d reserved "
+              "(paper: 630 / 138)\n",
+              mac::kControlFieldBits, mac::kControlFieldReservedBits);
+  return 0;
+}

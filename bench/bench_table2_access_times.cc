@@ -1,0 +1,41 @@
+// Regenerates Table 2: "Reverse channel access time of the two formats."
+//
+// Note the erratum documented in EXPERIMENTS.md: the paper's printed
+// format-2 column repeats 2.98625 for data slot 8; the arithmetic from the
+// stated cycle structure gives 3.39000 for slot 8 and 3.79375 for slot 9.
+#include <cstdio>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+using mac::ReverseCycleLayout;
+using mac::ReverseFormat;
+
+int main() {
+  const ReverseCycleLayout f1(ReverseFormat::kFormat1);
+  const ReverseCycleLayout f2(ReverseFormat::kFormat2);
+
+  std::printf("Table 2: reverse channel access times (seconds from cycle start)\n");
+  std::printf("  %-14s %10s %10s\n", "", "Format 1", "Format 2");
+  for (int i = 0; i < 8; ++i) {
+    char c1[16], c2[16] = "--";
+    std::snprintf(c1, sizeof c1, "%.5f", ToSeconds(f1.GpsSlot(i).begin));
+    if (i < f2.gps_slot_count()) {
+      std::snprintf(c2, sizeof c2, "%.5f", ToSeconds(f2.GpsSlot(i).begin));
+    }
+    std::printf("  GPS slot %-5d %10s %10s\n", i + 1, c1, c2);
+  }
+  for (int i = 0; i < 9; ++i) {
+    char c1[16] = "--", c2[16] = "--";
+    if (i < f1.data_slot_count()) {
+      std::snprintf(c1, sizeof c1, "%.5f", ToSeconds(f1.DataSlot(i).begin));
+    }
+    if (i < f2.data_slot_count()) {
+      std::snprintf(c2, sizeof c2, "%.5f", ToSeconds(f2.DataSlot(i).begin));
+    }
+    std::printf("  Data slot %-4d %10s %10s\n", i + 1, c1, c2);
+  }
+  std::printf("\n  (format 1: 8 GPS + 8 data slots; format 2: 3 GPS + 9 data slots\n"
+              "   + 0.03375 s guard; both pad to the 3.984375 s cycle)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared harness for the Section-5 evaluation benches: builds the paper's
+// simulation scenario (data subscribers with Poisson e-mail traffic plus
+// GPS buses) for one load-index point and returns the figure metrics.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "osumac/osumac.h"
+
+namespace osumac::bench {
+
+struct SweepPoint {
+  double rho = 0.5;
+  int data_users = 10;
+  int gps_users = 4;
+  int warmup_cycles = 50;
+  int measure_cycles = 800;
+  std::uint64_t seed = 2001;
+  mac::MacConfig mac;
+  traffic::SizeDistribution sizes = traffic::SizeDistribution::Uniform(40, 500);
+};
+
+struct SweepResult {
+  metrics::FigureMetrics figure;
+  mac::BsCounters bs;
+  double offered_load = 0.0;  ///< realized offered load (sanity check)
+};
+
+inline SweepResult RunLoadPoint(const SweepPoint& point) {
+  mac::CellConfig config;
+  config.seed = point.seed;
+  config.mac = point.mac;
+  mac::Cell cell(config);
+
+  std::vector<int> nodes;
+  for (int i = 0; i < point.data_users; ++i) {
+    nodes.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(nodes.back());
+  }
+  for (int i = 0; i < point.gps_users; ++i) cell.PowerOn(cell.AddSubscriber(true));
+  cell.RunCycles(12);  // registration
+
+  const int d =
+      mac::ReverseCycleLayout(mac::FormatForGpsCount(point.gps_users)).data_slot_count();
+  const Tick interarrival = traffic::MeanInterarrivalTicks(
+      point.rho, point.data_users, d, point.sizes.MeanBytes());
+  traffic::PoissonUplinkWorkload workload(cell, nodes, interarrival, point.sizes,
+                                          Rng(point.seed ^ 0x9E3779B97F4A7C15ULL));
+  cell.RunCycles(point.warmup_cycles);
+  cell.ResetStats();
+  cell.RunCycles(point.measure_cycles);
+
+  SweepResult result;
+  result.figure = metrics::ComputeFigureMetrics(cell, nodes);
+  result.bs = cell.base_station().counters();
+  result.offered_load =
+      cell.metrics().capacity_bytes > 0
+          ? static_cast<double>(cell.metrics().offered_bytes) /
+                static_cast<double>(cell.metrics().capacity_bytes)
+          : 0.0;
+  return result;
+}
+
+/// The paper's load-index sweep (Section 5).
+inline const std::vector<double>& LoadSweep() {
+  static const std::vector<double> sweep = {0.3, 0.5, 0.8, 0.9, 1.0, 1.1};
+  return sweep;
+}
+
+/// Mean and sample standard deviation of a metric across seed replications.
+struct Replicated {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Runs `point` under `replications` different seeds and aggregates any set
+/// of metrics extracted by `extract` (one value per metric per run).
+template <typename Extract>
+std::vector<Replicated> RunReplicated(SweepPoint point, int replications,
+                                      Extract&& extract) {
+  std::vector<RunningStats> stats;
+  for (int r = 0; r < replications; ++r) {
+    point.seed = 2001 + static_cast<std::uint64_t>(r) * 7919;
+    const SweepResult result = RunLoadPoint(point);
+    const std::vector<double> values = extract(result);
+    stats.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) stats[i].Add(values[i]);
+  }
+  std::vector<Replicated> out(stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    out[i] = {stats[i].mean(), stats[i].stddev()};
+  }
+  return out;
+}
+
+}  // namespace osumac::bench

@@ -1,0 +1,82 @@
+// Registration under contention: a stadium-exit scenario.
+//
+//   $ ./registration_storm
+//
+// Thirty mobile units power on almost simultaneously and fight for the
+// contention slots.  Shows the dynamic contention-slot adjustment
+// (Section 3.5) reacting to the collision rate, registration persistence
+// winning over backed-off data traffic, and the resulting latency
+// distribution against the design targets (80% within 2 cycles, 99%
+// within 10 — for *isolated* arrivals; a storm is intentionally worse).
+#include <cstdio>
+#include <vector>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+
+int main() {
+  mac::CellConfig config;
+  config.seed = 3;
+  mac::Cell cell(config);
+
+  // A few long-registered users keep background data flowing.
+  std::vector<int> veterans;
+  for (int i = 0; i < 4; ++i) {
+    veterans.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(veterans.back());
+  }
+  cell.RunCycles(6);
+  traffic::PoissonUplinkWorkload background(
+      cell, veterans, 4 * mac::kCycleTicks, traffic::SizeDistribution::Fixed(120),
+      Rng(9));
+  cell.RunCycles(10);
+
+  // The storm: 30 new units, staggered over three cycles.
+  std::vector<int> crowd;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      const int node = cell.AddSubscriber(false);
+      cell.PowerOn(node);
+      crowd.push_back(node);
+    }
+    std::printf("cycle %lld: wave of 10 units powered on (contention slots: %d)\n",
+                static_cast<long long>(cell.current_cycle()),
+                cell.base_station().contention_slots());
+    cell.RunCycles(1);
+  }
+
+  // Watch the contention controller while the storm drains.
+  int registered_before = 0;
+  for (int c = 0; c < 25; ++c) {
+    cell.RunCycles(1);
+    int registered = 0;
+    for (int node : crowd) {
+      if (cell.subscriber(node).state() == mac::MobileSubscriber::State::kActive) {
+        ++registered;
+      }
+    }
+    if (registered != registered_before || c < 10) {
+      std::printf("cycle %3lld: %2d/30 registered, contention slots %d, collisions %lld\n",
+                  static_cast<long long>(cell.current_cycle()), registered,
+                  cell.base_station().contention_slots(),
+                  static_cast<long long>(cell.base_station().counters().collisions));
+    }
+    registered_before = registered;
+    if (registered == 30) break;
+  }
+
+  SampleSet latency;
+  for (int node : crowd) {
+    const auto& s = cell.subscriber(node).stats().registration_latency_cycles;
+    if (!s.empty()) latency.Add(s.samples()[0]);
+  }
+  std::printf("\nstorm registration latency (cycles): median %.0f, p80 %.0f, p99 %.0f, max %.0f\n",
+              latency.Median(), latency.Quantile(0.8), latency.Quantile(0.99),
+              latency.Max());
+  std::printf("(design targets for isolated arrivals: p80 <= 2, p99 <= 10)\n");
+  std::printf("total registration attempts: %lld for 30 units\n",
+              static_cast<long long>(
+                  cell.base_station().counters().registration_packets_received));
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "baselines/common.h"
+
+#include <cmath>
+
+namespace osumac::baselines {
+
+int PoissonArrivals(double mean, Rng& rng) {
+  // Knuth's method; fine for the small per-frame means used here.
+  const double limit = std::exp(-mean);
+  double product = 1.0;
+  int count = -1;
+  do {
+    ++count;
+    product *= rng.UniformReal(0.0, 1.0);
+  } while (product > limit);
+  return count;
+}
+
+}  // namespace osumac::baselines

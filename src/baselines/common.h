@@ -1,0 +1,70 @@
+// Common substrate for the Section-4 survey protocols.
+//
+// OSU-MAC's paper surveys PRMA, D-TDMA, RAMA, DRMA and FAMA/ALOHA-style
+// contention but deliberately does not simulate them ("a comparison among
+// them would not be fair").  We implement them anyway, as an extension, on
+// a deliberately abstract slotted channel: frames of equal slots, periodic
+// "voice" stations and Poisson "data" stations, perfect slots (no PHY error
+// model) — the classic setting of the original papers.  The bench
+// bench_baselines sweeps offered load and reports throughput / delay /
+// collision rate per protocol.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace osumac::baselines {
+
+/// Workload shared by all baseline runs.
+struct BaselineWorkload {
+  int data_stations = 20;
+  /// Poisson packet arrivals per data station per frame.
+  double packets_per_station_per_frame = 0.05;
+  int voice_stations = 0;
+  /// Mean talkspurt length in frames (geometric); a voice station in a
+  /// talkspurt needs one slot per frame.
+  double mean_talkspurt_frames = 20.0;
+  /// Probability a silent voice station starts a talkspurt each frame.
+  double talkspurt_start_prob = 0.02;
+  int frames = 5000;
+  int station_queue_cap = 64;
+};
+
+/// What every baseline reports.
+struct BaselineResult {
+  std::string protocol;
+  double offered_load = 0.0;     ///< packets generated / information slots
+  double throughput = 0.0;       ///< packets delivered / information slots
+  double mean_delay_frames = 0.0;
+  double collision_rate = 0.0;   ///< collided slots / contention slots used
+  double voice_drop_rate = 0.0;  ///< talkspurts that failed to reserve
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
+};
+
+/// One station's queue state (used by all protocols).
+struct Station {
+  std::deque<std::int64_t> queue;  ///< arrival frame per queued packet
+  bool reserved = false;           ///< owns a reserved slot (voice)
+  int reserved_slot = -1;
+  std::int64_t talkspurt_left = 0; ///< frames remaining in the talkspurt
+  std::int64_t backoff = 0;        ///< frames to wait before contending
+};
+
+/// Poisson arrivals for one frame (small rates; exact sampling).
+int PoissonArrivals(double mean, Rng& rng);
+
+/// Abstract interface: every protocol runs the whole workload itself.
+class BaselineProtocol {
+ public:
+  virtual ~BaselineProtocol() = default;
+  virtual std::string name() const = 0;
+  virtual BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const = 0;
+};
+
+}  // namespace osumac::baselines

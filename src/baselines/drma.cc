@@ -1,0 +1,86 @@
+#include "baselines/drma.h"
+
+namespace osumac::baselines {
+
+BaselineResult Drma::Run(const BaselineWorkload& workload, Rng& rng) const {
+  std::vector<Station> stations(static_cast<std::size_t>(workload.data_stations));
+  // slot -> station index holding the reservation, or -1.
+  std::vector<int> owner(static_cast<std::size_t>(slots_per_frame_), -1);
+
+  BaselineResult result;
+  result.protocol = name();
+  std::int64_t generated = 0;
+  std::int64_t delay_sum = 0;
+  std::int64_t contended = 0;
+  std::int64_t collided = 0;
+
+  for (std::int64_t frame = 0; frame < workload.frames; ++frame) {
+    for (Station& st : stations) {
+      const int arrivals = PoissonArrivals(workload.packets_per_station_per_frame, rng);
+      for (int a = 0; a < arrivals; ++a) {
+        ++generated;
+        if (static_cast<int>(st.queue.size()) < workload.station_queue_cap) {
+          st.queue.push_back(frame);
+        } else {
+          ++result.dropped;
+        }
+      }
+    }
+
+    for (int slot = 0; slot < slots_per_frame_; ++slot) {
+      const int holder = owner[static_cast<std::size_t>(slot)];
+      if (holder >= 0) {
+        Station& st = stations[static_cast<std::size_t>(holder)];
+        if (st.queue.empty()) {
+          owner[static_cast<std::size_t>(slot)] = -1;  // release
+        } else {
+          ++result.delivered;
+          delay_sum += frame - st.queue.front();
+          st.queue.pop_front();
+          if (st.queue.empty()) owner[static_cast<std::size_t>(slot)] = -1;
+          continue;
+        }
+      }
+      // Unreserved slot: backlogged stations without a reservation contend.
+      std::vector<int> tx;
+      for (int i = 0; i < workload.data_stations; ++i) {
+        Station& st = stations[static_cast<std::size_t>(i)];
+        if (st.queue.empty()) continue;
+        bool has_reservation = false;
+        for (int o : owner) {
+          if (o == i) {
+            has_reservation = true;
+            break;
+          }
+        }
+        if (has_reservation) continue;
+        if (rng.Bernoulli(retry_prob_)) tx.push_back(i);
+      }
+      if (tx.empty()) continue;
+      ++contended;
+      if (tx.size() > 1) {
+        ++collided;
+        continue;
+      }
+      const int winner = tx.front();
+      Station& st = stations[static_cast<std::size_t>(winner)];
+      ++result.delivered;
+      delay_sum += frame - st.queue.front();
+      st.queue.pop_front();
+      if (!st.queue.empty()) owner[static_cast<std::size_t>(slot)] = winner;
+    }
+  }
+
+  const double info_slots =
+      static_cast<double>(workload.frames) * static_cast<double>(slots_per_frame_);
+  result.offered_load = static_cast<double>(generated) / info_slots;
+  result.throughput = static_cast<double>(result.delivered) / info_slots;
+  result.mean_delay_frames =
+      result.delivered > 0 ? static_cast<double>(delay_sum) / static_cast<double>(result.delivered)
+                           : 0.0;
+  result.collision_rate =
+      contended > 0 ? static_cast<double>(collided) / static_cast<double>(contended) : 0.0;
+  return result;
+}
+
+}  // namespace osumac::baselines

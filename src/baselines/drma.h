@@ -1,0 +1,28 @@
+// Dynamic Reservation Multiple Access (Qiu, Li 1996) — reference [5].
+//
+// DRMA removes the fixed reservation slots of D-TDMA: information slots
+// that are not reserved double as reservation opportunities.  Backlogged
+// stations contend in an unreserved slot (slotted ALOHA); a success both
+// delivers the packet and reserves the same slot position in subsequent
+// frames until the station's queue drains — "efficiency is achieved by
+// dynamically assigning reservation slots".
+#pragma once
+
+#include "baselines/common.h"
+
+namespace osumac::baselines {
+
+class Drma final : public BaselineProtocol {
+ public:
+  explicit Drma(int slots_per_frame = 16, double retry_prob = 0.3)
+      : slots_per_frame_(slots_per_frame), retry_prob_(retry_prob) {}
+
+  std::string name() const override { return "DRMA"; }
+  BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const override;
+
+ private:
+  int slots_per_frame_;
+  double retry_prob_;
+};
+
+}  // namespace osumac::baselines

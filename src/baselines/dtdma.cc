@@ -1,0 +1,93 @@
+#include "baselines/dtdma.h"
+
+#include <algorithm>
+
+namespace osumac::baselines {
+
+BaselineResult Dtdma::Run(const BaselineWorkload& workload, Rng& rng) const {
+  std::vector<Station> stations(static_cast<std::size_t>(workload.data_stations));
+  // Stations that won a reservation and await an information slot (FCFS).
+  std::deque<int> grant_queue;
+  // Whether station i already holds a place in grant_queue.
+  std::vector<bool> queued(static_cast<std::size_t>(workload.data_stations), false);
+
+  BaselineResult result;
+  result.protocol = name();
+  std::int64_t generated = 0;
+  std::int64_t delay_sum = 0;
+  std::int64_t contended = 0;
+  std::int64_t collided = 0;
+
+  for (std::int64_t frame = 0; frame < workload.frames; ++frame) {
+    for (Station& st : stations) {
+      const int arrivals = PoissonArrivals(workload.packets_per_station_per_frame, rng);
+      for (int a = 0; a < arrivals; ++a) {
+        ++generated;
+        if (static_cast<int>(st.queue.size()) < workload.station_queue_cap) {
+          st.queue.push_back(frame);
+        } else {
+          ++result.dropped;
+        }
+      }
+    }
+
+    // Reservation phase: backlogged, un-queued stations pick a random
+    // reservation minislot.  The retry probability is stabilized against
+    // the backlog (the base station can broadcast it), keeping the
+    // reservation ALOHA near its 1/e operating point.
+    int backlogged = 0;
+    for (int i = 0; i < workload.data_stations; ++i) {
+      if (!stations[static_cast<std::size_t>(i)].queue.empty() &&
+          !queued[static_cast<std::size_t>(i)]) {
+        ++backlogged;
+      }
+    }
+    const double retry = backlogged > 0
+                             ? std::min(retry_prob_,
+                                        static_cast<double>(reservation_slots_) / backlogged)
+                             : retry_prob_;
+    std::vector<std::vector<int>> minislot(static_cast<std::size_t>(reservation_slots_));
+    for (int i = 0; i < workload.data_stations; ++i) {
+      Station& st = stations[static_cast<std::size_t>(i)];
+      if (st.queue.empty() || queued[static_cast<std::size_t>(i)]) continue;
+      if (!rng.Bernoulli(retry)) continue;
+      const int pick = static_cast<int>(rng.UniformInt(0, reservation_slots_ - 1));
+      minislot[static_cast<std::size_t>(pick)].push_back(i);
+    }
+    for (const auto& contenders : minislot) {
+      if (contenders.empty()) continue;
+      ++contended;
+      if (contenders.size() == 1) {
+        grant_queue.push_back(contenders.front());
+        queued[static_cast<std::size_t>(contenders.front())] = true;
+      } else {
+        ++collided;
+      }
+    }
+
+    // Information phase: FCFS grants, one packet per grant.
+    for (int slot = 0; slot < info_slots_ && !grant_queue.empty(); ++slot) {
+      const int who = grant_queue.front();
+      grant_queue.pop_front();
+      queued[static_cast<std::size_t>(who)] = false;
+      Station& st = stations[static_cast<std::size_t>(who)];
+      if (st.queue.empty()) continue;  // drained meanwhile (cannot happen)
+      ++result.delivered;
+      delay_sum += frame - st.queue.front();
+      st.queue.pop_front();
+    }
+  }
+
+  const double info_slots =
+      static_cast<double>(workload.frames) * static_cast<double>(info_slots_);
+  result.offered_load = static_cast<double>(generated) / info_slots;
+  result.throughput = static_cast<double>(result.delivered) / info_slots;
+  result.mean_delay_frames =
+      result.delivered > 0 ? static_cast<double>(delay_sum) / static_cast<double>(result.delivered)
+                           : 0.0;
+  result.collision_rate =
+      contended > 0 ? static_cast<double>(collided) / static_cast<double>(contended) : 0.0;
+  return result;
+}
+
+}  // namespace osumac::baselines

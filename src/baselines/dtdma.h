@@ -1,0 +1,30 @@
+// Dynamic TDMA (Wilson, Ganesh, Joseph, Raychaudhuri 1993) — reference [4].
+//
+// Each frame consists of `reservation_slots` slotted-ALOHA reservation
+// minislots followed by information slots.  Successful reservation requests
+// enter a base-station queue; information slots are granted FCFS.  A voice
+// station keeps its slot for the whole talkspurt; a data station is granted
+// one slot per reservation.
+#pragma once
+
+#include "baselines/common.h"
+
+namespace osumac::baselines {
+
+class Dtdma final : public BaselineProtocol {
+ public:
+  explicit Dtdma(int info_slots_per_frame = 16, int reservation_slots = 6,
+                 double retry_prob = 0.5)
+      : info_slots_(info_slots_per_frame), reservation_slots_(reservation_slots),
+        retry_prob_(retry_prob) {}
+
+  std::string name() const override { return "D-TDMA"; }
+  BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const override;
+
+ private:
+  int info_slots_;
+  int reservation_slots_;
+  double retry_prob_;
+};
+
+}  // namespace osumac::baselines

@@ -1,0 +1,79 @@
+#include "baselines/fama.h"
+
+namespace osumac::baselines {
+
+BaselineResult Fama::Run(const BaselineWorkload& workload, Rng& rng) const {
+  std::vector<Station> stations(static_cast<std::size_t>(workload.data_stations));
+  BaselineResult result;
+  result.protocol = name();
+
+  std::int64_t generated = 0;
+  std::int64_t delay_sum = 0;
+  std::int64_t acquisitions = 0;
+  std::int64_t acquisition_collisions = 0;
+
+  for (std::int64_t frame = 0; frame < workload.frames; ++frame) {
+    for (Station& st : stations) {
+      const int arrivals = PoissonArrivals(workload.packets_per_station_per_frame, rng);
+      for (int a = 0; a < arrivals; ++a) {
+        ++generated;
+        if (static_cast<int>(st.queue.size()) < workload.station_queue_cap) {
+          st.queue.push_back(frame);
+        } else {
+          ++result.dropped;
+        }
+      }
+    }
+
+    for (int slot = 0; slot < slots_per_frame_; ++slot) {
+      // Floor acquisition: FAMA's carrier sensing means the station whose
+      // RTS starts first seizes the floor; only a *tie* (two stations
+      // starting within one propagation time) collides.  Model: each
+      // backlogged station draws a random backoff tick; the unique minimum
+      // wins, a tied minimum wastes the minislot.
+      constexpr int kBackoffTicks = 64;
+      Station* floor_holder = nullptr;
+      int best_tick = kBackoffTicks;
+      int ties_at_best = 0;
+      for (Station& st : stations) {
+        if (st.queue.empty()) continue;
+        const int tick = static_cast<int>(rng.UniformInt(0, kBackoffTicks - 1));
+        if (tick < best_tick) {
+          best_tick = tick;
+          ties_at_best = 1;
+          floor_holder = &st;
+        } else if (tick == best_tick) {
+          ++ties_at_best;
+        }
+      }
+      if (floor_holder == nullptr) continue;
+      ++acquisitions;
+      if (ties_at_best > 1) {
+        ++acquisition_collisions;
+        continue;  // only the minislot was wasted
+      }
+      // Floor acquired: the data portion is collision-free.
+      ++result.delivered;
+      delay_sum += frame - floor_holder->queue.front();
+      floor_holder->queue.pop_front();
+    }
+  }
+
+  // Charge the acquisition overhead: every slot's airtime includes the
+  // minislot, so the normalizing slot count grows by that fraction.
+  const double info_slots = static_cast<double>(workload.frames) *
+                            static_cast<double>(slots_per_frame_) *
+                            (1.0 + minislot_fraction_);
+  result.offered_load = static_cast<double>(generated) / info_slots;
+  result.throughput = static_cast<double>(result.delivered) / info_slots;
+  result.mean_delay_frames =
+      result.delivered > 0 ? static_cast<double>(delay_sum) / static_cast<double>(result.delivered)
+                           : 0.0;
+  result.collision_rate =
+      acquisitions > 0
+          ? static_cast<double>(acquisition_collisions) / static_cast<double>(acquisitions)
+          : 0.0;
+  return result;
+}
+
+}  // namespace osumac::baselines

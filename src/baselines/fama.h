@@ -1,0 +1,31 @@
+// Floor Acquisition Multiple Access (Fullmer, Garcia-Luna-Aceves 1995) —
+// reference [7] of the paper.
+//
+// FAMA acquires the "floor" with a short RTS/CTS-style exchange before the
+// (long) data transmission, so collisions only cost the short control
+// exchange, never a data slot.  On the abstract slotted substrate each
+// information slot is preceded by an acquisition minislot: backlogged
+// stations contend in it with carrier sensing (modeled as a random
+// backoff tick whose unique minimum seizes the floor); a tie wastes only
+// the minislot, never a data slot.  The minislot overhead is charged to
+// the channel time via `minislot_fraction`.
+#pragma once
+
+#include "baselines/common.h"
+
+namespace osumac::baselines {
+
+class Fama final : public BaselineProtocol {
+ public:
+  explicit Fama(int slots_per_frame = 16, double minislot_fraction = 0.1)
+      : slots_per_frame_(slots_per_frame), minislot_fraction_(minislot_fraction) {}
+
+  std::string name() const override { return "FAMA"; }
+  BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const override;
+
+ private:
+  int slots_per_frame_;
+  double minislot_fraction_;
+};
+
+}  // namespace osumac::baselines

@@ -1,0 +1,127 @@
+#include "baselines/prma.h"
+
+namespace osumac::baselines {
+
+BaselineResult Prma::Run(const BaselineWorkload& workload, Rng& rng) const {
+  struct VoiceStation {
+    bool talking = false;
+    std::int64_t spurt_left = 0;
+    int reserved_slot = -1;     ///< slot index owned while talking
+    std::int64_t pending_since = -1;  ///< frame the current packet arrived
+  };
+
+  std::vector<Station> data(static_cast<std::size_t>(workload.data_stations));
+  std::vector<VoiceStation> voice(static_cast<std::size_t>(workload.voice_stations));
+  // slot -> index into `voice` holding the reservation, or -1.
+  std::vector<int> owner(static_cast<std::size_t>(slots_per_frame_), -1);
+
+  BaselineResult result;
+  result.protocol = name();
+  std::int64_t generated = 0;
+  std::int64_t delay_sum = 0;
+  std::int64_t contended = 0;
+  std::int64_t collided = 0;
+  std::int64_t talkspurts = 0;
+  std::int64_t clipped = 0;
+
+  for (std::int64_t frame = 0; frame < workload.frames; ++frame) {
+    // Traffic generation.
+    for (Station& st : data) {
+      const int arrivals = PoissonArrivals(workload.packets_per_station_per_frame, rng);
+      for (int a = 0; a < arrivals; ++a) {
+        ++generated;
+        if (static_cast<int>(st.queue.size()) < workload.station_queue_cap) {
+          st.queue.push_back(frame);
+        } else {
+          ++result.dropped;
+        }
+      }
+    }
+    for (VoiceStation& v : voice) {
+      if (!v.talking && rng.Bernoulli(workload.talkspurt_start_prob)) {
+        v.talking = true;
+        ++talkspurts;
+        v.spurt_left = 1 + rng.Geometric(1.0 / workload.mean_talkspurt_frames);
+        v.pending_since = frame;
+      }
+    }
+
+    for (int slot = 0; slot < slots_per_frame_; ++slot) {
+      const int holder = owner[static_cast<std::size_t>(slot)];
+      if (holder >= 0) {
+        // Reserved voice slot: one voice packet per frame, no contention.
+        VoiceStation& v = voice[static_cast<std::size_t>(holder)];
+        ++result.delivered;
+        ++generated;
+        if (--v.spurt_left <= 0) {
+          v.talking = false;
+          owner[static_cast<std::size_t>(slot)] = -1;
+          v.reserved_slot = -1;
+        }
+        continue;
+      }
+
+      // Open slot: voice stations needing a reservation and data stations
+      // contend with the permission probability.
+      std::vector<int> voice_tx;
+      std::vector<Station*> data_tx;
+      for (std::size_t vi = 0; vi < voice.size(); ++vi) {
+        VoiceStation& v = voice[vi];
+        if (v.talking && v.reserved_slot < 0 && rng.Bernoulli(permission_)) {
+          voice_tx.push_back(static_cast<int>(vi));
+        }
+      }
+      for (Station& st : data) {
+        if (!st.queue.empty() && rng.Bernoulli(permission_)) data_tx.push_back(&st);
+      }
+      const int total = static_cast<int>(voice_tx.size() + data_tx.size());
+      if (total == 0) continue;
+      ++contended;
+      if (total > 1) {
+        ++collided;
+        continue;
+      }
+      if (!voice_tx.empty()) {
+        VoiceStation& v = voice[static_cast<std::size_t>(voice_tx.front())];
+        v.reserved_slot = slot;
+        owner[static_cast<std::size_t>(slot)] = voice_tx.front();
+        ++result.delivered;  // the winning packet itself goes through
+        ++generated;
+        v.pending_since = -1;
+      } else {
+        Station* st = data_tx.front();
+        ++result.delivered;
+        delay_sum += frame - st->queue.front();
+        st->queue.pop_front();
+      }
+    }
+
+    // Speech clipping: a talkspurt that cannot obtain a slot within the
+    // deadline drops its leading packets.
+    for (VoiceStation& v : voice) {
+      if (v.talking && v.reserved_slot < 0 && v.pending_since >= 0 &&
+          frame - v.pending_since >= voice_deadline_) {
+        ++clipped;
+        v.pending_since = frame;  // the next packet becomes the head
+        if (--v.spurt_left <= 0) v.talking = false;
+      }
+    }
+  }
+
+  const double info_slots =
+      static_cast<double>(workload.frames) * static_cast<double>(slots_per_frame_);
+  result.offered_load = static_cast<double>(generated) / info_slots;
+  result.throughput = static_cast<double>(result.delivered) / info_slots;
+  const auto data_delivered =
+      result.delivered;  // voice delivery has no queueing delay by design
+  result.mean_delay_frames =
+      data_delivered > 0 ? static_cast<double>(delay_sum) / static_cast<double>(data_delivered)
+                         : 0.0;
+  result.collision_rate =
+      contended > 0 ? static_cast<double>(collided) / static_cast<double>(contended) : 0.0;
+  result.voice_drop_rate =
+      talkspurts > 0 ? static_cast<double>(clipped) / static_cast<double>(talkspurts) : 0.0;
+  return result;
+}
+
+}  // namespace osumac::baselines

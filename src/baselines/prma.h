@@ -1,0 +1,32 @@
+// Packet Reservation Multiple Access (Nanda, Goodman, Timor 1991) —
+// reference [3] of the paper.
+//
+// Time is divided into frames of N slots.  Unreserved slots are open to
+// contention with a permission probability; a *voice* station that wins a
+// slot keeps the same slot reserved in subsequent frames until its
+// talkspurt ends, while a *data* station must contend for every packet.
+// Voice packets not sent within `voice_deadline_frames` are dropped
+// (PRMA's speech-clipping behaviour).
+#pragma once
+
+#include "baselines/common.h"
+
+namespace osumac::baselines {
+
+class Prma final : public BaselineProtocol {
+ public:
+  explicit Prma(int slots_per_frame = 16, double permission_prob = 0.3,
+                int voice_deadline_frames = 2)
+      : slots_per_frame_(slots_per_frame), permission_(permission_prob),
+        voice_deadline_(voice_deadline_frames) {}
+
+  std::string name() const override { return "PRMA"; }
+  BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const override;
+
+ private:
+  int slots_per_frame_;
+  double permission_;
+  int voice_deadline_;
+};
+
+}  // namespace osumac::baselines

@@ -1,0 +1,90 @@
+#include "baselines/rama.h"
+
+#include <algorithm>
+
+namespace osumac::baselines {
+
+int Rama::Auction(int contenders, Rng& rng) {
+  // Bit-serial elimination: in each round every surviving contender draws
+  // a bit; if anyone drew 1, the 0-drawers are eliminated.  Repeats until
+  // one survivor — equivalent to comparing arbitrarily long random IDs.
+  std::vector<int> alive(static_cast<std::size_t>(contenders));
+  for (int i = 0; i < contenders; ++i) alive[static_cast<std::size_t>(i)] = i;
+  while (alive.size() > 1) {
+    std::vector<int> ones;
+    for (int idx : alive) {
+      if (rng.Bernoulli(0.5)) ones.push_back(idx);
+    }
+    if (!ones.empty() && ones.size() < alive.size()) alive = std::move(ones);
+    // all-ones or all-zeros: nobody eliminated this bit; draw again
+  }
+  return alive.front();
+}
+
+BaselineResult Rama::Run(const BaselineWorkload& workload, Rng& rng) const {
+  std::vector<Station> stations(static_cast<std::size_t>(workload.data_stations));
+  std::deque<int> grant_queue;
+  std::vector<bool> queued(static_cast<std::size_t>(workload.data_stations), false);
+
+  BaselineResult result;
+  result.protocol = name();
+  std::int64_t generated = 0;
+  std::int64_t delay_sum = 0;
+  std::int64_t auctions_held = 0;
+
+  for (std::int64_t frame = 0; frame < workload.frames; ++frame) {
+    for (Station& st : stations) {
+      const int arrivals = PoissonArrivals(workload.packets_per_station_per_frame, rng);
+      for (int a = 0; a < arrivals; ++a) {
+        ++generated;
+        if (static_cast<int>(st.queue.size()) < workload.station_queue_cap) {
+          st.queue.push_back(frame);
+        } else {
+          ++result.dropped;
+        }
+      }
+    }
+
+    // Auction phase: every backlogged, un-queued station attends every
+    // auction until it wins one (winners skip later auctions this frame).
+    for (int a = 0; a < auction_slots_; ++a) {
+      std::vector<int> contenders;
+      for (int i = 0; i < workload.data_stations; ++i) {
+        if (!stations[static_cast<std::size_t>(i)].queue.empty() &&
+            !queued[static_cast<std::size_t>(i)]) {
+          contenders.push_back(i);
+        }
+      }
+      if (contenders.empty()) break;
+      ++auctions_held;
+      const int winner =
+          contenders[static_cast<std::size_t>(Auction(static_cast<int>(contenders.size()), rng))];
+      grant_queue.push_back(winner);
+      queued[static_cast<std::size_t>(winner)] = true;
+    }
+
+    for (int slot = 0; slot < info_slots_ && !grant_queue.empty(); ++slot) {
+      const int who = grant_queue.front();
+      grant_queue.pop_front();
+      queued[static_cast<std::size_t>(who)] = false;
+      Station& st = stations[static_cast<std::size_t>(who)];
+      if (st.queue.empty()) continue;
+      ++result.delivered;
+      delay_sum += frame - st.queue.front();
+      st.queue.pop_front();
+    }
+  }
+
+  const double info_slots =
+      static_cast<double>(workload.frames) * static_cast<double>(info_slots_);
+  result.offered_load = static_cast<double>(generated) / info_slots;
+  result.throughput = static_cast<double>(result.delivered) / info_slots;
+  result.mean_delay_frames =
+      result.delivered > 0 ? static_cast<double>(delay_sum) / static_cast<double>(result.delivered)
+                           : 0.0;
+  result.collision_rate = 0.0;  // RAMA's defining property: no collisions
+  (void)auctions_held;
+  return result;
+}
+
+}  // namespace osumac::baselines

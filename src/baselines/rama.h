@@ -1,0 +1,36 @@
+// Resource Auction Multiple Access (Amitay 1993) — reference [6].
+//
+// Reservation minislots are replaced by *auction* slots: every contender
+// picks a random ID and transmits it bit by bit, most significant bit
+// first; after each bit the base station broadcasts the largest bit heard
+// and stations whose bit is smaller drop out.  Exactly one station survives
+// each auction (ties are re-auctioned on further random bits), so auctions
+// are deterministic: one winner per auction slot whenever anyone contends.
+#pragma once
+
+#include "baselines/common.h"
+
+namespace osumac::baselines {
+
+class Rama final : public BaselineProtocol {
+ public:
+  /// By default one auction is held per information slot, so the resource
+  /// pool can be fully assigned every frame (the original design auctions
+  /// each available resource).
+  explicit Rama(int info_slots_per_frame = 16, int auction_slots = -1)
+      : info_slots_(info_slots_per_frame),
+        auction_slots_(auction_slots > 0 ? auction_slots : info_slots_per_frame) {}
+
+  std::string name() const override { return "RAMA"; }
+  BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const override;
+
+  /// The bit-by-bit auction among `contenders`; returns the winner's index
+  /// within the vector.  Exposed for unit tests.
+  static int Auction(int contenders, Rng& rng);
+
+ private:
+  int info_slots_;
+  int auction_slots_;
+};
+
+}  // namespace osumac::baselines

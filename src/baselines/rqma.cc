@@ -1,0 +1,147 @@
+#include "baselines/rqma.h"
+
+#include <algorithm>
+
+namespace osumac::baselines {
+
+BaselineResult Rqma::Run(const BaselineWorkload& workload, Rng& rng) const {
+  struct RqmaStation {
+    std::deque<std::int64_t> queue;   ///< arrival frame per packet
+    bool session = false;             ///< owns a backlog slot
+    int backlog_slot = -1;
+  };
+  struct QueuedPacket {
+    int station = -1;
+    std::int64_t arrival = 0;
+    std::int64_t deadline = 0;  ///< as *declared* by the station
+    std::uint64_t tiebreak = 0; ///< random: EDF ties resolved fairly
+  };
+
+  std::vector<RqmaStation> stations(static_cast<std::size_t>(workload.data_stations));
+  std::vector<int> backlog_owner(static_cast<std::size_t>(params_.backlog_slots), -1);
+  std::vector<QueuedPacket> bs_queue;  ///< packets known to the base station
+
+  BaselineResult result;
+  result.protocol = name();
+  delivered_per_station_.assign(static_cast<std::size_t>(workload.data_stations), 0);
+
+  std::int64_t generated = 0;
+  std::int64_t delay_sum = 0;
+  std::int64_t requests = 0;
+  std::int64_t request_collisions = 0;
+  std::int64_t deadline_drops = 0;
+
+  for (std::int64_t frame = 0; frame < workload.frames; ++frame) {
+    // Arrivals.
+    for (auto& st : stations) {
+      const int arrivals = PoissonArrivals(workload.packets_per_station_per_frame, rng);
+      for (int a = 0; a < arrivals; ++a) {
+        ++generated;
+        if (static_cast<int>(st.queue.size()) < workload.station_queue_cap) {
+          st.queue.push_back(frame);
+        } else {
+          ++result.dropped;
+        }
+      }
+    }
+
+    // Request slots: session-less backlogged stations contend (ALOHA).
+    std::vector<std::vector<int>> request(static_cast<std::size_t>(params_.request_slots));
+    for (int i = 0; i < workload.data_stations; ++i) {
+      auto& st = stations[static_cast<std::size_t>(i)];
+      if (st.session || st.queue.empty()) continue;
+      if (!rng.Bernoulli(params_.request_retry_prob)) continue;
+      request[static_cast<std::size_t>(
+                  rng.UniformInt(0, params_.request_slots - 1))]
+          .push_back(i);
+    }
+    for (const auto& contenders : request) {
+      if (contenders.empty()) continue;
+      ++requests;
+      if (contenders.size() > 1) {
+        ++request_collisions;
+        continue;
+      }
+      // Session established if a backlog slot is free (acked in-frame).
+      for (std::size_t b = 0; b < backlog_owner.size(); ++b) {
+        if (backlog_owner[b] != -1) continue;
+        backlog_owner[b] = contenders.front();
+        auto& st = stations[static_cast<std::size_t>(contenders.front())];
+        st.session = true;
+        st.backlog_slot = static_cast<int>(b);
+        break;
+      }
+    }
+
+    // Backlog slots: sessions report their queued packets with deadlines.
+    for (int owner : backlog_owner) {
+      if (owner < 0) continue;
+      auto& st = stations[static_cast<std::size_t>(owner)];
+      while (!st.queue.empty()) {
+        QueuedPacket p;
+        p.station = owner;
+        p.arrival = st.queue.front();
+        st.queue.pop_front();
+        p.deadline = owner == params_.cheater_index
+                         ? frame  // "my packets are always due NOW"
+                         : p.arrival + params_.deadline_frames;
+        p.tiebreak = rng.Next();
+        bs_queue.push_back(p);
+      }
+      // A session with nothing queued and nothing pending closes, freeing
+      // the backlog slot for other stations.
+      const bool pending = std::any_of(bs_queue.begin(), bs_queue.end(),
+                                       [owner](const QueuedPacket& p) {
+                                         return p.station == owner;
+                                       });
+      if (!pending && st.queue.empty()) {
+        backlog_owner[static_cast<std::size_t>(st.backlog_slot)] = -1;
+        st.session = false;
+        st.backlog_slot = -1;
+      }
+    }
+
+    // Deadline expiry (true deadlines: even a cheater's packets only
+    // really expire at arrival + deadline_frames).
+    std::erase_if(bs_queue, [&](const QueuedPacket& p) {
+      if (frame - p.arrival > params_.deadline_frames) {
+        ++deadline_drops;
+        return true;
+      }
+      return false;
+    });
+
+    // Transmission slots: earliest declared deadline first.
+    std::sort(bs_queue.begin(), bs_queue.end(),
+              [](const QueuedPacket& a, const QueuedPacket& b) {
+                if (a.deadline != b.deadline) return a.deadline < b.deadline;
+                return a.tiebreak < b.tiebreak;  // fair among equal deadlines
+              });
+    const int sendable =
+        std::min<int>(params_.transmission_slots, static_cast<int>(bs_queue.size()));
+    for (int k = 0; k < sendable; ++k) {
+      const QueuedPacket& p = bs_queue[static_cast<std::size_t>(k)];
+      ++result.delivered;
+      ++delivered_per_station_[static_cast<std::size_t>(p.station)];
+      delay_sum += frame - p.arrival;
+    }
+    bs_queue.erase(bs_queue.begin(), bs_queue.begin() + sendable);
+  }
+
+  const double info_slots = static_cast<double>(workload.frames) *
+                            static_cast<double>(params_.transmission_slots);
+  result.offered_load = static_cast<double>(generated) / info_slots;
+  result.throughput = static_cast<double>(result.delivered) / info_slots;
+  result.mean_delay_frames =
+      result.delivered > 0 ? static_cast<double>(delay_sum) / static_cast<double>(result.delivered)
+                           : 0.0;
+  result.collision_rate =
+      requests > 0 ? static_cast<double>(request_collisions) / static_cast<double>(requests)
+                   : 0.0;
+  result.voice_drop_rate = generated > 0 ? static_cast<double>(deadline_drops) /
+                                               static_cast<double>(generated)
+                                         : 0.0;  // repurposed: deadline loss
+  return result;
+}
+
+}  // namespace osumac::baselines

@@ -1,0 +1,50 @@
+// Remote-Queuing Multiple Access (Figueira, Pasquale 1998) — reference [8]
+// of the paper.
+//
+// RQMA divides each frame into b backlog slots, r request slots (with ack
+// subfields) and t transmission slots (Fig. 7 of the paper).  A station
+// first establishes a *session* through a request slot (slotted ALOHA,
+// acked by the base station); established real-time sessions own a backlog
+// slot in which they report newly arrived packets *and their deadlines*.
+// The base station then schedules transmission slots earliest-deadline-
+// first; packets that miss their deadline are dropped (real-time loss).
+//
+// The OSU-MAC paper's critique — mobiles must compute deadlines themselves
+// and can cheat by declaring tight ones — is reproducible here via the
+// `cheater_index` knob: that station declares the minimum deadline for
+// every packet and grabs an unfair share under overload.
+#pragma once
+
+#include "baselines/common.h"
+
+namespace osumac::baselines {
+
+class Rqma final : public BaselineProtocol {
+ public:
+  struct Params {
+    int backlog_slots = 8;       ///< b: one per establishable session
+    int request_slots = 4;       ///< r
+    int transmission_slots = 16; ///< t
+    std::int64_t deadline_frames = 8;  ///< relative deadline of packets
+    double request_retry_prob = 0.5;
+    int cheater_index = -1;      ///< station declaring fake tight deadlines
+  };
+
+  Rqma() : params_(Params{}) {}
+  explicit Rqma(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "RQMA"; }
+  BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const override;
+
+  /// Per-station delivered counts from the last Run (for the fairness /
+  /// cheating analysis).
+  const std::vector<std::int64_t>& last_delivered_per_station() const {
+    return delivered_per_station_;
+  }
+
+ private:
+  Params params_;
+  mutable std::vector<std::int64_t> delivered_per_station_;
+};
+
+}  // namespace osumac::baselines

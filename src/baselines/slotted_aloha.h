@@ -1,0 +1,25 @@
+// Slotted ALOHA — the contention primitive underlying the reservation
+// phases of D-TDMA/DRMA and the paper's own contention slots.
+#pragma once
+
+#include "baselines/common.h"
+
+namespace osumac::baselines {
+
+/// Pure slotted ALOHA: every backlogged station transmits in each slot with
+/// probability `persistence`; a collision backs the station off
+/// geometrically.
+class SlottedAloha final : public BaselineProtocol {
+ public:
+  explicit SlottedAloha(int slots_per_frame = 16, double persistence = 0.3)
+      : slots_per_frame_(slots_per_frame), persistence_(persistence) {}
+
+  std::string name() const override { return "slotted-aloha"; }
+  BaselineResult Run(const BaselineWorkload& workload, Rng& rng) const override;
+
+ private:
+  int slots_per_frame_;
+  double persistence_;
+};
+
+}  // namespace osumac::baselines

@@ -1,0 +1,58 @@
+#include "common/bitio.h"
+
+#include <cassert>
+
+namespace osumac {
+
+void BitWriter::Write(std::uint64_t value, int width) {
+  assert(width > 0 && width <= 64);
+  assert(width == 64 || (value >> width) == 0);
+  for (int i = width - 1; i >= 0; --i) {
+    const int bit = static_cast<int>((value >> i) & 1u);
+    const int byte_index = bit_size_ / 8;
+    const int bit_in_byte = 7 - (bit_size_ % 8);
+    if (byte_index == static_cast<int>(bytes_.size())) bytes_.push_back(0);
+    if (bit != 0) bytes_[static_cast<std::size_t>(byte_index)] |= static_cast<std::uint8_t>(1u << bit_in_byte);
+    ++bit_size_;
+  }
+}
+
+void BitWriter::WriteZeros(int count) {
+  assert(count >= 0);
+  for (int i = 0; i < count; i += 64) {
+    const int chunk = count - i < 64 ? count - i : 64;
+    Write(0, chunk);
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::BytesPaddedTo(std::size_t min_bytes) const {
+  std::vector<std::uint8_t> out = bytes_;
+  if (out.size() < min_bytes) out.resize(min_bytes, 0);
+  return out;
+}
+
+std::uint64_t BitReader::Read(int width) {
+  assert(width > 0 && width <= 64);
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const int byte_index = bit_pos_ / 8;
+    int bit = 0;
+    if (byte_index < static_cast<int>(bytes_.size())) {
+      const int bit_in_byte = 7 - (bit_pos_ % 8);
+      bit = (bytes_[static_cast<std::size_t>(byte_index)] >> bit_in_byte) & 1;
+    } else {
+      overflowed_ = true;
+    }
+    value = (value << 1) | static_cast<std::uint64_t>(bit);
+    ++bit_pos_;
+  }
+  return value;
+}
+
+void BitReader::Skip(int count) {
+  assert(count >= 0);
+  bit_pos_ += count;
+  if (bit_pos_ > static_cast<int>(bytes_.size()) * 8) overflowed_ = true;
+}
+
+}  // namespace osumac

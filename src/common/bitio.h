@@ -1,0 +1,60 @@
+// MSB-first bit-level serialization used for the forward-channel control
+// fields (Section 3.1 of the paper): fields such as 6-bit user IDs and 16-bit
+// EINs are packed back-to-back into the 768 information bits of two
+// RS(64,48) codewords.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osumac {
+
+/// Appends fixed-width big-endian bit fields to a growing byte buffer.
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value`, most significant bit first.
+  /// Requires 0 < width <= 64; bits of `value` above `width` must be zero.
+  void Write(std::uint64_t value, int width);
+
+  /// Appends `count` zero bits (reserved / padding fields).
+  void WriteZeros(int count);
+
+  /// Number of bits written so far.
+  int bit_size() const { return bit_size_; }
+
+  /// Returns the packed bytes; the final partial byte (if any) is
+  /// zero-padded in its low bits.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  /// Returns packed bytes padded with zero bytes up to `min_bytes`.
+  std::vector<std::uint8_t> BytesPaddedTo(std::size_t min_bytes) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_size_ = 0;
+};
+
+/// Reads fixed-width big-endian bit fields from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  /// Reads the next `width` bits (MSB first). Reading past the end yields
+  /// zero bits and sets overflowed().
+  std::uint64_t Read(int width);
+
+  /// Skips `count` bits.
+  void Skip(int count);
+
+  /// True if any Read/Skip went past the end of the buffer.
+  bool overflowed() const { return overflowed_; }
+
+  int bit_position() const { return bit_pos_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_pos_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace osumac

@@ -1,0 +1,16 @@
+#include "common/logging.h"
+
+namespace osumac {
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogAt(LogLevel level, Tick now, const char* tag, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%10.4fs] %s: %s\n", ToSeconds(now), tag, message.c_str());
+}
+
+}  // namespace osumac

@@ -1,0 +1,23 @@
+// Minimal leveled logging for simulator internals.  Off (kNone) by default so
+// that benchmarks and tests run silently; examples turn on kInfo/kDebug to
+// narrate protocol activity.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/time.h"
+
+namespace osumac {
+
+enum class LogLevel { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide log threshold. Not thread-safe by design: the simulator is
+/// single-threaded and deterministic.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Emits "[   12.3456s] tag: message" to stderr if `level` is enabled.
+void LogAt(LogLevel level, Tick now, const char* tag, const std::string& message);
+
+}  // namespace osumac

@@ -1,0 +1,53 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that runs
+// are reproducible; there is no global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace osumac {
+
+/// A seeded pseudo-random generator with the distribution helpers the
+/// simulator needs.  Thin wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Geometric number of failures before first success, success prob p.
+  std::int64_t Geometric(double p) {
+    return std::geometric_distribution<std::int64_t>(p)(engine_);
+  }
+
+  /// Derives an independent child generator (e.g. one per subscriber).
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Raw 64-bit draw.
+  std::uint64_t Next() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace osumac

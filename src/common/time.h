@@ -1,0 +1,76 @@
+// Integer-tick simulation time for the OSU narrow-band testbed model.
+//
+// The forward channel runs at 3200 channel symbols/s and the reverse channel
+// at 2400 symbols/s.  Choosing a tick of 1/48000 s makes *every* interval in
+// the paper an exact integer number of ticks:
+//
+//   1 forward symbol  = 15 ticks          1 reverse symbol = 20 ticks
+//   20 ms half-duplex switch guard = 960 ticks
+//   GPS slot   (210 rev sym) = 4200 ticks  = 0.0875 s
+//   data slot  (969 rev sym) = 19380 ticks = 0.40375 s
+//   forward notification cycle (12750 fwd sym) = 191250 ticks = 3.984375 s
+//
+// All scheduling arithmetic is therefore exact; no floating-point drift can
+// perturb slot overlap or half-duplex guard computations.
+#pragma once
+
+#include <cstdint>
+
+namespace osumac {
+
+/// Simulation time or duration, in units of 1/48000 second.
+using Tick = std::int64_t;
+
+/// Ticks per second of simulated time.
+inline constexpr Tick kTicksPerSecond = 48000;
+
+/// Ticks per forward-channel symbol (3200 sym/s).
+inline constexpr Tick kTicksPerForwardSymbol = kTicksPerSecond / 3200;  // 15
+
+/// Ticks per reverse-channel symbol (2400 sym/s).
+inline constexpr Tick kTicksPerReverseSymbol = kTicksPerSecond / 2400;  // 20
+
+static_assert(kTicksPerForwardSymbol * 3200 == kTicksPerSecond);
+static_assert(kTicksPerReverseSymbol * 2400 == kTicksPerSecond);
+
+/// Converts a tick count to (floating-point) seconds, for reporting only.
+constexpr double ToSeconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/// Converts whole milliseconds to ticks (exact: 1 ms == 48 ticks).
+constexpr Tick FromMilliseconds(std::int64_t ms) { return ms * (kTicksPerSecond / 1000); }
+
+/// Converts whole seconds to ticks.
+constexpr Tick FromSeconds(std::int64_t s) { return s * kTicksPerSecond; }
+
+/// Duration of `symbols` forward-channel symbols.
+constexpr Tick ForwardSymbols(std::int64_t symbols) { return symbols * kTicksPerForwardSymbol; }
+
+/// Duration of `symbols` reverse-channel symbols.
+constexpr Tick ReverseSymbols(std::int64_t symbols) { return symbols * kTicksPerReverseSymbol; }
+
+/// Half-open time interval [begin, end) in ticks.
+struct Interval {
+  Tick begin = 0;
+  Tick end = 0;
+
+  constexpr Tick length() const { return end - begin; }
+  constexpr bool empty() const { return end <= begin; }
+
+  /// True if the two half-open intervals share at least one tick.
+  constexpr bool Overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  /// True if `t` lies within [begin, end).
+  constexpr bool Contains(Tick t) const { return t >= begin && t < end; }
+
+  /// Interval grown by `guard` ticks on both sides (used for the 20 ms
+  /// transmit/receive switch-over guard).
+  constexpr Interval Padded(Tick guard) const { return {begin - guard, end + guard}; }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace osumac

@@ -1,0 +1,133 @@
+#include "fec/gf256.h"
+
+#include <cassert>
+
+namespace osumac::fec {
+
+namespace {
+constexpr int kPrimitivePoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+}  // namespace
+
+const Gf256& Gf256::Instance() {
+  static const Gf256 instance;
+  return instance;
+}
+
+Gf256::Gf256() {
+  int x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[static_cast<std::size_t>(i)] = static_cast<GfElem>(x);
+    log_[static_cast<std::size_t>(x)] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= kPrimitivePoly;
+  }
+  // Duplicate the table so Mul never needs a modulo.
+  for (int i = 255; i < 510; ++i) {
+    exp_[static_cast<std::size_t>(i)] = exp_[static_cast<std::size_t>(i - 255)];
+  }
+  log_[0] = 0;  // never consulted; Log(0) asserts
+}
+
+GfElem Gf256::Inverse(GfElem a) const {
+  assert(a != 0 && "inverse of zero");
+  return exp_[static_cast<std::size_t>(255 - log_[a])];
+}
+
+GfElem Gf256::Div(GfElem a, GfElem b) const {
+  assert(b != 0 && "division by zero");
+  if (a == 0) return 0;
+  return exp_[static_cast<std::size_t>(log_[a] + 255 - log_[b])];
+}
+
+GfElem Gf256::Pow(GfElem a, int n) const {
+  if (n == 0) return 1;
+  assert(a != 0 && "0 to non-zero power is 0; negative power of 0 undefined");
+  long e = static_cast<long>(log_[a]) * n;
+  e %= 255;
+  if (e < 0) e += 255;
+  return exp_[static_cast<std::size_t>(e)];
+}
+
+int Gf256::Log(GfElem a) const {
+  assert(a != 0 && "log of zero");
+  return log_[a];
+}
+
+namespace poly {
+
+int Degree(const std::vector<GfElem>& p) {
+  for (int i = static_cast<int>(p.size()) - 1; i >= 0; --i) {
+    if (p[static_cast<std::size_t>(i)] != 0) return i;
+  }
+  return -1;
+}
+
+std::vector<GfElem> Add(const std::vector<GfElem>& p, const std::vector<GfElem>& q) {
+  std::vector<GfElem> r(std::max(p.size(), q.size()), 0);
+  for (std::size_t i = 0; i < p.size(); ++i) r[i] ^= p[i];
+  for (std::size_t i = 0; i < q.size(); ++i) r[i] ^= q[i];
+  return r;
+}
+
+std::vector<GfElem> Mul(const std::vector<GfElem>& p, const std::vector<GfElem>& q) {
+  if (p.empty() || q.empty()) return {};
+  const auto& gf = Gf256::Instance();
+  std::vector<GfElem> r(p.size() + q.size() - 1, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0) continue;
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      r[i + j] ^= gf.Mul(p[i], q[j]);
+    }
+  }
+  return r;
+}
+
+std::vector<GfElem> Scale(const std::vector<GfElem>& p, GfElem c) {
+  const auto& gf = Gf256::Instance();
+  std::vector<GfElem> r(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) r[i] = gf.Mul(p[i], c);
+  return r;
+}
+
+GfElem Eval(const std::vector<GfElem>& p, GfElem x) {
+  const auto& gf = Gf256::Instance();
+  GfElem acc = 0;
+  for (int i = static_cast<int>(p.size()) - 1; i >= 0; --i) {
+    acc = static_cast<GfElem>(gf.Mul(acc, x) ^ p[static_cast<std::size_t>(i)]);
+  }
+  return acc;
+}
+
+std::vector<GfElem> Mod(const std::vector<GfElem>& p, const std::vector<GfElem>& d) {
+  const int dd = Degree(d);
+  assert(dd >= 0 && "modulus must be non-zero");
+  const auto& gf = Gf256::Instance();
+  std::vector<GfElem> r = p;
+  const GfElem lead_inv = gf.Inverse(d[static_cast<std::size_t>(dd)]);
+  for (int i = Degree(r); i >= dd; i = Degree(r)) {
+    const GfElem factor = gf.Mul(r[static_cast<std::size_t>(i)], lead_inv);
+    const int shift = i - dd;
+    for (int j = 0; j <= dd; ++j) {
+      r[static_cast<std::size_t>(j + shift)] ^= gf.Mul(factor, d[static_cast<std::size_t>(j)]);
+    }
+  }
+  r.resize(static_cast<std::size_t>(dd > 0 ? dd : 1), 0);
+  return r;
+}
+
+std::vector<GfElem> Derivative(const std::vector<GfElem>& p) {
+  if (p.size() <= 1) return {0};
+  const auto& gf = Gf256::Instance();
+  std::vector<GfElem> r(p.size() - 1, 0);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    // d/dx x^i = i * x^(i-1); in GF(2^m), i*a means a added i times,
+    // so odd i keeps the coefficient and even i zeroes it.
+    if (i % 2 == 1) r[i - 1] = p[i];
+    (void)gf;
+  }
+  return r;
+}
+
+}  // namespace poly
+
+}  // namespace osumac::fec

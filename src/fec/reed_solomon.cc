@@ -1,0 +1,183 @@
+#include "fec/reed_solomon.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace osumac::fec {
+
+namespace {
+const Gf256& gf() { return Gf256::Instance(); }
+}  // namespace
+
+ReedSolomon::ReedSolomon(int n, int k, int first_consecutive_root)
+    : n_(n), k_(k), fcr_(first_consecutive_root) {
+  assert(0 < k && k < n && n <= 255);
+  // g(x) = (x - a^fcr)(x - a^{fcr+1}) ... (x - a^{fcr+n-k-1})
+  generator_ = {1};
+  for (int i = 0; i < n_ - k_; ++i) {
+    generator_ = poly::Mul(generator_, {gf().Exp(fcr_ + i), 1});
+  }
+}
+
+const ReedSolomon& ReedSolomon::Osu6448() {
+  static const ReedSolomon code(64, 48);
+  return code;
+}
+
+std::vector<GfElem> ReedSolomon::Encode(std::span<const GfElem> data) const {
+  assert(static_cast<int>(data.size()) == k_);
+  const int parity_len = n_ - k_;
+  // Message polynomial times x^{n-k}: data[0] is the coefficient of x^{n-1}.
+  std::vector<GfElem> shifted(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < k_; ++i) {
+    shifted[static_cast<std::size_t>(n_ - 1 - i)] = data[static_cast<std::size_t>(i)];
+  }
+  const std::vector<GfElem> remainder = poly::Mod(shifted, generator_);
+
+  std::vector<GfElem> codeword(static_cast<std::size_t>(n_), 0);
+  std::copy(data.begin(), data.end(), codeword.begin());
+  // Parity symbol j holds the coefficient of x^{n-k-1-j}.
+  for (int j = 0; j < parity_len; ++j) {
+    const int power = parity_len - 1 - j;
+    codeword[static_cast<std::size_t>(k_ + j)] =
+        power < static_cast<int>(remainder.size()) ? remainder[static_cast<std::size_t>(power)] : 0;
+  }
+  return codeword;
+}
+
+std::vector<GfElem> ReedSolomon::Syndromes(std::span<const GfElem> received) const {
+  const int nroots = n_ - k_;
+  std::vector<GfElem> s(static_cast<std::size_t>(nroots), 0);
+  for (int m = 0; m < nroots; ++m) {
+    // S_m = r(alpha^{fcr+m}) with r_j the coefficient of x^{n-1-j}.
+    const GfElem x = gf().Exp(fcr_ + m);
+    GfElem acc = 0;
+    for (int j = 0; j < n_; ++j) {
+      acc = static_cast<GfElem>(gf().Mul(acc, x) ^ received[static_cast<std::size_t>(j)]);
+    }
+    s[static_cast<std::size_t>(m)] = acc;
+  }
+  return s;
+}
+
+bool ReedSolomon::IsCodeword(std::span<const GfElem> word) const {
+  assert(static_cast<int>(word.size()) == n_);
+  const std::vector<GfElem> s = Syndromes(word);
+  return std::all_of(s.begin(), s.end(), [](GfElem e) { return e == 0; });
+}
+
+std::optional<DecodeResult> ReedSolomon::Decode(std::span<const GfElem> received) const {
+  return DecodeWithErasures(received, {});
+}
+
+std::optional<DecodeResult> ReedSolomon::DecodeWithErasures(
+    std::span<const GfElem> received, std::span<const int> erasure_positions) const {
+  assert(static_cast<int>(received.size()) == n_);
+  const int nroots = n_ - k_;
+  const int f = static_cast<int>(erasure_positions.size());
+  if (f > nroots) return std::nullopt;
+
+  const std::vector<GfElem> s = Syndromes(received);
+  const bool clean = std::all_of(s.begin(), s.end(), [](GfElem e) { return e == 0; });
+  if (clean) {
+    DecodeResult result;
+    result.data.assign(received.begin(), received.begin() + k_);
+    return result;
+  }
+
+  // Erasure locator Gamma(x) = prod (1 + X_j x), X_j = alpha^{n-1-pos}.
+  std::vector<GfElem> lambda = {1};
+  for (int pos : erasure_positions) {
+    assert(pos >= 0 && pos < n_);
+    lambda = poly::Mul(lambda, {1, gf().Exp(n_ - 1 - pos)});
+  }
+
+  // Berlekamp-Massey, initialized with the erasure locator
+  // (errors-and-erasures variant; see Blahut, "Theory and Practice of
+  // Error Control Codes", the paper's reference [1]).
+  std::vector<GfElem> b = lambda;
+  int el = f;
+  for (int r = f + 1; r <= nroots; ++r) {
+    GfElem discrepancy = 0;
+    for (int i = 0; i <= poly::Degree(lambda); ++i) {
+      const int sidx = r - i - 1;
+      if (sidx >= 0 && sidx < nroots) {
+        discrepancy ^= gf().Mul(lambda[static_cast<std::size_t>(i)],
+                                s[static_cast<std::size_t>(sidx)]);
+      }
+    }
+    if (discrepancy == 0) {
+      b.insert(b.begin(), 0);  // b <- x * b
+      continue;
+    }
+    // t(x) = lambda(x) + discrepancy * x * b(x)
+    std::vector<GfElem> xb = b;
+    xb.insert(xb.begin(), 0);
+    std::vector<GfElem> t = poly::Add(lambda, poly::Scale(xb, discrepancy));
+    if (2 * el <= r + f - 1) {
+      el = r + f - el;
+      b = poly::Scale(lambda, gf().Inverse(discrepancy));
+    } else {
+      b.insert(b.begin(), 0);
+    }
+    lambda = std::move(t);
+  }
+
+  const int deg_lambda = poly::Degree(lambda);
+  if (deg_lambda < 0 || deg_lambda > nroots) return std::nullopt;
+
+  // Chien search over the shortened codeword positions.
+  std::vector<int> error_positions;
+  std::vector<GfElem> locators;  // X_i for each found position
+  for (int j = 0; j < n_; ++j) {
+    const GfElem x_inv = gf().Exp(-(n_ - 1 - j));
+    if (poly::Eval(lambda, x_inv) == 0) {
+      error_positions.push_back(j);
+      locators.push_back(gf().Exp(n_ - 1 - j));
+    }
+  }
+  // A valid locator polynomial has exactly deg_lambda roots among the
+  // codeword positions; anything else means > t errors: decode failure.
+  if (static_cast<int>(error_positions.size()) != deg_lambda) return std::nullopt;
+
+  // Forney: Omega(x) = S(x) * Lambda(x) mod x^{nroots}.
+  std::vector<GfElem> omega = poly::Mul(s, lambda);
+  omega.resize(static_cast<std::size_t>(nroots), 0);
+  const std::vector<GfElem> lambda_prime = poly::Derivative(lambda);
+
+  std::vector<GfElem> corrected(received.begin(), received.end());
+  for (std::size_t idx = 0; idx < error_positions.size(); ++idx) {
+    const GfElem x = locators[idx];
+    const GfElem x_inv = gf().Inverse(x);
+    const GfElem denom = poly::Eval(lambda_prime, x_inv);
+    if (denom == 0) return std::nullopt;
+    // e = X^{1-fcr} * Omega(X^{-1}) / Lambda'(X^{-1})
+    const GfElem num = gf().Mul(poly::Eval(omega, x_inv), gf().Pow(x, 1 - fcr_));
+    const GfElem magnitude = gf().Div(num, denom);
+    corrected[static_cast<std::size_t>(error_positions[idx])] ^= magnitude;
+  }
+
+  // Re-check the syndromes of the corrected word; if still non-zero the
+  // error pattern exceeded the code's capability.
+  if (!IsCodeword(corrected)) return std::nullopt;
+
+  DecodeResult result;
+  result.data.assign(corrected.begin(), corrected.begin() + k_);
+  int erasures_filled = 0;
+  int errors_corrected = 0;
+  for (int pos : error_positions) {
+    const bool was_erased =
+        std::find(erasure_positions.begin(), erasure_positions.end(), pos) !=
+        erasure_positions.end();
+    if (was_erased) {
+      ++erasures_filled;
+    } else {
+      ++errors_corrected;
+    }
+  }
+  result.errors_corrected = errors_corrected;
+  result.erasures_filled = erasures_filled;
+  return result;
+}
+
+}  // namespace osumac::fec

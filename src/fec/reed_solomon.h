@@ -1,0 +1,78 @@
+// Systematic Reed-Solomon codec over GF(256).
+//
+// The paper encodes every data packet and control field in RS(64,48) over
+// GF(256): 48 information bytes, 16 parity bytes, correcting up to t = 8
+// symbol errors per codeword.  Field experience reported in Section 2.2 is
+// that the decoder either corrects the errors or fails outright, which is
+// exactly the behaviour of an algebraic RS decoder: once more than t symbols
+// are corrupted, Berlekamp-Massey almost always yields an invalid error
+// locator and the decode is flagged as a failure rather than silently wrong.
+//
+// The decoder pipeline is the classical one:
+//   syndromes -> Berlekamp-Massey -> Chien search -> Forney algorithm.
+// Erasure-assisted decoding (errors + erasures) is also provided, following
+// the burst-erasure motivation of reference [2] (McAuley, SIGCOMM'90).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fec/gf256.h"
+
+namespace osumac::fec {
+
+/// Outcome of a decode attempt.
+struct DecodeResult {
+  /// Corrected information symbols (k bytes) — only valid when ok.
+  std::vector<GfElem> data;
+  /// Number of symbol errors corrected (0 if the word was clean).
+  int errors_corrected = 0;
+  /// Number of erasures filled.
+  int erasures_filled = 0;
+};
+
+/// Shortened systematic RS(n, k) code over GF(256), n <= 255.
+///
+/// Codewords are laid out data-first: c = [d_0 .. d_{k-1}, p_0 .. p_{n-k-1}].
+class ReedSolomon {
+ public:
+  /// Builds an RS(n, k) code; requires 0 < k < n <= 255.
+  /// `first_consecutive_root` (fcr) selects the generator roots
+  /// alpha^fcr .. alpha^{fcr+n-k-1}; 1 is the conventional default.
+  ReedSolomon(int n, int k, int first_consecutive_root = 1);
+
+  /// The paper's RS(64,48) code.
+  static const ReedSolomon& Osu6448();
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  /// Maximum number of correctable symbol errors, t = (n - k) / 2.
+  int t() const { return (n_ - k_) / 2; }
+
+  /// Encodes k information symbols into an n-symbol codeword.
+  std::vector<GfElem> Encode(std::span<const GfElem> data) const;
+
+  /// Attempts to decode an n-symbol received word.  Returns nullopt on
+  /// decoder failure (uncorrectable word).
+  std::optional<DecodeResult> Decode(std::span<const GfElem> received) const;
+
+  /// Decode with known erasure positions (indices into the codeword).
+  /// Corrects e errors and f erasures whenever 2e + f <= n - k.
+  std::optional<DecodeResult> DecodeWithErasures(
+      std::span<const GfElem> received, std::span<const int> erasure_positions) const;
+
+  /// True if `word` is a valid codeword (all syndromes zero).
+  bool IsCodeword(std::span<const GfElem> word) const;
+
+ private:
+  std::vector<GfElem> Syndromes(std::span<const GfElem> received) const;
+
+  int n_;
+  int k_;
+  int fcr_;
+  std::vector<GfElem> generator_;  // degree n-k, low-to-high coefficients
+};
+
+}  // namespace osumac::fec

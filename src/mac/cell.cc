@@ -1,0 +1,351 @@
+#include "mac/cell.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "mac/packet.h"
+#include "phy/phy_params.h"
+
+namespace osumac::mac {
+
+std::unique_ptr<phy::SymbolErrorModel> ChannelModelConfig::Make() const {
+  switch (kind) {
+    case Kind::kPerfect:
+      return phy::MakePerfectChannel();
+    case Kind::kUniform:
+      return phy::MakeUniformChannel(symbol_error_prob);
+    case Kind::kGilbertElliott:
+      return phy::MakeGilbertElliottChannel(ge);
+  }
+  return phy::MakePerfectChannel();
+}
+
+Cell::Cell(const CellConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      bs_(config.mac),
+      data_code_(fec::ReedSolomon::Osu6448()),
+      gps_code_(32, 9) {
+  assert(config_.mac.min_contention_slots >= 1 &&
+         "slot 0 must stay unassigned: it can conflict with the CF2 "
+         "listener's reception window in format 2");
+}
+
+int Cell::AddSubscriber(bool wants_gps, std::optional<Ein> ein_override) {
+  const int node = static_cast<int>(subscribers_.size());
+  const Ein ein = ein_override.value_or(static_cast<Ein>(1000 + node));
+  subscribers_.push_back(
+      std::make_unique<MobileSubscriber>(node, ein, wants_gps, config_.mac, rng_.Fork()));
+  forward_models_.push_back(config_.forward.Make());
+  reverse_models_.push_back(config_.reverse.Make());
+  gps_phase_.push_back(wants_gps ? rng_.UniformInt(0, kCycleTicks - 1) : 0);
+  return node;
+}
+
+void Cell::PowerOn(int node) { subscriber(node).PowerOn(); }
+
+void Cell::SignOff(int node) {
+  MobileSubscriber& sub = subscriber(node);
+  if (sub.user_id() != kNoUser) bs_.SignOff(sub.user_id());
+  sub.PowerOff();
+}
+
+bool Cell::SendUplinkMessage(int node, int bytes) {
+  metrics_.offered_bytes += bytes;
+  ++metrics_.uplink_messages_offered;
+  MobileSubscriber& sub = subscriber(node);
+  const bool accepted = sub.EnqueueMessage(next_message_id_++, bytes, sim_.now());
+  if (accepted) {
+    // The arrival may still catch a contention slot later in this cycle.
+    if (auto burst = sub.MaybeLateContention(sim_.now()); burst.has_value()) {
+      const Tick cycle_start = (sim_.now() / kCycleTicks) * kCycleTicks;
+      const ReverseCycleLayout layout(bs_.current_format());
+      const Interval rel = layout.DataSlot(burst->slot);
+      phy::CodedBurst coded;
+      coded.on_air = {cycle_start + rel.begin, cycle_start + rel.end};
+      coded.sender = node;
+      coded.codewords.push_back(data_code_.Encode(burst->info));
+      reverse_channel_.Transmit(std::move(coded));
+    }
+  }
+  return accepted;
+}
+
+bool Cell::SendSubscriberMessage(int src_node, Ein dest_ein, int bytes) {
+  metrics_.offered_bytes += bytes;
+  ++metrics_.uplink_messages_offered;
+  MobileSubscriber& sub = subscriber(src_node);
+  const bool accepted =
+      sub.EnqueueMessage(next_message_id_++, bytes, sim_.now(), dest_ein);
+  if (accepted) {
+    if (auto burst = sub.MaybeLateContention(sim_.now()); burst.has_value()) {
+      const Tick cycle_start = (sim_.now() / kCycleTicks) * kCycleTicks;
+      const ReverseCycleLayout layout(bs_.current_format());
+      const Interval rel = layout.DataSlot(burst->slot);
+      phy::CodedBurst coded;
+      coded.on_air = {cycle_start + rel.begin, cycle_start + rel.end};
+      coded.sender = src_node;
+      coded.codewords.push_back(data_code_.Encode(burst->info));
+      reverse_channel_.Transmit(std::move(coded));
+    }
+  }
+  return accepted;
+}
+
+void Cell::RequestSignOff(int node) { subscriber(node).RequestSignOff(); }
+
+bool Cell::SendDownlinkMessage(int node, int bytes) {
+  const UserId uid = subscriber(node).user_id();
+  if (uid == kNoUser) {
+    bs_.Page(subscriber(node).ein());
+    return false;
+  }
+  const std::uint32_t id = next_message_id_++;
+  if (!bs_.EnqueueDownlink(uid, id, bytes)) return false;
+  downlink_enqueue_tick_[id] = sim_.now();
+  return true;
+}
+
+void Cell::RunCycles(int cycles) {
+  if (next_cycle_ == 0 && target_cycle_ == 0) {
+    sim_.ScheduleAt(0, [this] { StartCycle(0); });
+  }
+  target_cycle_ += cycles;
+  sim_.RunUntil(target_cycle_ * kCycleTicks - 1);
+}
+
+void Cell::ResetStats() {
+  bs_.ResetCounters();
+  for (auto& sub : subscribers_) sub->ResetStats();
+  metrics_ = CellMetrics{};
+}
+
+void Cell::StartCycle(std::int64_t n) {
+  const Tick T = n * kCycleTicks;
+  assert(sim_.now() == T);
+
+  for (auto& sub : subscribers_) {
+    sub->OnCycleStart(static_cast<std::uint16_t>(n & 0xFFFF), T);
+  }
+
+  const ReverseFormat format_of_prev = prev_format_;
+  const ControlFields cf1 = bs_.PlanCycle(static_cast<std::uint16_t>(n & 0xFFFF));
+  // The base station's format is authoritative: under the static-GPS-slot
+  // policy it stays format 1 even when the announced GPS count alone would
+  // imply format 2.
+  const ReverseCycleLayout layout(bs_.current_format());
+  prev_format_ = bs_.current_format();
+
+  ++metrics_.cycles;
+  metrics_.capacity_bytes +=
+      static_cast<std::int64_t>(layout.data_slot_count()) * kPacketPayloadBytes;
+
+  // CF1 delivery at its last symbol.
+  sim_.ScheduleAt(T + ForwardCycleLayout::ControlFields1().end,
+                  [this, cf1, T, n] { DeliverControlFields(cf1, /*second=*/false, T); (void)n; });
+
+  // Resolution of the previous cycle's last reverse data slot (it overlaps
+  // this cycle's CF1).
+  if (n > 0) {
+    const ReverseCycleLayout prev_layout(format_of_prev);
+    const int last = prev_layout.last_data_slot();
+    const Interval abs = {(n - 1) * kCycleTicks + prev_layout.DataSlot(last).begin,
+                          (n - 1) * kCycleTicks + prev_layout.DataSlot(last).end};
+    sim_.ScheduleAt(abs.end, [this, last, abs] {
+      ResolveDataSlot(last, abs, /*is_last_of_prev=*/true);
+    });
+  }
+
+  // CF2: finalized and delivered at its last symbol (the late ACK resolves
+  // at T+11850/10230, well before).
+  sim_.ScheduleAt(T + ForwardCycleLayout::ControlFields2().end, [this, T] {
+    const ControlFields cf2 = bs_.SecondControlFields();
+    DeliverControlFields(cf2, /*second=*/true, T);
+  });
+
+  // Forward data slots.
+  for (int s = 0; s < kForwardDataSlots; ++s) {
+    const Interval abs = {T + ForwardCycleLayout::DataSlot(s).begin,
+                          T + ForwardCycleLayout::DataSlot(s).end};
+    sim_.ScheduleAt(abs.end, [this, s, abs] { DeliverForwardSlot(s, abs); });
+  }
+
+  // Reverse GPS slots.
+  for (int i = 0; i < layout.gps_slot_count(); ++i) {
+    const Interval abs = {T + layout.GpsSlot(i).begin, T + layout.GpsSlot(i).end};
+    sim_.ScheduleAt(abs.end, [this, i, abs] { ResolveGpsSlot(i, abs); });
+  }
+
+  // Reverse data slots except the last (deferred into the next cycle).
+  for (int i = 0; i + 1 < layout.data_slot_count(); ++i) {
+    const Interval abs = {T + layout.DataSlot(i).begin, T + layout.DataSlot(i).end};
+    sim_.ScheduleAt(abs.end, [this, i, abs] {
+      ResolveDataSlot(i, abs, /*is_last_of_prev=*/false);
+    });
+  }
+
+  // GPS report generation (one fix per bus per cycle, at a fixed phase).
+  // The ready time may lie later in the cycle: the unit transmits the
+  // freshest fix available at its slot start, never a stale one.
+  for (int node = 0; node < subscriber_count(); ++node) {
+    if (!subscriber(node).is_gps()) continue;
+    subscriber(node).QueueGpsReport(T + gps_phase_[static_cast<std::size_t>(node)]);
+  }
+
+  next_cycle_ = n + 1;
+  sim_.ScheduleAt(T + kCycleTicks, [this, n] { StartCycle(n + 1); });
+}
+
+void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle_start) {
+  const auto blocks = SerializeControlFields(cf);
+  const std::vector<std::vector<fec::GfElem>> codewords = {
+      data_code_.Encode(blocks[0]), data_code_.Encode(blocks[1])};
+
+  const Interval body =
+      second ? Interval{cycle_start + ForwardCycleLayout::Preamble2().begin,
+                        cycle_start + ForwardCycleLayout::ControlFields2().end}
+             : Interval{cycle_start, cycle_start + ForwardCycleLayout::ControlFields1().end};
+
+  const std::int64_t n = cycle_start / kCycleTicks;
+  for (int node = 0; node < subscriber_count(); ++node) {
+    MobileSubscriber& sub = subscriber(node);
+    if (sub.listens_second_cf() != second) continue;
+    if (!sub.IsListening()) {
+      // Inactive units wake periodically to check the paging field
+      // (Section 2.1's one-minute checking delay budget).
+      const bool paging_window =
+          sub.state() == MobileSubscriber::State::kOff && !second &&
+          (n + node) % config_.mac.inactive_listen_period_cycles == 0;
+      if (!paging_window) continue;
+    }
+    if (!sub.radio().CanReceive(body)) {
+      // Physically unable (still transmitting): the schedule is lost on it.
+      sub.OnControlFieldsMissed();
+      continue;
+    }
+
+    // Each mobile sees its own downlink path.
+    int corrected = 0;
+    auto decoded = phy::ApplyChannel(codewords, data_code_, ForwardModelFor(node), rng_,
+                                     &corrected, config_.erasure_side_information);
+    std::optional<ControlFields> parsed;
+    if (decoded.has_value()) parsed = ParseControlFields((*decoded)[0], (*decoded)[1]);
+    if (!parsed.has_value()) {
+      sub.OnControlFieldsMissed();
+      continue;
+    }
+
+    const std::vector<PlannedBurst> bursts = sub.OnControlFields(*parsed, cycle_start);
+    // Slot positions follow the same format convention the subscriber used
+    // (static GPS policy pins both ends to format 1).
+    const ReverseCycleLayout layout(config_.mac.dynamic_gps_slots
+                                        ? parsed->Format()
+                                        : ReverseFormat::kFormat1);
+    for (const PlannedBurst& b : bursts) {
+      const Interval rel = b.is_gps_slot ? layout.GpsSlot(b.slot) : layout.DataSlot(b.slot);
+      phy::CodedBurst coded;
+      coded.on_air = {cycle_start + rel.begin, cycle_start + rel.end};
+      coded.sender = node;
+      coded.codewords.push_back(b.is_gps_slot ? gps_code_.Encode(b.info)
+                                              : data_code_.Encode(b.info));
+      reverse_channel_.Transmit(std::move(coded));
+    }
+  }
+}
+
+void Cell::ResolveGpsSlot(int slot, Interval abs) {
+  const phy::SlotReception reception = reverse_channel_.ResolveSlotPerSender(
+      abs, gps_code_,
+      [this](int sender) -> phy::SymbolErrorModel& {
+        return *reverse_models_[static_cast<std::size_t>(sender)];
+      },
+      rng_, config_.erasure_side_information);
+  bs_.OnGpsSlotResolved(slot, reception);
+  DrainDeliveries();
+}
+
+void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
+  const phy::SlotReception reception = reverse_channel_.ResolveSlotPerSender(
+      abs, data_code_,
+      [this](int sender) -> phy::SymbolErrorModel& {
+        return *reverse_models_[static_cast<std::size_t>(sender)];
+      },
+      rng_, config_.erasure_side_information);
+  if (reception.outcome == phy::SlotOutcome::kCollision &&
+      GetLogLevel() >= LogLevel::kDebug) {
+    std::string who;
+    for (int c : reception.colliders) who += std::to_string(c) + " ";
+    LogAt(LogLevel::kDebug, sim_.now(), "cell",
+          "collision in data slot " + std::to_string(slot) +
+              (is_last_of_prev ? " (last of prev)" : "") + ", nodes: " + who);
+  }
+  if (is_last_of_prev) {
+    bs_.OnLastSlotOfPreviousCycle(reception);
+  } else {
+    bs_.OnDataSlotResolved(slot, reception);
+  }
+  DrainDeliveries();
+}
+
+void Cell::DeliverForwardSlot(int slot, Interval abs) {
+  const std::optional<ForwardDataPacket> packet = bs_.DownlinkPacketForSlot(slot);
+  if (!packet.has_value()) return;
+
+  MobileSubscriber* dest = nullptr;
+  for (auto& sub : subscribers_) {
+    if (sub->user_id() == packet->dest &&
+        sub->state() == MobileSubscriber::State::kActive) {
+      dest = sub.get();
+      break;
+    }
+  }
+  if (dest == nullptr || !dest->ExpectsForwardSlot(slot) ||
+      !dest->radio().CanReceive(abs)) {
+    if (GetLogLevel() >= LogLevel::kDebug) {
+      LogAt(LogLevel::kDebug, sim_.now(), "cell",
+            "fwd loss slot " + std::to_string(slot) + " dest uid " +
+                std::to_string(packet->dest) +
+                (dest == nullptr          ? " (no active sub)"
+                 : !dest->ExpectsForwardSlot(slot) ? " (not expected)"
+                                                   : " (radio busy)"));
+    }
+    ++metrics_.forward_packets_lost;
+    return;
+  }
+
+  const std::vector<std::vector<fec::GfElem>> codewords = {
+      data_code_.Encode(SerializeForwardDataPacket(*packet))};
+  auto decoded = phy::ApplyChannel(codewords, data_code_,
+                                   ForwardModelFor(dest->node_index()), rng_, nullptr,
+                                   config_.erasure_side_information);
+  std::optional<ForwardDataPacket> parsed;
+  if (decoded.has_value()) parsed = ParseForwardDataPacket(decoded->front());
+  if (!parsed.has_value()) {
+    ++metrics_.forward_packets_lost;
+    return;
+  }
+  dest->OnForwardPacket(*parsed);
+  for (std::uint32_t msg : dest->TakeCompletedForwardMessages()) {
+    const auto it = downlink_enqueue_tick_.find(msg);
+    if (it != downlink_enqueue_tick_.end()) {
+      metrics_.downlink_message_delay_cycles.Add(
+          ToSeconds(abs.end - it->second) / ToSeconds(kCycleTicks));
+      downlink_enqueue_tick_.erase(it);
+    }
+  }
+}
+
+void Cell::DrainDeliveries() {
+  for (const UplinkDelivery& d : bs_.TakeDeliveries()) {
+    if (d.duplicate) continue;
+    metrics_.unique_payload_bytes += d.payload_bytes;
+    metrics_.per_user_bytes[d.src] += d.payload_bytes;
+  }
+  // Messages the base station just forwarded onto the downlink (routing):
+  // start their delay clocks so downlink metrics cover them too.
+  for (const BaseStation::ForwardedMessage& m : bs_.TakeForwardedMessages()) {
+    downlink_enqueue_tick_[m.message_id] = sim_.now();
+  }
+}
+
+}  // namespace osumac::mac

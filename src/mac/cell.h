@@ -1,0 +1,165 @@
+// One simulated cell: base station + mobile subscribers + both channels,
+// driven cycle by cycle on the discrete-event engine.
+//
+// The Cell reproduces the full air interface: control fields and packets are
+// really RS-encoded, passed through per-path error models, decoded, and
+// parsed; the reverse channel detects collisions; the half-duplex radio
+// model verifies that nothing is scheduled against the 20 ms switch guard.
+//
+// Event timeline of cycle n (T = n * kCycleTicks):
+//   T            collect results, plan cycle (PlanCycle -> CF1 content)
+//   T + 13500    CF1 delivered to every CF1 listener
+//   T + 10230/11850  previous cycle's last reverse data slot resolves
+//   T + 20250    CF2 content finalized (includes the late ACK/grant)
+//   T + 29250    CF2 delivered to the CF2 listener
+//   slot ends    forward packets delivered; reverse GPS/data slots resolved
+//   T + kCycleTicks   next cycle
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "fec/reed_solomon.h"
+#include "mac/base_station.h"
+#include "mac/config.h"
+#include "mac/subscriber.h"
+#include "phy/channel.h"
+#include "phy/error_model.h"
+#include "sim/simulator.h"
+
+namespace osumac::mac {
+
+/// Channel model selection for a Cell.
+struct ChannelModelConfig {
+  enum class Kind { kPerfect, kUniform, kGilbertElliott };
+  Kind kind = Kind::kPerfect;
+  double symbol_error_prob = 0.0;            ///< for kUniform
+  phy::GilbertElliottModel::Params ge{};     ///< for kGilbertElliott
+
+  std::unique_ptr<phy::SymbolErrorModel> Make() const;
+};
+
+struct CellConfig {
+  MacConfig mac;
+  ChannelModelConfig forward;  ///< base station -> mobile paths
+  ChannelModelConfig reverse;  ///< mobile -> base station paths
+  /// Receivers feed erasure side information (fade indications) to the RS
+  /// decoder, enabling errors-and-erasures decoding — up to 16 flagged
+  /// symbols per codeword instead of 8 unknown errors (extension; cf. the
+  /// paper's burst-erasure reference [2]).  Only the Gilbert-Elliott model
+  /// produces side information.
+  bool erasure_side_information = false;
+  std::uint64_t seed = 1;
+};
+
+/// Cell-level aggregate metrics (across the whole run since last reset).
+struct CellMetrics {
+  std::int64_t cycles = 0;
+  std::int64_t capacity_bytes = 0;        ///< d * 44 bytes summed per cycle
+  std::int64_t unique_payload_bytes = 0;  ///< decoded, de-duplicated
+  std::int64_t offered_bytes = 0;         ///< enqueued message bytes
+  std::int64_t uplink_messages_offered = 0;
+  std::int64_t forward_packets_lost = 0;  ///< sent but missed by the mobile
+  std::map<UserId, std::int64_t> per_user_bytes;  ///< for Jain fairness
+  SampleSet downlink_message_delay_cycles;
+
+  /// Reverse-link utilization as the paper defines it: data bytes carried /
+  /// data bytes transportable in the cycle's data slots.
+  double Utilization() const {
+    return capacity_bytes > 0 ? static_cast<double>(unique_payload_bytes) /
+                                    static_cast<double>(capacity_bytes)
+                              : 0.0;
+  }
+};
+
+class Cell {
+ public:
+  explicit Cell(const CellConfig& config);
+
+  // --- population -----------------------------------------------------------
+
+  /// Adds a subscriber (initially powered off); returns its node index.
+  /// `ein` overrides the auto-assigned equipment number (used by Network
+  /// for globally unique EINs and handoff).
+  int AddSubscriber(bool wants_gps, std::optional<Ein> ein = std::nullopt);
+  /// Powers a subscriber on; it syncs and registers via contention.
+  void PowerOn(int node);
+  /// Signs a subscriber off (the base station releases its resources — the
+  /// paper's "sign-off"; for GPS users this triggers rules R1-R3).
+  void SignOff(int node);
+
+  MobileSubscriber& subscriber(int node) { return *subscribers_[static_cast<std::size_t>(node)]; }
+  const MobileSubscriber& subscriber(int node) const {
+    return *subscribers_[static_cast<std::size_t>(node)];
+  }
+  int subscriber_count() const { return static_cast<int>(subscribers_.size()); }
+  BaseStation& base_station() { return bs_; }
+  const BaseStation& base_station() const { return bs_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // --- traffic ---------------------------------------------------------------
+
+  /// Queues an uplink message at `node` now; returns false on buffer drop.
+  bool SendUplinkMessage(int node, int bytes);
+  /// Queues a downlink message to `node` (must be registered).
+  bool SendDownlinkMessage(int node, int bytes);
+  /// Queues a subscriber-to-subscriber message: uplink at `src_node`,
+  /// reassembled by the base station and forwarded downlink to the
+  /// destination EIN (another subscriber, possibly paged or — with a
+  /// backbone router — in another cell).
+  bool SendSubscriberMessage(int src_node, Ein dest_ein, int bytes);
+  /// Starts an in-band sign-off at `node` (kDeregistration in a contention
+  /// slot); the unit powers off once the base station acknowledges.
+  void RequestSignOff(int node);
+
+  // --- running ----------------------------------------------------------------
+
+  /// Runs `cycles` further notification cycles.
+  void RunCycles(int cycles);
+  /// Zeroes all statistics (base station, subscribers, cell aggregates):
+  /// call after a warm-up period.
+  void ResetStats();
+
+  std::int64_t current_cycle() const { return next_cycle_ - 1; }
+  const CellMetrics& metrics() const { return metrics_; }
+
+ private:
+  void StartCycle(std::int64_t n);
+  void DeliverControlFields(const ControlFields& cf, bool second, Tick cycle_start);
+  void ResolveGpsSlot(int slot, Interval abs);
+  void ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev);
+  void DeliverForwardSlot(int slot, Interval abs);
+  void DrainDeliveries();
+  phy::SymbolErrorModel& ForwardModelFor(int node) {
+    return *forward_models_[static_cast<std::size_t>(node)];
+  }
+
+  CellConfig config_;
+  sim::Simulator sim_;
+  Rng rng_;
+  BaseStation bs_;
+  std::vector<std::unique_ptr<MobileSubscriber>> subscribers_;
+  std::vector<std::unique_ptr<phy::SymbolErrorModel>> forward_models_;
+  std::vector<std::unique_ptr<phy::SymbolErrorModel>> reverse_models_;
+  std::vector<Tick> gps_phase_;  ///< per-node GPS report phase within a cycle
+  std::map<UserId, int> uid_to_node_;
+
+  phy::ReverseChannel reverse_channel_;
+  const fec::ReedSolomon& data_code_;  ///< RS(64,48)
+  fec::ReedSolomon gps_code_;          ///< RS(32,9)
+
+  std::int64_t next_cycle_ = 0;
+  std::int64_t target_cycle_ = 0;
+  ReverseFormat prev_format_ = ReverseFormat::kFormat2;
+  std::uint32_t next_message_id_ = 1;
+  std::map<std::uint32_t, Tick> downlink_enqueue_tick_;
+
+  CellMetrics metrics_;
+};
+
+}  // namespace osumac::mac

@@ -1,0 +1,96 @@
+// Tunable parameters and feature toggles of the OSU-MAC implementation.
+//
+// Defaults reproduce the paper's design.  The toggles exist for the ablation
+// benches (Fig. 12 and the design-choice studies in DESIGN.md): disabling
+// the second control field, dynamic GPS-slot adjustment, or dynamic
+// contention-slot adjustment isolates each mechanism's contribution.
+#pragma once
+
+#include <cstdint>
+
+namespace osumac::mac {
+
+struct MacConfig {
+  // --- capacity -----------------------------------------------------------
+  /// Maximum simultaneously registered GPS users (paper: 8).
+  int max_gps_users = 8;
+  /// Per-subscriber uplink queue capacity in packets; arrivals beyond this
+  /// are dropped (the paper attributes utilization loss near rho = 1 to
+  /// buffer overflow).
+  int subscriber_queue_packets = 96;
+  /// Per-user downlink queue capacity in packets at the base station.
+  int downlink_queue_packets = 256;
+
+  // --- contention ---------------------------------------------------------
+  /// Minimum number of leading reverse data slots kept unassigned as
+  /// contention slots each cycle (paper simulation: 1).
+  int min_contention_slots = 1;
+  /// Upper bound for dynamic contention-slot adjustment.
+  int max_contention_slots = 3;
+  /// If true, the base station adds a contention slot after a cycle with
+  /// collisions and removes one after a cycle in which every contention
+  /// slot stayed idle (Section 3.5).
+  bool dynamic_contention_slots = true;
+
+  /// Backoff window (in cycles) after a collided *reservation* packet:
+  /// retry after Uniform[1, this] cycles.
+  int reservation_backoff_cycles = 2;
+  /// Backoff window after a collided *data-in-contention* packet; the paper
+  /// requires this to be longer so reservations and registrations win.
+  int data_backoff_cycles = 6;
+  /// Maximum registration attempts before the subscriber gives up.
+  int max_registration_attempts = 64;
+
+  // --- policy -------------------------------------------------------------
+  /// If a subscriber has exactly this many packets queued (or fewer) and no
+  /// grant, it sends the data packet itself in a contention slot instead of
+  /// a reservation request (Section 3.1, option 3).
+  int direct_data_contention_threshold = 1;
+  /// Cap on the slot count a single reservation/piggyback may request.
+  int max_slots_per_request = 32;
+
+  // --- feature toggles (ablations) ----------------------------------------
+  /// Second set of control fields (Section 3.4).  When disabled, the last
+  /// reverse data slot is never assigned or used for contention, wasting
+  /// its bandwidth (the alternative the paper rejects).
+  bool use_second_control_field = true;
+  /// Dynamic GPS slot re-assignment / format switching (Section 3.3).  When
+  /// disabled the reverse cycle always uses format 1 (8 GPS slots), and GPS
+  /// slots freed by sign-offs stay idle (the "naive approach").
+  bool dynamic_gps_slots = true;
+
+  // --- downlink ARQ (extension; the paper leaves the forward channel
+  //     unacknowledged to save reverse bandwidth) ----------------------------
+  /// If true, subscribers send selective kForwardAck packets on the
+  /// reverse channel and the base station retransmits unacknowledged
+  /// forward packets.  Off by default to match the paper; the ablation
+  /// bench quantifies the reverse-bandwidth cost.
+  bool downlink_arq = false;
+  /// Cycles the base station waits for an ACK before retransmitting.  The
+  /// ack itself needs a reverse slot (grant or contention), so the round
+  /// trip is ~4 cycles; a smaller timeout causes spurious retransmission.
+  int arq_timeout_cycles = 6;
+  /// Retransmissions per forward packet before it is dropped.
+  int arq_max_retries = 4;
+
+  // --- uplink message routing (Section 2.2: "the base station receives
+  //     data packets from all mobile subscribers and forwards them to
+  //     their destinations") ------------------------------------------------
+  /// Complete uplink messages addressed to an unregistered EIN are
+  /// buffered (and the EIN paged) up to this many messages; beyond that
+  /// they are dropped.
+  int forward_buffer_messages = 8;
+
+  // --- robustness (extension) ------------------------------------------------
+  /// If > 0, a GPS user whose report has been missing for this many
+  /// consecutive cycles is considered gone and signed off by the base
+  /// station (releasing its GPS slot under rule R3).  0 disables.
+  int gps_miss_signoff_threshold = 0;
+
+  // --- inactive users / paging -------------------------------------------
+  /// An inactive subscriber wakes and listens to CF1 once per this many
+  /// cycles (15 cycles ~ 60 s: the paper's 1-minute checking delay).
+  int inactive_listen_period_cycles = 15;
+};
+
+}  // namespace osumac::mac

@@ -1,0 +1,149 @@
+// Notification-cycle geometry on the forward and reverse channels
+// (Sections 3.3 and 3.4, Figure 4, Table 2).
+//
+// All intervals are expressed in ticks *relative to the forward-channel
+// cycle start*; the reverse cycle is shifted 0.30125 s later (preamble +
+// first control fields + 20 ms) so that a subscriber can transmit right
+// after learning its schedule from the first control fields.
+//
+// Forward cycle (12750 symbols = 3.984375 s):
+//   [preamble 300 sym][CF1 600 sym][data slot 0][preamble 150 sym][CF2 600]
+//   [data slots 1..36]
+//
+// Reverse cycle, format 1 (> 3 active GPS users): 8 GPS slots, 8 data slots.
+// Reverse cycle, format 2 (<= 3 GPS users): 3 GPS slots, 9 data slots
+// (five unused GPS slots fuse into one extra data slot), 0.03375 s guard.
+// Both formats append a trailing guard aligning the reverse cycle length to
+// the forward cycle.
+#pragma once
+
+#include "common/time.h"
+#include "mac/ids.h"
+#include "phy/phy_params.h"
+
+namespace osumac::mac {
+
+/// Number of data slots on the forward channel per notification cycle.
+inline constexpr int kForwardDataSlots = 37;
+
+/// Length of one notification cycle in ticks (3.984375 s).
+inline constexpr Tick kCycleTicks =
+    ForwardSymbols(300 + 600 + 150 + 600) +
+    static_cast<Tick>(kForwardDataSlots) * phy::kRegularPacketForwardTicks;
+static_assert(kCycleTicks == 191250);
+
+/// Shift of the reverse cycle after the forward cycle start:
+/// preamble + CF1 + 20 ms = 0.30125 s (Table 2, "GPS slot 1").
+inline constexpr Tick kReverseShiftTicks =
+    phy::kForwardCyclePreambleTicks + 2 * phy::kRegularPacketForwardTicks +
+    phy::kHalfDuplexSwitchTicks;
+// preamble 300 sym = 4500 ticks; CF = 2 codewords = 600 sym = 9000 ticks.
+static_assert(kReverseShiftTicks == 4500 + 9000 + 960);
+static_assert(kReverseShiftTicks == 14460);  // 0.30125 s
+
+/// Geometry of the forward cycle (positions relative to cycle start).
+struct ForwardCycleLayout {
+  /// Cycle preamble: 300 symbols.
+  static constexpr Interval Preamble() { return {0, 4500}; }
+  /// First set of control fields: 2 RS codewords = 600 symbols.
+  static constexpr Interval ControlFields1() { return {4500, 13500}; }
+  /// Second preamble: 150 symbols.
+  static constexpr Interval Preamble2() { return {18000, 20250}; }
+  /// Second set of control fields.
+  static constexpr Interval ControlFields2() { return {20250, 29250}; }
+
+  /// Forward data slot `i` (0-based, 0..36).  Slot 0 sits between CF1 and
+  /// the second preamble; slots 1..36 follow CF2.
+  static constexpr Interval DataSlot(int i) {
+    if (i == 0) return {13500, 18000};
+    return {29250 + (static_cast<Tick>(i) - 1) * 4500,
+            29250 + static_cast<Tick>(i) * 4500};
+  }
+
+  static constexpr int data_slot_count() { return kForwardDataSlots; }
+};
+
+static_assert(ForwardCycleLayout::DataSlot(36).end == kCycleTicks);
+
+/// Reverse-cycle format selector (Section 3.3, Figure 3).
+enum class ReverseFormat {
+  kFormat1,  ///< > 3 active GPS users: 8 GPS slots + 8 data slots
+  kFormat2,  ///< <= 3 active GPS users: 3 GPS slots + 9 data slots
+};
+
+/// Picks the format from the number of active GPS users, as announced
+/// implicitly through the GPS schedule control field.
+constexpr ReverseFormat FormatForGpsCount(int active_gps_users) {
+  return active_gps_users > 3 ? ReverseFormat::kFormat1 : ReverseFormat::kFormat2;
+}
+
+/// Geometry of the reverse cycle for a given format.  All intervals are
+/// relative to the *forward* cycle start (i.e. they already include the
+/// 0.30125 s shift), matching Table 2 of the paper.
+class ReverseCycleLayout {
+ public:
+  explicit constexpr ReverseCycleLayout(ReverseFormat format) : format_(format) {}
+
+  constexpr ReverseFormat format() const { return format_; }
+
+  constexpr int gps_slot_count() const {
+    return format_ == ReverseFormat::kFormat1 ? 8 : 3;
+  }
+  constexpr int data_slot_count() const {
+    return format_ == ReverseFormat::kFormat1 ? 8 : 9;
+  }
+
+  /// GPS slot `i` (0-based).  GPS slots start right at the shift and are
+  /// 0.0875 s each; both formats place them identically.
+  constexpr Interval GpsSlot(int i) const {
+    const Tick begin = kReverseShiftTicks + static_cast<Tick>(i) * phy::kGpsSlotTicks;
+    return {begin, begin + phy::kGpsSlotTicks};
+  }
+
+  /// Data slot `i` (0-based).  Data slots follow the GPS slots.
+  constexpr Interval DataSlot(int i) const {
+    const Tick first = kReverseShiftTicks +
+                       static_cast<Tick>(gps_slot_count()) * phy::kGpsSlotTicks;
+    const Tick begin = first + static_cast<Tick>(i) * phy::kReverseDataSlotTicks;
+    return {begin, begin + phy::kReverseDataSlotTicks};
+  }
+
+  /// Index of the last data slot (the one whose airtime overlaps the first
+  /// control fields of the next cycle, so its user listens to CF2 there).
+  constexpr int last_data_slot() const { return data_slot_count() - 1; }
+
+  /// True if data slot `i` of *this* cycle overlaps the CF1 interval of the
+  /// *next* cycle.
+  constexpr bool DataSlotOverlapsNextCf1(int i) const {
+    const Interval slot = DataSlot(i);
+    const Interval next_cf1 = {kCycleTicks + ForwardCycleLayout::ControlFields1().begin,
+                               kCycleTicks + ForwardCycleLayout::ControlFields1().end};
+    return slot.Overlaps(next_cf1);
+  }
+
+ private:
+  ReverseFormat format_;
+};
+
+// Paper invariant: in both formats exactly the last data slot runs into the
+// next cycle's first control fields.
+static_assert(ReverseCycleLayout(ReverseFormat::kFormat1).DataSlotOverlapsNextCf1(7));
+static_assert(!ReverseCycleLayout(ReverseFormat::kFormat1).DataSlotOverlapsNextCf1(6));
+static_assert(ReverseCycleLayout(ReverseFormat::kFormat2).DataSlotOverlapsNextCf1(8));
+static_assert(!ReverseCycleLayout(ReverseFormat::kFormat2).DataSlotOverlapsNextCf1(7));
+
+// Table 2 spot checks (values in ticks; 0.30125 s = 14460, 1.00125 s = 48060,
+// 3.8275 s = 183720, 0.56375 s = 27060, 3.39 s = 162720).
+static_assert(ReverseCycleLayout(ReverseFormat::kFormat1).GpsSlot(0).begin == 14460);
+static_assert(ReverseCycleLayout(ReverseFormat::kFormat1).DataSlot(0).begin == 48060);
+static_assert(ReverseCycleLayout(ReverseFormat::kFormat1).DataSlot(7).begin == 183720);
+static_assert(ReverseCycleLayout(ReverseFormat::kFormat2).DataSlot(0).begin == 27060);
+static_assert(ReverseCycleLayout(ReverseFormat::kFormat2).DataSlot(7).begin == 162720);
+
+/// Maximum number of data slots in any format (the paper's M = 9, the size
+/// of the reverse-schedule control field).
+inline constexpr int kMaxReverseDataSlots = 9;
+/// Maximum number of GPS slots (the paper's 8 GPS users).
+inline constexpr int kMaxGpsSlots = 8;
+
+}  // namespace osumac::mac

@@ -1,0 +1,68 @@
+#include "mac/gps_slot_manager.h"
+
+#include <cassert>
+
+namespace osumac::mac {
+
+std::optional<int> GpsSlotManager::Admit(UserId uid) {
+  assert(uid != kNoUser);
+  assert(!SlotOf(uid).has_value() && "user already holds a GPS slot");
+  // (R2): first unused slot.
+  for (int i = 0; i < kMaxGpsSlots; ++i) {
+    if (slots_[static_cast<std::size_t>(i)] == kNoUser) {
+      slots_[static_cast<std::size_t>(i)] = uid;
+      ++active_;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<GpsSlotManager::Move> GpsSlotManager::Release(UserId uid) {
+  const std::optional<int> slot = SlotOf(uid);
+  assert(slot.has_value() && "releasing a user that holds no GPS slot");
+  slots_[static_cast<std::size_t>(*slot)] = kNoUser;
+  --active_;
+  if (!dynamic_) return std::nullopt;  // naive approach: the hole persists
+
+  // (R3): move the user holding the highest occupied slot above the hole
+  // into the hole.  Moving to an earlier slot can only shorten that user's
+  // next inter-report gap, so the 4 s bound holds.
+  int highest = -1;
+  for (int i = kMaxGpsSlots - 1; i > *slot; --i) {
+    if (slots_[static_cast<std::size_t>(i)] != kNoUser) {
+      highest = i;
+      break;
+    }
+  }
+  if (highest < 0) return std::nullopt;
+  Move move;
+  move.user = slots_[static_cast<std::size_t>(highest)];
+  move.from_slot = highest;
+  move.to_slot = *slot;
+  slots_[static_cast<std::size_t>(*slot)] = move.user;
+  slots_[static_cast<std::size_t>(highest)] = kNoUser;
+  assert(IsDensePrefix());
+  return move;
+}
+
+std::optional<int> GpsSlotManager::SlotOf(UserId uid) const {
+  for (int i = 0; i < kMaxGpsSlots; ++i) {
+    if (slots_[static_cast<std::size_t>(i)] == uid) return i;
+  }
+  return std::nullopt;
+}
+
+bool GpsSlotManager::IsDensePrefix() const {
+  bool seen_hole = false;
+  for (UserId uid : slots_) {
+    if (uid == kNoUser) {
+      seen_hole = true;
+    } else if (seen_hole) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace osumac::mac

@@ -1,0 +1,79 @@
+// GPS slot management with dynamic slot adjustment (Section 3.3).
+//
+// Rules the paper states for preserving the 4-second real-time requirement
+// while consolidating slots:
+//   (R1) GPS slots in a cycle are allocated in order (a dense prefix).
+//   (R2) A newly admitted GPS user gets the first unused GPS slot.
+//   (R3) When the user holding slot i leaves, a user holding a slot j > i
+//        is re-assigned slot i.  Moving a user to an *earlier* slot can only
+//        shrink its inter-report interval below 4 s, never stretch it, so
+//        the real-time bound is preserved.  We move the user holding the
+//        highest slot, which restores the dense prefix with a single move.
+//
+// With <= 3 active GPS users the five freed GPS slots fuse into one extra
+// data slot (reverse format 2); with > 3 users format 1 is used.  When
+// dynamic adjustment is disabled (ablation), format 1 is always used and
+// holes persist exactly as in the paper's "naive approach" discussion.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "mac/cycle_layout.h"
+#include "mac/ids.h"
+
+namespace osumac::mac {
+
+/// Tracks which GPS user owns which GPS slot and enforces rules R1-R3.
+class GpsSlotManager {
+ public:
+  /// `dynamic` enables consolidation + format switching (the paper's
+  /// design); disabled reproduces the naive static allocation.
+  explicit GpsSlotManager(bool dynamic = true) : dynamic_(dynamic) {}
+
+  /// Admits a GPS user; returns the assigned slot index, or nullopt if all
+  /// kMaxGpsSlots slots are taken.
+  std::optional<int> Admit(UserId uid);
+
+  /// Releases the slot of a leaving user.  Returns the re-assignment done
+  /// under R3, if any: {moved_user, new_slot}.
+  struct Move {
+    UserId user = kNoUser;
+    int from_slot = -1;
+    int to_slot = -1;
+  };
+  std::optional<Move> Release(UserId uid);
+
+  /// Number of active GPS users.
+  int active_count() const { return active_; }
+
+  /// Slot index currently assigned to `uid`, or nullopt.
+  std::optional<int> SlotOf(UserId uid) const;
+
+  /// Owner of slot i (kNoUser if free).
+  UserId OwnerOf(int slot) const { return slots_[static_cast<std::size_t>(slot)]; }
+
+  /// The GPS-schedule control field: owner per slot.
+  std::array<UserId, kMaxGpsSlots> Schedule() const { return slots_; }
+
+  /// Reverse format implied by the current occupancy.
+  ReverseFormat Format() const {
+    if (!dynamic_) return ReverseFormat::kFormat1;
+    return FormatForGpsCount(active_);
+  }
+
+  /// R1 invariant: occupied slots form a dense prefix (always true when
+  /// dynamic; may be violated by design when static).
+  bool IsDensePrefix() const;
+
+  bool dynamic() const { return dynamic_; }
+
+ private:
+  bool dynamic_;
+  int active_ = 0;
+  std::array<UserId, kMaxGpsSlots> slots_{kNoUser, kNoUser, kNoUser, kNoUser,
+                                          kNoUser, kNoUser, kNoUser, kNoUser};
+};
+
+}  // namespace osumac::mac

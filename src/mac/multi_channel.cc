@@ -1,0 +1,158 @@
+#include "mac/multi_channel.h"
+
+#include <cassert>
+
+namespace osumac::mac {
+
+MultiChannelCell::MultiChannelCell(const CellConfig& config, int carriers) {
+  assert(carriers >= 1);
+  for (int i = 0; i < carriers; ++i) {
+    CellConfig carrier_config = config;
+    carrier_config.seed = config.seed + 0x517CC1B7ull * static_cast<std::uint64_t>(i + 1);
+    carriers_.push_back(std::make_unique<Cell>(carrier_config));
+  }
+}
+
+int MultiChannelCell::DataUserCount(int carrier) const {
+  int count = 0;
+  for (const Tuned& t : subscribers_) {
+    if (t.carrier == carrier && !t.gps) ++count;
+  }
+  return count;
+}
+
+int MultiChannelCell::LeastLoadedCarrier(bool gps) const {
+  // Balance on *tuned* subscribers (admission happens before registration
+  // completes, so registered counts would lag and pile everyone onto
+  // carrier 0).  GPS and data populations balance independently.
+  int best = 0;
+  int best_load = INT32_MAX;
+  for (int c = 0; c < carrier_count(); ++c) {
+    int load = 0;
+    for (const Tuned& t : subscribers_) {
+      if (t.carrier == c && t.gps == gps) ++load;
+    }
+    if (load < best_load) {
+      best_load = load;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int MultiChannelCell::AddSubscriber(bool wants_gps) {
+  Tuned t;
+  t.gps = wants_gps;
+  t.carrier = LeastLoadedCarrier(wants_gps);
+  t.node = carrier(t.carrier).AddSubscriber(wants_gps, next_ein_++);
+  subscribers_.push_back(t);
+  return static_cast<int>(subscribers_.size()) - 1;
+}
+
+void MultiChannelCell::PowerOn(int subscriber_id) {
+  const Tuned& t = subscribers_[static_cast<std::size_t>(subscriber_id)];
+  carrier(t.carrier).PowerOn(t.node);
+}
+
+void MultiChannelCell::SignOff(int subscriber_id) {
+  const Tuned& t = subscribers_[static_cast<std::size_t>(subscriber_id)];
+  carrier(t.carrier).SignOff(t.node);
+}
+
+MobileSubscriber& MultiChannelCell::subscriber(int subscriber_id) {
+  const Tuned& t = subscribers_[static_cast<std::size_t>(subscriber_id)];
+  return carrier(t.carrier).subscriber(t.node);
+}
+
+const MobileSubscriber& MultiChannelCell::subscriber(int subscriber_id) const {
+  const Tuned& t = subscribers_[static_cast<std::size_t>(subscriber_id)];
+  return carrier(t.carrier).subscriber(t.node);
+}
+
+int MultiChannelCell::CarrierOf(int subscriber_id) const {
+  return subscribers_[static_cast<std::size_t>(subscriber_id)].carrier;
+}
+
+void MultiChannelCell::Retune(int subscriber_id, int to_carrier) {
+  Tuned& t = subscribers_[static_cast<std::size_t>(subscriber_id)];
+  if (t.carrier == to_carrier) return;
+  const Ein ein = carrier(t.carrier).subscriber(t.node).ein();
+  carrier(t.carrier).SignOff(t.node);
+  t.carrier = to_carrier;
+  t.node = carrier(to_carrier).AddSubscriber(t.gps, ein);
+  carrier(to_carrier).PowerOn(t.node);
+}
+
+int MultiChannelCell::Rebalance() {
+  int retunes = 0;
+  for (bool made_progress = true; made_progress;) {
+    made_progress = false;
+    int max_c = 0, min_c = 0;
+    for (int c = 1; c < carrier_count(); ++c) {
+      if (DataUserCount(c) > DataUserCount(max_c)) max_c = c;
+      if (DataUserCount(c) < DataUserCount(min_c)) min_c = c;
+    }
+    if (DataUserCount(max_c) - DataUserCount(min_c) < 2) break;
+    // Move one ACTIVE data user from the heaviest to the lightest carrier.
+    for (std::size_t id = 0; id < subscribers_.size(); ++id) {
+      const Tuned& t = subscribers_[id];
+      if (t.gps || t.carrier != max_c) continue;
+      if (subscriber(static_cast<int>(id)).state() != MobileSubscriber::State::kActive) {
+        continue;
+      }
+      Retune(static_cast<int>(id), min_c);
+      ++retunes;
+      made_progress = true;
+      break;
+    }
+  }
+  return retunes;
+}
+
+bool MultiChannelCell::SendUplinkMessage(int subscriber_id, int bytes) {
+  const Tuned& t = subscribers_[static_cast<std::size_t>(subscriber_id)];
+  return carrier(t.carrier).SendUplinkMessage(t.node, bytes);
+}
+
+bool MultiChannelCell::SendDownlinkMessage(int subscriber_id, int bytes) {
+  const Tuned& t = subscribers_[static_cast<std::size_t>(subscriber_id)];
+  return carrier(t.carrier).SendDownlinkMessage(t.node, bytes);
+}
+
+void MultiChannelCell::RunCycles(int cycles) {
+  for (int c = 0; c < cycles; ++c) {
+    for (auto& carrier_ptr : carriers_) carrier_ptr->RunCycles(1);
+  }
+}
+
+void MultiChannelCell::ResetStats() {
+  for (auto& carrier_ptr : carriers_) carrier_ptr->ResetStats();
+}
+
+std::int64_t MultiChannelCell::TotalPayloadBytes() const {
+  std::int64_t total = 0;
+  for (const auto& carrier_ptr : carriers_) {
+    total += carrier_ptr->metrics().unique_payload_bytes;
+  }
+  return total;
+}
+
+double MultiChannelCell::AggregateUtilization() const {
+  std::int64_t payload = 0;
+  std::int64_t capacity = 0;
+  for (const auto& carrier_ptr : carriers_) {
+    payload += carrier_ptr->metrics().unique_payload_bytes;
+    capacity += carrier_ptr->metrics().capacity_bytes;
+  }
+  return capacity > 0 ? static_cast<double>(payload) / static_cast<double>(capacity) : 0.0;
+}
+
+int MultiChannelCell::TotalGpsUsers() const {
+  int total = 0;
+  for (const auto& carrier_ptr : carriers_) {
+    total += carrier_ptr->base_station().gps_manager().active_count();
+  }
+  return total;
+}
+
+}  // namespace osumac::mac

@@ -1,0 +1,103 @@
+#include "mac/network.h"
+
+#include <cassert>
+
+namespace osumac::mac {
+
+Network::Network(const CellConfig& config, int num_cells) {
+  assert(num_cells > 0);
+  for (int i = 0; i < num_cells; ++i) {
+    CellConfig cell_config = config;
+    cell_config.seed = config.seed + static_cast<std::uint64_t>(i) * 0x9E3779B9u;
+    cells_.push_back(std::make_unique<Cell>(cell_config));
+    const int from_cell = i;
+    cells_.back()->base_station().SetBackboneRouter(
+        [this, from_cell](UserId /*src*/, Ein dest, int bytes) {
+          return Route(from_cell, dest, bytes);
+        });
+  }
+}
+
+int Network::AddSubscriber(int cell_index, bool wants_gps) {
+  assert(cell_index >= 0 && cell_index < cell_count());
+  Mobile mobile;
+  mobile.ein = next_ein_++;
+  mobile.gps = wants_gps;
+  mobile.cell = cell_index;
+  mobile.node = cell(cell_index).AddSubscriber(wants_gps, mobile.ein);
+  mobiles_.push_back(mobile);
+  return static_cast<int>(mobiles_.size()) - 1;
+}
+
+void Network::PowerOn(int subscriber_id) {
+  const Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
+  cell(m.cell).PowerOn(m.node);
+}
+
+Network::Location Network::WhereIs(int subscriber_id) const {
+  const Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
+  return {m.cell, m.node};
+}
+
+Ein Network::EinOf(int subscriber_id) const {
+  return mobiles_[static_cast<std::size_t>(subscriber_id)].ein;
+}
+
+MobileSubscriber& Network::subscriber(int subscriber_id) {
+  const Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
+  return cell(m.cell).subscriber(m.node);
+}
+
+void Network::Handoff(int subscriber_id, int to_cell) {
+  Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
+  if (m.cell == to_cell) return;
+  // Leave the old cell (its base station releases the user ID / GPS slot)
+  // and enter the new one as a fresh arrival with the same EIN.
+  cell(m.cell).SignOff(m.node);
+  m.cell = to_cell;
+  m.node = cell(to_cell).AddSubscriber(m.gps, m.ein);
+  cell(to_cell).PowerOn(m.node);
+  ++counters_.handoffs;
+}
+
+bool Network::SendMessage(int src_subscriber, int dst_subscriber, int bytes) {
+  const Mobile& src = mobiles_[static_cast<std::size_t>(src_subscriber)];
+  const Mobile& dst = mobiles_[static_cast<std::size_t>(dst_subscriber)];
+  return cell(src.cell).SendSubscriberMessage(src.node, dst.ein, bytes);
+}
+
+void Network::RandomWalk(double handoff_prob, Rng& rng) {
+  for (std::size_t id = 0; id < mobiles_.size(); ++id) {
+    const Mobile& m = mobiles_[id];
+    MobileSubscriber& sub = cell(m.cell).subscriber(m.node);
+    if (sub.state() != MobileSubscriber::State::kActive) continue;
+    if (!rng.Bernoulli(handoff_prob)) continue;
+    int target = m.cell + (rng.Bernoulli(0.5) ? 1 : -1);
+    if (target < 0) target = 1;
+    if (target >= cell_count()) target = cell_count() - 2;
+    if (target == m.cell || target < 0) continue;  // single-cell network
+    Handoff(static_cast<int>(id), target);
+  }
+}
+
+void Network::RunCycles(int cycles) {
+  for (int c = 0; c < cycles; ++c) {
+    for (auto& cell_ptr : cells_) cell_ptr->RunCycles(1);
+  }
+}
+
+bool Network::Route(int from_cell, Ein dest, int bytes) {
+  // Find the destination's current (or last known) cell via the mobility
+  // registry the backbone maintains.
+  for (const Mobile& m : mobiles_) {
+    if (m.ein != dest) continue;
+    if (m.cell == from_cell) return false;  // local after all; let the BS buffer
+    ++counters_.backbone_messages;
+    cell(m.cell).base_station().DeliverToEin(dest, bytes);
+    return true;
+  }
+  ++counters_.backbone_unrouted;
+  return false;
+}
+
+}  // namespace osumac::mac

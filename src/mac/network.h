@@ -1,0 +1,104 @@
+// A multi-cell wireless WAN: several cells whose base stations are
+// "connected to one another to form a wired point-to-point backbone
+// network" (Section 2.2).  The backbone routes complete uplink messages to
+// the cell where the destination EIN is registered; unknown destinations
+// are paged in every cell.  Mobiles move between cells via handoff
+// (sign-off in the old cell, contention-slot registration in the new one —
+// the only mechanism the paper's design offers).
+//
+// Cells run in per-cycle lockstep on their own simulators; backbone
+// forwarding therefore has up to one notification cycle of skew, which
+// models the (fast, wired) backbone as instantaneous relative to the 4 s
+// air cycles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/cell.h"
+
+namespace osumac::mac {
+
+/// Network-wide counters.
+struct NetworkCounters {
+  std::int64_t backbone_messages = 0;   ///< routed between cells
+  std::int64_t backbone_unrouted = 0;   ///< destination unknown anywhere
+  std::int64_t handoffs = 0;
+};
+
+class Network {
+ public:
+  /// Builds `num_cells` cells from the template config (per-cell seeds are
+  /// derived from config.seed).
+  Network(const CellConfig& config, int num_cells);
+
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  Cell& cell(int i) { return *cells_[static_cast<std::size_t>(i)]; }
+  const Cell& cell(int i) const { return *cells_[static_cast<std::size_t>(i)]; }
+
+  // --- subscribers ------------------------------------------------------------
+
+  /// Adds a mobile with a globally unique EIN, homed in `cell_index`.
+  /// Returns a network-wide subscriber id.
+  int AddSubscriber(int cell_index, bool wants_gps);
+
+  void PowerOn(int subscriber_id);
+
+  /// Current location: {cell index, node index within that cell}.
+  struct Location {
+    int cell = -1;
+    int node = -1;
+  };
+  Location WhereIs(int subscriber_id) const;
+  Ein EinOf(int subscriber_id) const;
+
+  /// The subscriber object at the mobile's current location.
+  MobileSubscriber& subscriber(int subscriber_id);
+
+  /// Moves a mobile to another cell: immediate sign-off in the old cell
+  /// (resources released, GPS slots consolidated under R3) and power-on /
+  /// registration in the new one.  The mobile keeps its EIN, so in-flight
+  /// messages addressed to it re-route once it re-registers.
+  void Handoff(int subscriber_id, int to_cell);
+
+  // --- traffic -------------------------------------------------------------------
+
+  /// Subscriber-to-subscriber message, possibly across cells.
+  bool SendMessage(int src_subscriber, int dst_subscriber, int bytes);
+
+  // --- mobility ---------------------------------------------------------------------
+
+  /// One step of a random-walk mobility model: every *active* mobile hands
+  /// off to a uniformly chosen adjacent cell (linear topology) with
+  /// probability `handoff_prob`.  Call between RunCycles batches.
+  void RandomWalk(double handoff_prob, Rng& rng);
+
+  // --- running ---------------------------------------------------------------------
+
+  /// Runs all cells for `cycles` notification cycles in lockstep.
+  void RunCycles(int cycles);
+
+  const NetworkCounters& counters() const { return counters_; }
+
+ private:
+  struct Mobile {
+    Ein ein = 0;
+    bool gps = false;
+    int cell = -1;
+    int node = -1;
+  };
+
+  /// Backbone router installed into every base station: finds the cell
+  /// where `dest` is registered and enqueues the message there.
+  bool Route(int from_cell, Ein dest, int bytes);
+
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::vector<Mobile> mobiles_;
+  Ein next_ein_ = 5000;
+  NetworkCounters counters_;
+};
+
+}  // namespace osumac::mac

@@ -1,0 +1,199 @@
+#include "mac/packet.h"
+
+#include <cassert>
+
+#include "common/bitio.h"
+
+namespace osumac::mac {
+
+namespace {
+
+void WriteHeader(BitWriter& w, const PacketHeader& h) {
+  w.Write(static_cast<std::uint64_t>(h.kind), 3);
+  w.Write(h.src, kUserIdBits);
+  w.Write(h.seq & 0x7FF, 11);
+  w.Write(h.more_slots & 0x1F, 5);
+  w.Write(h.frag_index & 0x7F, 7);
+}
+
+PacketHeader ReadHeader(BitReader& r) {
+  PacketHeader h;
+  h.kind = static_cast<PacketKind>(r.Read(3));
+  h.src = static_cast<UserId>(r.Read(kUserIdBits));
+  h.seq = static_cast<std::uint16_t>(r.Read(11));
+  h.more_slots = static_cast<std::uint8_t>(r.Read(5));
+  h.frag_index = static_cast<std::uint8_t>(r.Read(7));
+  return h;
+}
+
+std::vector<fec::GfElem> PadTo(const BitWriter& w, int bytes) {
+  return w.BytesPaddedTo(static_cast<std::size_t>(bytes));
+}
+
+}  // namespace
+
+std::vector<fec::GfElem> SerializeDataPacket(const DataPacket& p) {
+  assert(p.payload_bytes <= kPacketPayloadBytes);
+  BitWriter w;
+  PacketHeader h = p.header;
+  h.kind = PacketKind::kData;
+  WriteHeader(w, h);
+  w.Write(p.dest_ein, kEinBits);
+  w.Write(p.message_id, 32);
+  w.Write(p.frag_count, 8);
+  w.Write(p.payload_bytes, 16);
+  // Deterministic fill standing in for the payload bytes so the codeword
+  // exercises the channel like real data would.
+  for (int i = 0; i < kPacketInfoBytes - kPacketHeaderBytes - 9; ++i) {
+    w.Write(static_cast<std::uint64_t>((p.message_id + static_cast<std::uint32_t>(i)) & 0xFF), 8);
+  }
+  return PadTo(w, kPacketInfoBytes);
+}
+
+std::vector<fec::GfElem> SerializeReservationPacket(const ReservationPacket& p) {
+  BitWriter w;
+  PacketHeader h;
+  h.kind = PacketKind::kReservation;
+  h.src = p.src;
+  WriteHeader(w, h);
+  w.Write(p.slots_requested, 8);
+  return PadTo(w, kPacketInfoBytes);
+}
+
+std::vector<fec::GfElem> SerializeRegistrationPacket(const RegistrationPacket& p) {
+  BitWriter w;
+  PacketHeader h;
+  h.kind = PacketKind::kRegistration;
+  WriteHeader(w, h);
+  w.Write(p.ein, kEinBits);
+  w.Write(p.wants_gps ? 1 : 0, 1);
+  return PadTo(w, kPacketInfoBytes);
+}
+
+std::vector<fec::GfElem> SerializeDeregistrationPacket(const DeregistrationPacket& p) {
+  BitWriter w;
+  PacketHeader h;
+  h.kind = PacketKind::kDeregistration;
+  h.src = p.src;
+  WriteHeader(w, h);
+  w.Write(p.ein, kEinBits);
+  return PadTo(w, kPacketInfoBytes);
+}
+
+std::vector<fec::GfElem> SerializeForwardAckPacket(const ForwardAckPacket& p) {
+  assert(p.count >= 0 && p.count <= kMaxForwardAcks);
+  BitWriter w;
+  PacketHeader h = p.header;
+  h.kind = PacketKind::kForwardAck;
+  WriteHeader(w, h);
+  w.Write(static_cast<std::uint64_t>(p.count), 4);
+  for (const ForwardAckEntry& e : p.acks) {
+    w.Write(e.message_id_low, 16);
+    w.Write(e.frag_index, 8);
+  }
+  return PadTo(w, kPacketInfoBytes);
+}
+
+std::vector<fec::GfElem> SerializeGpsPacket(const GpsPacket& p) {
+  BitWriter w;
+  w.Write(p.ein, 16);
+  w.Write(p.latitude & 0xFFFFFF, 24);
+  w.Write(p.longitude & 0xFFFFFF, 24);
+  w.Write(p.timestamp, 8);
+  return PadTo(w, 9);
+}
+
+std::vector<fec::GfElem> SerializeForwardDataPacket(const ForwardDataPacket& p) {
+  assert(p.payload_bytes <= kPacketPayloadBytes);
+  BitWriter w;
+  w.Write(p.dest, kUserIdBits);
+  w.Write(p.message_id, 32);
+  w.Write(p.frag_index, 8);
+  w.Write(p.frag_count, 8);
+  w.Write(p.payload_bytes, 16);
+  for (int i = 0; i < kPacketPayloadBytes - 5; ++i) {
+    w.Write(static_cast<std::uint64_t>((p.message_id + static_cast<std::uint32_t>(i)) & 0xFF), 8);
+  }
+  return PadTo(w, kPacketInfoBytes);
+}
+
+std::optional<UplinkPacket> ParseUplinkPacket(const std::vector<fec::GfElem>& info) {
+  if (static_cast<int>(info.size()) != kPacketInfoBytes) return std::nullopt;
+  BitReader r(info);
+  const PacketHeader h = ReadHeader(r);
+  UplinkPacket out;
+  out.kind = h.kind;
+  switch (h.kind) {
+    case PacketKind::kData: {
+      DataPacket p;
+      p.header = h;
+      p.dest_ein = static_cast<Ein>(r.Read(kEinBits));
+      p.message_id = static_cast<std::uint32_t>(r.Read(32));
+      p.frag_count = static_cast<std::uint8_t>(r.Read(8));
+      p.payload_bytes = static_cast<std::uint16_t>(r.Read(16));
+      if (p.payload_bytes > kPacketPayloadBytes) return std::nullopt;
+      out.data = p;
+      return out;
+    }
+    case PacketKind::kReservation: {
+      ReservationPacket p;
+      p.src = h.src;
+      p.slots_requested = static_cast<std::uint8_t>(r.Read(8));
+      out.reservation = p;
+      return out;
+    }
+    case PacketKind::kRegistration: {
+      RegistrationPacket p;
+      p.ein = static_cast<Ein>(r.Read(kEinBits));
+      p.wants_gps = r.Read(1) != 0;
+      out.registration = p;
+      return out;
+    }
+    case PacketKind::kDeregistration: {
+      DeregistrationPacket p;
+      p.src = h.src;
+      p.ein = static_cast<Ein>(r.Read(kEinBits));
+      out.deregistration = p;
+      return out;
+    }
+    case PacketKind::kForwardAck: {
+      ForwardAckPacket p;
+      p.header = h;
+      p.count = static_cast<int>(r.Read(4));
+      if (p.count > kMaxForwardAcks) return std::nullopt;
+      for (ForwardAckEntry& e : p.acks) {
+        e.message_id_low = static_cast<std::uint16_t>(r.Read(16));
+        e.frag_index = static_cast<std::uint8_t>(r.Read(8));
+      }
+      out.forward_ack = p;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<GpsPacket> ParseGpsPacket(const std::vector<fec::GfElem>& info) {
+  if (info.size() != 9) return std::nullopt;
+  BitReader r(info);
+  GpsPacket p;
+  p.ein = static_cast<Ein>(r.Read(16));
+  p.latitude = static_cast<std::uint32_t>(r.Read(24));
+  p.longitude = static_cast<std::uint32_t>(r.Read(24));
+  p.timestamp = static_cast<std::uint8_t>(r.Read(8));
+  return p;
+}
+
+std::optional<ForwardDataPacket> ParseForwardDataPacket(const std::vector<fec::GfElem>& info) {
+  if (static_cast<int>(info.size()) != kPacketInfoBytes) return std::nullopt;
+  BitReader r(info);
+  ForwardDataPacket p;
+  p.dest = static_cast<UserId>(r.Read(kUserIdBits));
+  p.message_id = static_cast<std::uint32_t>(r.Read(32));
+  p.frag_index = static_cast<std::uint8_t>(r.Read(8));
+  p.frag_count = static_cast<std::uint8_t>(r.Read(8));
+  p.payload_bytes = static_cast<std::uint16_t>(r.Read(16));
+  if (p.payload_bytes > kPacketPayloadBytes) return std::nullopt;
+  return p;
+}
+
+}  // namespace osumac::mac

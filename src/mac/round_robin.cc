@@ -1,0 +1,56 @@
+#include "mac/round_robin.h"
+
+#include <algorithm>
+
+namespace osumac::mac {
+
+std::vector<SlotRun> RoundRobinScheduler::Allocate(const std::map<UserId, int>& demand,
+                                                   int available_slots) {
+  std::vector<UserId> users;
+  users.reserve(demand.size());
+  for (const auto& [uid, wanted] : demand) {
+    if (wanted > 0) users.push_back(uid);
+  }
+  if (users.empty() || available_slots <= 0) {
+    rotation_ += 1;  // keep rotating even on empty cycles
+    return {};
+  }
+
+  // Rotate the user order so the head position is fair across cycles.
+  const std::size_t start = rotation_ % users.size();
+  std::rotate(users.begin(), users.begin() + static_cast<std::ptrdiff_t>(start), users.end());
+  rotation_ += 1;
+
+  // Rounds of one slot each until capacity or demand is exhausted.
+  std::map<UserId, int> granted;
+  std::vector<UserId> grant_order;  // first-grant order, for lumping
+  int remaining = available_slots;
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (UserId uid : users) {
+      if (remaining == 0) break;
+      if (granted[uid] < demand.at(uid)) {
+        if (granted[uid] == 0) grant_order.push_back(uid);
+        ++granted[uid];
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+
+  // Lumping: lay out each user's slots contiguously, in first-grant order.
+  std::vector<SlotRun> runs;
+  int next_slot = 0;
+  for (UserId uid : grant_order) {
+    SlotRun run;
+    run.user = uid;
+    run.first_slot = next_slot;
+    run.count = granted[uid];
+    next_slot += run.count;
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+}  // namespace osumac::mac

@@ -1,0 +1,42 @@
+#include "metrics/tracer.h"
+
+namespace osumac::metrics {
+
+void CycleTracer::Sample(const mac::Cell& cell) {
+  const mac::BsCounters& now = cell.base_station().counters();
+  CycleSample s;
+  s.cycle = cell.current_cycle();
+  s.data_packets = static_cast<int>(now.data_packets_received - last_.data_packets_received);
+  s.collisions = static_cast<int>(now.collisions - last_.collisions);
+  s.reservations = static_cast<int>(now.reservation_packets_received -
+                                    last_.reservation_packets_received);
+  s.registrations = static_cast<int>(now.registration_packets_received -
+                                     last_.registration_packets_received);
+  s.gps_reports = static_cast<int>(now.gps_packets_received - last_.gps_packets_received);
+  s.contention_slots = cell.base_station().contention_slots();
+  s.active_users = static_cast<int>(cell.base_station().registered_users().size());
+  s.gps_users = cell.base_station().gps_manager().active_count();
+  s.format = cell.base_station().current_format() == mac::ReverseFormat::kFormat1 ? 1 : 2;
+  s.payload_bytes = cell.metrics().unique_payload_bytes - last_payload_;
+  s.utilization_so_far = cell.metrics().Utilization();
+  samples_.push_back(s);
+  last_ = now;
+  last_payload_ = cell.metrics().unique_payload_bytes;
+}
+
+std::string CycleTracer::CsvHeader() {
+  return "cycle,data_packets,collisions,reservations,registrations,gps_reports,"
+         "contention_slots,active_users,gps_users,format,payload_bytes,utilization";
+}
+
+void CycleTracer::WriteCsv(std::ostream& out) const {
+  out << CsvHeader() << '\n';
+  for (const CycleSample& s : samples_) {
+    out << s.cycle << ',' << s.data_packets << ',' << s.collisions << ','
+        << s.reservations << ',' << s.registrations << ',' << s.gps_reports << ','
+        << s.contention_slots << ',' << s.active_users << ',' << s.gps_users << ','
+        << s.format << ',' << s.payload_bytes << ',' << s.utilization_so_far << '\n';
+  }
+}
+
+}  // namespace osumac::metrics

@@ -1,0 +1,58 @@
+// Per-cycle time-series capture for debugging and plotting.
+//
+// A CycleTracer samples a Cell once per notification cycle (counter deltas
+// plus gauges) and can dump the series as CSV — the raw material for
+// regenerating the paper's figures with external plotting tools, and for
+// understanding transients (registration storms, queue build-up at the
+// Fig. 8 knee, contention-slot adaptation).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mac/cell.h"
+
+namespace osumac::metrics {
+
+/// One sampled row (per notification cycle).
+struct CycleSample {
+  std::int64_t cycle = 0;
+  int data_packets = 0;        ///< decoded this cycle
+  int collisions = 0;
+  int reservations = 0;
+  int registrations = 0;
+  int gps_reports = 0;
+  int contention_slots = 0;    ///< currently configured
+  int active_users = 0;
+  int gps_users = 0;
+  int format = 2;
+  std::int64_t payload_bytes = 0;
+  double utilization_so_far = 0.0;
+};
+
+/// Samples a Cell at cycle granularity.  Usage:
+///   CycleTracer tracer;
+///   while (...) { cell.RunCycles(1); tracer.Sample(cell); }
+///   tracer.WriteCsv(std::cout);
+class CycleTracer {
+ public:
+  /// Appends one sample (call after each RunCycles(1)).
+  void Sample(const mac::Cell& cell);
+
+  const std::vector<CycleSample>& samples() const { return samples_; }
+
+  /// Writes the series as CSV with a header row.
+  void WriteCsv(std::ostream& out) const;
+
+  /// Convenience: column names in CSV order.
+  static std::string CsvHeader();
+
+ private:
+  std::vector<CycleSample> samples_;
+  mac::BsCounters last_;
+  std::int64_t last_payload_ = 0;
+};
+
+}  // namespace osumac::metrics

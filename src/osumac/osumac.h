@@ -1,0 +1,53 @@
+// Umbrella public header for the OSU-MAC library.
+//
+// Include this to get the full public API:
+//   - osumac::mac::Cell            — a simulated cell (base station +
+//                                    subscribers + channels), the main entry
+//   - osumac::mac::BaseStation     — scheduling / registration / ACK logic
+//   - osumac::mac::MobileSubscriber— the subscriber state machine
+//   - osumac::traffic::*           — Poisson workloads and the load-index math
+//   - osumac::metrics::*           — the paper's evaluation metrics
+//   - osumac::fec::ReedSolomon     — RS(64,48) / RS(32,9) codecs
+//   - osumac::phy::*               — channel and radio models, Table-1 params
+//   - osumac::baselines::*         — PRMA, D-TDMA, RAMA, DRMA, slotted ALOHA
+//
+// See README.md for a quickstart and DESIGN.md for the architecture.
+#pragma once
+
+#include "baselines/common.h"
+#include "baselines/drma.h"
+#include "baselines/dtdma.h"
+#include "baselines/fama.h"
+#include "baselines/prma.h"
+#include "baselines/rama.h"
+#include "baselines/rqma.h"
+#include "baselines/slotted_aloha.h"
+#include "common/bitio.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "fec/gf256.h"
+#include "fec/reed_solomon.h"
+#include "mac/base_station.h"
+#include "mac/cell.h"
+#include "mac/config.h"
+#include "mac/contention.h"
+#include "mac/control_fields.h"
+#include "mac/cycle_layout.h"
+#include "mac/forward_scheduler.h"
+#include "mac/gps_slot_manager.h"
+#include "mac/ids.h"
+#include "mac/multi_channel.h"
+#include "mac/network.h"
+#include "mac/packet.h"
+#include "mac/round_robin.h"
+#include "mac/subscriber.h"
+#include "metrics/experiment.h"
+#include "metrics/tracer.h"
+#include "phy/channel.h"
+#include "phy/error_model.h"
+#include "phy/phy_params.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+#include "traffic/workload.h"

@@ -1,0 +1,103 @@
+#include "phy/channel.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace osumac::phy {
+
+std::optional<std::vector<std::vector<fec::GfElem>>> ApplyChannel(
+    const std::vector<std::vector<fec::GfElem>>& codewords,
+    const fec::ReedSolomon& code, SymbolErrorModel& model, Rng& rng,
+    int* errors_corrected_out, bool use_erasure_side_info) {
+  std::vector<std::vector<fec::GfElem>> decoded;
+  decoded.reserve(codewords.size());
+  for (const auto& cw : codewords) {
+    std::vector<fec::GfElem> noisy = cw;
+    std::optional<fec::DecodeResult> result;
+    if (use_erasure_side_info) {
+      std::vector<int> erasures;
+      model.CorruptWithSideInfo(noisy, rng, &erasures);
+      // Filling f erasures leaves n-k-f budget for unknown errors (2e <=
+      // n-k-f).  Using all n-k flags would leave zero redundancy: ANY fill
+      // then forms a valid codeword and an unflagged error produces a
+      // *silently wrong* decode.  With one parity symbol spared (f <=
+      // n-k-1) the post-decode syndrome recheck still detects a bad fill,
+      // so long fades degrade into honest failures; beyond that the
+      // receiver falls back to errors-only decoding.
+      const std::size_t cap = static_cast<std::size_t>(code.n() - code.k() - 1);
+      if (erasures.size() <= cap) {
+        result = code.DecodeWithErasures(noisy, erasures);
+      } else {
+        result = code.Decode(noisy);
+      }
+    } else {
+      model.Corrupt(noisy, rng);
+      result = code.Decode(noisy);
+    }
+    if (!result.has_value()) return std::nullopt;
+    if (errors_corrected_out != nullptr) *errors_corrected_out += result->errors_corrected;
+    decoded.push_back(result->data);
+  }
+  return decoded;
+}
+
+void ReverseChannel::Transmit(CodedBurst burst) { pending_.push_back(std::move(burst)); }
+
+std::vector<CodedBurst> ReverseChannel::Collect(Interval slot) {
+  std::vector<CodedBurst> hits;
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->on_air.Overlaps(slot)) {
+      hits.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return hits;
+}
+
+SlotReception ReverseChannel::ResolveSlot(Interval slot, const fec::ReedSolomon& code,
+                                          SymbolErrorModel& model, Rng& rng,
+                                          bool use_erasure_side_info) {
+  return ResolveSlotPerSender(
+      slot, code, [&model](int) -> SymbolErrorModel& { return model; }, rng,
+      use_erasure_side_info);
+}
+
+SlotReception ReverseChannel::ResolveSlotPerSender(
+    Interval slot, const fec::ReedSolomon& code,
+    const std::function<SymbolErrorModel&(int sender)>& model_for, Rng& rng,
+    bool use_erasure_side_info) {
+  std::vector<CodedBurst> bursts = Collect(slot);
+  SlotReception reception;
+  if (bursts.empty()) {
+    reception.outcome = SlotOutcome::kIdle;
+    return reception;
+  }
+  if (bursts.size() > 1) {
+    // Any mutual overlap destroys everything involved; with slot-aligned
+    // transmissions all bursts in one slot overlap pairwise.
+    reception.outcome = SlotOutcome::kCollision;
+    for (const CodedBurst& b : bursts) reception.colliders.push_back(b.sender);
+    std::sort(reception.colliders.begin(), reception.colliders.end());
+    return reception;
+  }
+
+  const CodedBurst& burst = bursts.front();
+  reception.sender = burst.sender;
+  reception.tag = burst.tag;
+  int corrected = 0;
+  auto decoded = ApplyChannel(burst.codewords, code, model_for(burst.sender), rng,
+                              &corrected, use_erasure_side_info);
+  if (!decoded.has_value()) {
+    reception.outcome = SlotOutcome::kDecodeFailure;
+    return reception;
+  }
+  reception.outcome = SlotOutcome::kDecoded;
+  reception.info = std::move(*decoded);
+  reception.errors_corrected = corrected;
+  return reception;
+}
+
+}  // namespace osumac::phy

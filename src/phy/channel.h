@@ -1,0 +1,97 @@
+// Channel models.
+//
+// Reverse channel: many mobiles, one receiver (the base station).  Any two
+// temporally overlapping transmissions collide and all involved bursts are
+// lost (Section 2.2: "only one station/subscriber can transmit on a channel;
+// otherwise collision occurs").  The base station distinguishes an idle slot
+// from a collision (energy detected but nothing decodable), which it needs
+// for dynamic contention-slot adjustment (Section 3.5).
+//
+// Forward channel: broadcast from the base station; no collisions are
+// possible (single transmitter), but each mobile sees an independent fading
+// path, so delivery is evaluated per listener with that listener's error
+// model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "fec/reed_solomon.h"
+#include "phy/error_model.h"
+
+namespace osumac::phy {
+
+/// A coded burst put on the air by one transmitter.
+struct CodedBurst {
+  Interval on_air;  ///< full airtime including preamble/postamble/guard
+  std::vector<std::vector<fec::GfElem>> codewords;  ///< coded symbols
+  int sender = -1;      ///< node index (diagnostics / error-model lookup)
+  std::uint64_t tag = 0;  ///< opaque MAC bookkeeping id
+};
+
+/// What the base station observed in one reverse slot.
+enum class SlotOutcome {
+  kIdle,           ///< no energy in the slot
+  kCollision,      ///< overlapping transmissions; nothing decodable
+  kDecodeFailure,  ///< single transmission but RS decoding failed
+  kDecoded,        ///< single transmission, successfully decoded
+};
+
+/// Result of resolving one reverse slot at the base station.
+struct SlotReception {
+  SlotOutcome outcome = SlotOutcome::kIdle;
+  /// Decoded information bytes, one entry per codeword (kDecoded only).
+  std::vector<std::vector<fec::GfElem>> info;
+  int sender = -1;
+  std::uint64_t tag = 0;
+  int errors_corrected = 0;
+  /// Senders involved in a collision (diagnostics).
+  std::vector<int> colliders;
+};
+
+/// Passes coded codewords through an error model and an RS decoder.
+/// Returns decoded info blocks, or nullopt if any codeword fails to decode.
+/// `errors_corrected_out`, if non-null, accumulates corrected symbol counts.
+/// With `use_erasure_side_info`, the receiver feeds the model's erasure
+/// side information to the decoder (errors-and-erasures decoding doubles
+/// the correctable burst length; cf. the paper's reference [2]).
+std::optional<std::vector<std::vector<fec::GfElem>>> ApplyChannel(
+    const std::vector<std::vector<fec::GfElem>>& codewords,
+    const fec::ReedSolomon& code, SymbolErrorModel& model, Rng& rng,
+    int* errors_corrected_out = nullptr, bool use_erasure_side_info = false);
+
+/// Collision-detecting multiple-access reverse channel.
+class ReverseChannel {
+ public:
+  /// Puts a burst on the air.  Bursts may be registered in any order.
+  void Transmit(CodedBurst burst);
+
+  /// Collects (and removes) every pending burst overlapping `slot`, then
+  /// classifies the slot: idle, collision (>= 2 mutually overlapping
+  /// bursts), or a single burst to be decoded with `code` through `model`.
+  SlotReception ResolveSlot(Interval slot, const fec::ReedSolomon& code,
+                            SymbolErrorModel& model, Rng& rng,
+                            bool use_erasure_side_info = false);
+
+  /// Like ResolveSlot but the caller supplies a per-sender error model via
+  /// callback (different mobiles see different uplink paths).
+  SlotReception ResolveSlotPerSender(
+      Interval slot, const fec::ReedSolomon& code,
+      const std::function<SymbolErrorModel&(int sender)>& model_for, Rng& rng,
+      bool use_erasure_side_info = false);
+
+  /// Number of bursts not yet resolved (should be 0 at cycle boundaries in
+  /// a well-formed run; lingering bursts indicate a scheduling bug).
+  std::size_t pending_bursts() const { return pending_.size(); }
+
+ private:
+  std::vector<CodedBurst> Collect(Interval slot);
+
+  std::vector<CodedBurst> pending_;
+};
+
+}  // namespace osumac::phy

@@ -1,0 +1,69 @@
+#include "phy/error_model.h"
+
+#include <cassert>
+
+namespace osumac::phy {
+
+namespace {
+/// Replaces one byte with a uniformly random *different* value.
+void FlipByte(fec::GfElem& b, Rng& rng) {
+  const auto delta = static_cast<fec::GfElem>(rng.UniformInt(1, 255));
+  b = static_cast<fec::GfElem>(b ^ delta);
+}
+}  // namespace
+
+UniformErrorModel::UniformErrorModel(double symbol_error_prob) : p_(symbol_error_prob) {
+  assert(p_ >= 0.0 && p_ <= 1.0);
+}
+
+int UniformErrorModel::Corrupt(std::span<fec::GfElem> codeword, Rng& rng) {
+  int hits = 0;
+  for (fec::GfElem& b : codeword) {
+    if (rng.Bernoulli(p_)) {
+      FlipByte(b, rng);
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+GilbertElliottModel::GilbertElliottModel(const Params& params) : params_(params) {
+  assert(params_.p_good_to_bad >= 0 && params_.p_good_to_bad <= 1);
+  assert(params_.p_bad_to_good >= 0 && params_.p_bad_to_good <= 1);
+}
+
+int GilbertElliottModel::Corrupt(std::span<fec::GfElem> codeword, Rng& rng) {
+  return CorruptWithSideInfo(codeword, rng, nullptr);
+}
+
+int GilbertElliottModel::CorruptWithSideInfo(std::span<fec::GfElem> codeword, Rng& rng,
+                                             std::vector<int>* erasures) {
+  int hits = 0;
+  for (std::size_t i = 0; i < codeword.size(); ++i) {
+    if (bad_) {
+      if (rng.Bernoulli(params_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng.Bernoulli(params_.p_good_to_bad)) bad_ = true;
+    }
+    if (bad_ && erasures != nullptr) erasures->push_back(static_cast<int>(i));
+    const double p = bad_ ? params_.error_prob_bad : params_.error_prob_good;
+    if (rng.Bernoulli(p)) {
+      FlipByte(codeword[i], rng);
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+std::unique_ptr<SymbolErrorModel> MakePerfectChannel() {
+  return std::make_unique<PerfectChannel>();
+}
+std::unique_ptr<SymbolErrorModel> MakeUniformChannel(double symbol_error_prob) {
+  return std::make_unique<UniformErrorModel>(symbol_error_prob);
+}
+std::unique_ptr<SymbolErrorModel> MakeGilbertElliottChannel(
+    const GilbertElliottModel::Params& p) {
+  return std::make_unique<GilbertElliottModel>(p);
+}
+
+}  // namespace osumac::phy

@@ -1,0 +1,98 @@
+// Symbol-error models for the wireless channels.
+//
+// The paper's field tests (Section 2.2) show two regimes for RS(64,48):
+// either a small number of symbol errors occur and are corrected, or many
+// occur and the decoder fails.  These models inject byte(symbol)-level
+// corruption into codewords before decoding; the real RS decoder then
+// reproduces the corrects-or-fails behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "fec/gf256.h"
+
+namespace osumac::phy {
+
+/// Interface: corrupts a coded burst in place; returns the number of byte
+/// symbols flipped.  Implementations may be stateful (burst channels keep
+/// state across calls).
+class SymbolErrorModel {
+ public:
+  virtual ~SymbolErrorModel() = default;
+
+  /// Corrupts `codeword` in place; each changed byte becomes a random value
+  /// different from the original. Returns the number of corrupted bytes.
+  virtual int Corrupt(std::span<fec::GfElem> codeword, Rng& rng) = 0;
+
+  /// Like Corrupt, but additionally reports *erasure side information*:
+  /// symbol positions the receiver can flag as unreliable (e.g. because the
+  /// demodulator observed an SNR dip).  An RS decoder can fill n-k erasures
+  /// but only correct (n-k)/2 unknown errors, so side information doubles
+  /// the correctable burst length — the motivation of the paper's
+  /// burst-erasure reference [2] (McAuley, SIGCOMM '90).  The default
+  /// implementation reports none.
+  virtual int CorruptWithSideInfo(std::span<fec::GfElem> codeword, Rng& rng,
+                                  std::vector<int>* erasures) {
+    (void)erasures;
+    return Corrupt(codeword, rng);
+  }
+};
+
+/// Error-free channel.
+class PerfectChannel final : public SymbolErrorModel {
+ public:
+  int Corrupt(std::span<fec::GfElem>, Rng&) override { return 0; }
+};
+
+/// Independent symbol errors with fixed probability per byte.
+class UniformErrorModel final : public SymbolErrorModel {
+ public:
+  /// `symbol_error_prob` in [0, 1]: probability that each coded byte is hit.
+  explicit UniformErrorModel(double symbol_error_prob);
+
+  int Corrupt(std::span<fec::GfElem> codeword, Rng& rng) override;
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert-Elliott burst channel: a Good state with low symbol
+/// error probability and a Bad (fade) state with high error probability.
+/// State transitions are evaluated per coded byte, so fades straddle
+/// codeword boundaries, producing the paper's "many errors at once" regime.
+class GilbertElliottModel final : public SymbolErrorModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.001;  ///< per-symbol transition into a fade
+    double p_bad_to_good = 0.05;   ///< per-symbol recovery from a fade
+    double error_prob_good = 1e-4;
+    double error_prob_bad = 0.4;
+  };
+
+  explicit GilbertElliottModel(const Params& params);
+
+  int Corrupt(std::span<fec::GfElem> codeword, Rng& rng) override;
+
+  /// During fades the receiver knows its SNR collapsed: every symbol seen
+  /// while in the Bad state is reported as an erasure (whether or not it
+  /// was actually corrupted).
+  int CorruptWithSideInfo(std::span<fec::GfElem> codeword, Rng& rng,
+                          std::vector<int>* erasures) override;
+
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  Params params_;
+  bool bad_ = false;
+};
+
+/// Factory helpers.
+std::unique_ptr<SymbolErrorModel> MakePerfectChannel();
+std::unique_ptr<SymbolErrorModel> MakeUniformChannel(double symbol_error_prob);
+std::unique_ptr<SymbolErrorModel> MakeGilbertElliottChannel(const GilbertElliottModel::Params& p);
+
+}  // namespace osumac::phy

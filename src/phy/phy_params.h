@@ -1,0 +1,132 @@
+// Physical-layer parameters of the OSU narrow-band wireless modem testbed
+// (paper Table 1), expressed as exact integer-tick constants.
+//
+// Everything here is *derived* the way the paper derives it, with
+// static_asserts pinning each number the paper states, so a change that
+// breaks agreement with Table 1 fails to compile.
+#pragma once
+
+#include "common/time.h"
+
+namespace osumac::phy {
+
+// ---------------------------------------------------------------------------
+// General channel characteristics
+// ---------------------------------------------------------------------------
+
+/// Forward channel symbol rate (symbols/second).
+inline constexpr std::int64_t kForwardSymbolRate = 3200;
+/// Reverse channel symbol rate (symbols/second).
+inline constexpr std::int64_t kReverseSymbolRate = 2400;
+/// Coded bits per channel symbol (QPSK).
+inline constexpr int kBitsPerSymbol = 2;
+
+// Pilot-symbol (PS) frames: 150 channel symbols of which 128 carry coded
+// information bits (22 pilots: 7 leading + 15 interspersed).
+inline constexpr int kSymbolsPerPilotFrame = 150;
+inline constexpr int kInfoSymbolsPerPilotFrame = 128;
+inline constexpr int kPilotSymbolsPerFrame = kSymbolsPerPilotFrame - kInfoSymbolsPerPilotFrame;
+static_assert(kPilotSymbolsPerFrame == 22);
+
+/// Transmission efficiency of a PS frame (128/150, the paper's figure).
+inline constexpr double kPilotFrameEfficiency =
+    static_cast<double>(kInfoSymbolsPerPilotFrame) / kSymbolsPerPilotFrame;
+
+// ---------------------------------------------------------------------------
+// Regular (non-real-time) data packets: one RS(64,48) codeword
+// ---------------------------------------------------------------------------
+
+/// RS(64,48): 64 coded bytes per codeword, 48 information bytes.
+inline constexpr int kRsCodewordBytes = 64;
+inline constexpr int kRsInfoBytes = 48;
+inline constexpr int kRsCodewordBits = kRsCodewordBytes * 8;  // 512
+inline constexpr int kRsInfoBits = kRsInfoBytes * 8;          // 384
+static_assert(kRsCodewordBits == 512 && kRsInfoBits == 384);
+
+/// One codeword = 512 coded bits = 256 info symbols = 2 pilot frames.
+inline constexpr int kPilotFramesPerCodeword =
+    (kRsCodewordBits / kBitsPerSymbol) / kInfoSymbolsPerPilotFrame;
+static_assert(kPilotFramesPerCodeword == 2);
+
+/// Channel symbols occupied by one RS codeword including pilots (300).
+inline constexpr int kSymbolsPerCodeword = kPilotFramesPerCodeword * kSymbolsPerPilotFrame;
+static_assert(kSymbolsPerCodeword == 300);
+
+/// Regular packet body on either channel: 1 codeword = 300 channel symbols.
+inline constexpr int kRegularPacketSymbols = kSymbolsPerCodeword;
+
+/// Time for a regular packet body: 0.09375 s forward, 0.125 s reverse.
+inline constexpr Tick kRegularPacketForwardTicks = ForwardSymbols(kRegularPacketSymbols);
+inline constexpr Tick kRegularPacketReverseTicks = ReverseSymbols(kRegularPacketSymbols);
+static_assert(kRegularPacketForwardTicks == 4500);   // 0.09375 s
+static_assert(kRegularPacketReverseTicks == 6000);   // 0.125 s
+
+// ---------------------------------------------------------------------------
+// Forward-channel cycle preamble
+// ---------------------------------------------------------------------------
+
+/// First (cycle) preamble: 300 symbols; second preamble before the second
+/// control fields: 150 symbols.  Table 1 reports the 450-symbol total.
+inline constexpr int kForwardCyclePreambleSymbols = 300;
+inline constexpr int kForwardSecondPreambleSymbols = 150;
+static_assert(kForwardCyclePreambleSymbols + kForwardSecondPreambleSymbols == 450);
+inline constexpr Tick kForwardCyclePreambleTicks = ForwardSymbols(kForwardCyclePreambleSymbols);
+inline constexpr Tick kForwardSecondPreambleTicks = ForwardSymbols(kForwardSecondPreambleSymbols);
+
+// ---------------------------------------------------------------------------
+// Reverse-channel packet framing (Table 1, lower block)
+// ---------------------------------------------------------------------------
+
+// GPS packets: 72 information bits carried in 128 channel symbols
+// (256 coded bits = 32 coded bytes).  The paper does not name the inner
+// code; we model it as shortened RS(32,9) over GF(256), which matches both
+// bit counts exactly (9 bytes = 72 bits in, 32 bytes = 256 bits out).
+inline constexpr int kGpsInfoBits = 72;
+inline constexpr int kGpsInfoBytes = kGpsInfoBits / 8;  // 9
+inline constexpr int kGpsBodySymbols = 128;
+inline constexpr int kGpsCodedBytes = kGpsBodySymbols * kBitsPerSymbol / 8;  // 32
+inline constexpr int kGpsPreambleSymbols = 64;
+inline constexpr int kGpsPostambleSymbols = 0;
+
+// Regular packets on the reverse channel.
+inline constexpr int kRegularPreambleSymbols = 600;
+inline constexpr int kRegularPostambleSymbols = 51;
+
+/// Guard between packets on the reverse channel: 18 symbols = 0.0075 s.
+inline constexpr int kPacketGuardSymbols = 18;
+static_assert(ReverseSymbols(kPacketGuardSymbols) == 360);  // 0.0075 s
+
+/// Full GPS slot: preamble + body + guard = 210 symbols = 0.0875 s.
+inline constexpr int kGpsSlotSymbols =
+    kGpsPreambleSymbols + kGpsBodySymbols + kGpsPostambleSymbols + kPacketGuardSymbols;
+static_assert(kGpsSlotSymbols == 210);
+inline constexpr Tick kGpsSlotTicks = ReverseSymbols(kGpsSlotSymbols);
+static_assert(kGpsSlotTicks == 4200);  // 0.0875 s
+
+/// Full reverse data slot: preamble + body + postamble + guard
+/// = 969 symbols = 0.40375 s.
+inline constexpr int kReverseDataSlotSymbols =
+    kRegularPreambleSymbols + kRegularPacketSymbols + kRegularPostambleSymbols +
+    kPacketGuardSymbols;
+static_assert(kReverseDataSlotSymbols == 969);
+inline constexpr Tick kReverseDataSlotTicks = ReverseSymbols(kReverseDataSlotSymbols);
+static_assert(kReverseDataSlotTicks == 19380);  // 0.40375 s
+
+// ---------------------------------------------------------------------------
+// Half-duplex constraint
+// ---------------------------------------------------------------------------
+
+/// A mobile subscriber needs 20 ms to switch between transmit and receive.
+inline constexpr Tick kHalfDuplexSwitchTicks = FromMilliseconds(20);
+static_assert(kHalfDuplexSwitchTicks == 960);
+
+// ---------------------------------------------------------------------------
+// Link rates (for documentation / Table 1 printing)
+// ---------------------------------------------------------------------------
+
+/// Peak coded bit rates: 6.4 kbps forward, 4.8 kbps reverse.
+inline constexpr std::int64_t kForwardBitRate = kForwardSymbolRate * kBitsPerSymbol;
+inline constexpr std::int64_t kReverseBitRate = kReverseSymbolRate * kBitsPerSymbol;
+static_assert(kForwardBitRate == 6400 && kReverseBitRate == 4800);
+
+}  // namespace osumac::phy

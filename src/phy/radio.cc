@@ -1,0 +1,38 @@
+#include "phy/radio.h"
+
+#include <cassert>
+
+namespace osumac::phy {
+
+bool HalfDuplexRadio::ConflictsWith(const std::deque<Interval>& set, Interval interval) {
+  const Interval padded = interval.Padded(kHalfDuplexSwitchTicks);
+  for (const Interval& other : set) {
+    if (padded.Overlaps(other)) return true;
+  }
+  return false;
+}
+
+void HalfDuplexRadio::CommitTransmit(Interval interval) {
+  assert(CanTransmit(interval) && "TX scheduled against an RX commitment");
+  tx_.push_back(interval);
+}
+
+void HalfDuplexRadio::CommitReceive(Interval interval) {
+  rx_.push_back(interval);
+}
+
+bool HalfDuplexRadio::CanTransmit(Interval interval) const {
+  return !ConflictsWith(rx_, interval);
+}
+
+bool HalfDuplexRadio::CanReceive(Interval interval) const {
+  return !ConflictsWith(tx_, interval);
+}
+
+void HalfDuplexRadio::Forget(Tick now) {
+  const Tick horizon = now - kHalfDuplexSwitchTicks;
+  while (!tx_.empty() && tx_.front().end < horizon) tx_.pop_front();
+  while (!rx_.empty() && rx_.front().end < horizon) rx_.pop_front();
+}
+
+}  // namespace osumac::phy

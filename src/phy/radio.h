@@ -1,0 +1,50 @@
+// Half-duplex radio model for mobile subscribers.
+//
+// A mobile subscriber can transmit or receive but not both, and needs a
+// 20 ms guard when switching between the two (Section 2.2).  The radio
+// records every transmit and receive commitment and answers feasibility
+// queries; the MAC scheduler is responsible for never *scheduling* a
+// conflict, and this model is the ground truth that catches scheduler bugs:
+// a reception that conflicts with a transmission is simply missed.
+#pragma once
+
+#include <deque>
+
+#include "common/time.h"
+#include "phy/phy_params.h"
+
+namespace osumac::phy {
+
+/// Tracks TX/RX commitments of one half-duplex transceiver.
+class HalfDuplexRadio {
+ public:
+  /// Records that the radio will transmit during `interval`.
+  /// Precondition: CanTransmit(interval) (asserted in debug builds).
+  void CommitTransmit(Interval interval);
+
+  /// Records that the radio will actively receive during `interval`.
+  void CommitReceive(Interval interval);
+
+  /// True if transmitting during `interval` conflicts with no receive
+  /// commitment, honouring the 20 ms switch guard on both sides.
+  bool CanTransmit(Interval interval) const;
+
+  /// True if receiving during `interval` conflicts with no transmit
+  /// commitment, honouring the 20 ms switch guard on both sides.
+  bool CanReceive(Interval interval) const;
+
+  /// Discards commitments that ended more than a guard time before `now`
+  /// (call once per cycle to bound memory).
+  void Forget(Tick now);
+
+  std::size_t pending_tx() const { return tx_.size(); }
+  std::size_t pending_rx() const { return rx_.size(); }
+
+ private:
+  static bool ConflictsWith(const std::deque<Interval>& set, Interval interval);
+
+  std::deque<Interval> tx_;
+  std::deque<Interval> rx_;
+};
+
+}  // namespace osumac::phy

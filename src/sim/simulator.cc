@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace osumac::sim {
+
+EventId Simulator::ScheduleAt(Tick when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  assert(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  pending_.emplace(seq, std::move(fn));
+  queue_.push(QueueKey{when, seq});
+  return EventId{seq};
+}
+
+bool Simulator::Cancel(EventId id) { return pending_.erase(id.seq) > 0; }
+
+bool Simulator::PeekNext(QueueKey& key) {
+  while (!queue_.empty()) {
+    const QueueKey top = queue_.top();
+    if (pending_.contains(top.seq)) {
+      key = top;
+      return true;
+    }
+    queue_.pop();  // cancelled entry; discard lazily
+  }
+  return false;
+}
+
+bool Simulator::Step() {
+  QueueKey key;
+  if (!PeekNext(key)) return false;
+  queue_.pop();
+  auto node = pending_.extract(key.seq);
+  now_ = key.when;
+  ++events_executed_;
+  node.mapped()();
+  return true;
+}
+
+void Simulator::RunUntil(Tick end) {
+  QueueKey key;
+  while (PeekNext(key) && key.when <= end) Step();
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+}  // namespace osumac::sim

@@ -1,0 +1,94 @@
+// A deterministic discrete-event simulation engine.
+//
+// This is the substrate that replaces the paper's JavaSim environment: an
+// event queue keyed by (tick, insertion sequence) so that simultaneous events
+// fire in a well-defined order and every run with the same seed is bit-for-bit
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace osumac::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Single-threaded discrete-event simulator.
+///
+/// Events are closures scheduled at absolute ticks.  Two events scheduled for
+/// the same tick fire in scheduling order (FIFO), which the MAC relies on so
+/// that, e.g., a slot-end event posted before a cycle-start event at the same
+/// boundary tick is processed first.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  Tick now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now()).
+  EventId ScheduleAt(Tick when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` (>= 0) ticks from now.
+  EventId ScheduleAfter(Tick delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired,
+  /// was already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Runs the earliest pending event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs events with time <= `end`; afterwards now() == end if the queue
+  /// still holds later events (or was emptied), so repeated RunUntil calls
+  /// advance monotonically.
+  void RunUntil(Tick end);
+
+  /// Runs all events to exhaustion.
+  void RunToCompletion();
+
+  /// Number of events executed so far (diagnostic).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending (excluding cancelled).
+  std::size_t pending_events() const { return pending_.size(); }
+
+ private:
+  struct QueueKey {
+    Tick when = 0;
+    std::uint64_t seq = 0;
+  };
+  struct KeyOrder {
+    // std::priority_queue is a max-heap; invert for earliest-first, with
+    // FIFO order among equal times.
+    bool operator()(const QueueKey& a, const QueueKey& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled entries; returns true and fills `key` with the next live
+  /// event without removing it, or returns false if none remain.
+  bool PeekNext(QueueKey& key);
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::unordered_map<std::uint64_t, std::function<void()>> pending_;
+  std::priority_queue<QueueKey, std::vector<QueueKey>, KeyOrder> queue_;
+};
+
+}  // namespace osumac::sim

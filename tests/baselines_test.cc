@@ -1,0 +1,139 @@
+// Tests for the Section-4 survey protocols.
+#include <gtest/gtest.h>
+
+#include "baselines/drma.h"
+#include "baselines/dtdma.h"
+#include "baselines/prma.h"
+#include "baselines/rama.h"
+#include "baselines/slotted_aloha.h"
+
+namespace osumac::baselines {
+namespace {
+
+BaselineWorkload LightLoad() {
+  BaselineWorkload w;
+  w.data_stations = 20;
+  w.packets_per_station_per_frame = 0.05;  // ~0.0625 load on 16 slots
+  w.frames = 3000;
+  return w;
+}
+
+BaselineWorkload HeavyLoad() {
+  BaselineWorkload w;
+  w.data_stations = 20;
+  w.packets_per_station_per_frame = 2.0;  // 2.5x capacity
+  w.frames = 2000;
+  return w;
+}
+
+TEST(PoissonArrivalsTest, MeanMatches) {
+  Rng rng(1);
+  std::int64_t total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += PoissonArrivals(0.7, rng);
+  EXPECT_NEAR(static_cast<double>(total) / n, 0.7, 0.02);
+}
+
+class AllProtocolsTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<BaselineProtocol> Make() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<SlottedAloha>();
+      case 1: return std::make_unique<Prma>();
+      case 2: return std::make_unique<Dtdma>();
+      case 3: return std::make_unique<Rama>();
+      default: return std::make_unique<Drma>();
+    }
+  }
+};
+
+TEST_P(AllProtocolsTest, LightLoadDeliversMostTraffic) {
+  Rng rng(11);
+  const auto result = Make()->Run(LightLoad(), rng);
+  EXPECT_GT(result.throughput, result.offered_load * 0.85)
+      << result.protocol << " must deliver nearly everything at light load";
+  EXPECT_EQ(result.dropped, 0);
+}
+
+TEST_P(AllProtocolsTest, ThroughputNeverExceedsCapacityOrOffered) {
+  Rng rng(12);
+  for (const auto& workload : {LightLoad(), HeavyLoad()}) {
+    const auto result = Make()->Run(workload, rng);
+    EXPECT_LE(result.throughput, 1.0 + 1e-9) << result.protocol;
+    EXPECT_LE(result.throughput, result.offered_load + 0.05) << result.protocol;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocolsTest, ::testing::Range(0, 5));
+
+TEST(SlottedAlohaTest, SaturationThroughputNearTheoreticalPeak) {
+  // Slotted ALOHA peaks at 1/e ~ 0.368; with fixed persistence and finite
+  // stations it lands in that neighbourhood but must stay well below the
+  // reservation protocols.
+  Rng rng(13);
+  const auto result = SlottedAloha().Run(HeavyLoad(), rng);
+  EXPECT_GT(result.throughput, 0.15);
+  EXPECT_LT(result.throughput, 0.45);
+  EXPECT_GT(result.collision_rate, 0.3) << "saturated ALOHA collides constantly";
+}
+
+TEST(RamaTest, AuctionAlwaysProducesExactlyOneWinner) {
+  Rng rng(14);
+  for (int contenders = 1; contenders <= 32; ++contenders) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const int winner = Rama::Auction(contenders, rng);
+      EXPECT_GE(winner, 0);
+      EXPECT_LT(winner, contenders);
+    }
+  }
+}
+
+TEST(RamaTest, AuctionIsUnbiased) {
+  Rng rng(15);
+  std::array<int, 4> wins{};
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) ++wins[static_cast<std::size_t>(Rama::Auction(4, rng))];
+  for (int w : wins) EXPECT_NEAR(w, trials / 4, trials / 20);
+}
+
+TEST(RamaTest, SaturationBeatsSlottedReservation) {
+  // RAMA's collision-free auctions must outperform D-TDMA's slotted-ALOHA
+  // reservations under saturation.
+  Rng rng1(16), rng2(16);
+  const auto rama = Rama().Run(HeavyLoad(), rng1);
+  const auto dtdma = Dtdma().Run(HeavyLoad(), rng2);
+  EXPECT_GT(rama.throughput, dtdma.throughput * 0.99);
+  EXPECT_EQ(rama.collision_rate, 0.0);
+  EXPECT_GT(dtdma.collision_rate, 0.1);
+}
+
+TEST(DrmaTest, ReservationKeepsSlotAcrossFrames) {
+  // Under heavy load DRMA approaches full information-slot usage because
+  // winners hold their slots while backlogged.
+  Rng rng(17);
+  const auto result = Drma().Run(HeavyLoad(), rng);
+  EXPECT_GT(result.throughput, 0.85);
+}
+
+TEST(PrmaTest, VoiceReservationsWork) {
+  BaselineWorkload w = LightLoad();
+  w.voice_stations = 4;
+  w.talkspurt_start_prob = 0.05;
+  Rng rng(18);
+  const auto result = Prma().Run(w, rng);
+  EXPECT_GT(result.throughput, 0.0);
+  EXPECT_LT(result.voice_drop_rate, 0.5);
+}
+
+TEST(PrmaTest, DegradesUnderHeavyLoadLikeThePaperSays) {
+  // "Due to its CSMA nature, PRMA suffers from low utilization in medium to
+  // heavy traffic loads" — its saturation throughput must sit far below
+  // DRMA's reservation-held throughput.
+  Rng rng1(19), rng2(19);
+  const auto prma = Prma().Run(HeavyLoad(), rng1);
+  const auto drma = Drma().Run(HeavyLoad(), rng2);
+  EXPECT_LT(prma.throughput, drma.throughput * 0.7);
+}
+
+}  // namespace
+}  // namespace osumac::baselines

@@ -1,0 +1,119 @@
+// End-to-end smoke tests: a full cell with registration, GPS reporting,
+// uplink/downlink data and real RS-coded control fields.
+#include <gtest/gtest.h>
+
+#include "mac/cell.h"
+#include "metrics/experiment.h"
+#include "traffic/workload.h"
+
+namespace osumac {
+namespace {
+
+using mac::Cell;
+using mac::CellConfig;
+using mac::MobileSubscriber;
+
+TEST(CellSmokeTest, DataUsersRegisterAndDeliverTraffic) {
+  CellConfig config;
+  config.seed = 42;
+  Cell cell(config);
+  std::vector<int> nodes;
+  for (int i = 0; i < 5; ++i) {
+    const int node = cell.AddSubscriber(/*wants_gps=*/false);
+    cell.PowerOn(node);
+    nodes.push_back(node);
+  }
+  cell.RunCycles(5);
+  for (int node : nodes) {
+    EXPECT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kActive)
+        << "node " << node;
+  }
+
+  // Send one message per user; everything should be delivered in a few
+  // cycles.
+  for (int node : nodes) EXPECT_TRUE(cell.SendUplinkMessage(node, 120));
+  cell.RunCycles(8);
+
+  std::int64_t delivered = 0;
+  for (int node : nodes) delivered += cell.subscriber(node).stats().packets_delivered;
+  EXPECT_EQ(delivered, 5 * 3);  // 120 bytes = 3 packets each
+  EXPECT_EQ(cell.metrics().unique_payload_bytes, 5 * 120);
+}
+
+TEST(CellSmokeTest, GpsUsersReportEveryCycle) {
+  CellConfig config;
+  config.seed = 7;
+  Cell cell(config);
+  std::vector<int> buses;
+  for (int i = 0; i < 4; ++i) {
+    const int node = cell.AddSubscriber(/*wants_gps=*/true);
+    cell.PowerOn(node);
+    buses.push_back(node);
+  }
+  cell.RunCycles(6);  // register
+  for (int node : buses) {
+    EXPECT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kActive);
+    EXPECT_TRUE(cell.subscriber(node).gps_slot().has_value());
+  }
+  cell.ResetStats();
+  cell.RunCycles(20);
+
+  const auto& bs = cell.base_station().counters();
+  // 4 buses x 20 cycles, minus at most one warm-up report each.
+  EXPECT_GE(bs.gps_packets_received, 4 * 19);
+  for (int node : buses) {
+    const auto& st = cell.subscriber(node).stats();
+    EXPECT_GE(st.gps_reports_sent, 19);
+    ASSERT_FALSE(st.gps_access_delay_seconds.empty());
+    EXPECT_LT(st.gps_access_delay_seconds.Max(), 4.0) << "4-second QoS bound";
+  }
+}
+
+TEST(CellSmokeTest, DownlinkMessagesArrive) {
+  CellConfig config;
+  config.seed = 11;
+  Cell cell(config);
+  const int node = cell.AddSubscriber(false);
+  cell.PowerOn(node);
+  cell.RunCycles(4);
+  ASSERT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kActive);
+
+  EXPECT_TRUE(cell.SendDownlinkMessage(node, 500));  // 12 packets
+  cell.RunCycles(4);
+  EXPECT_EQ(cell.subscriber(node).stats().forward_packets_received, 12);
+  EXPECT_EQ(cell.metrics().downlink_message_delay_cycles.size(), 1u);
+  EXPECT_EQ(cell.metrics().forward_packets_lost, 0);
+}
+
+TEST(CellSmokeTest, SustainedLoadReachesExpectedUtilization) {
+  CellConfig config;
+  config.seed = 99;
+  Cell cell(config);
+  std::vector<int> nodes;
+  for (int i = 0; i < 10; ++i) {
+    const int node = cell.AddSubscriber(false);
+    cell.PowerOn(node);
+    nodes.push_back(node);
+  }
+  cell.RunCycles(10);  // registration
+  for (int node : nodes) {
+    ASSERT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kActive);
+  }
+
+  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
+  const Tick t = traffic::MeanInterarrivalTicks(0.5, 10, 9, sizes.MeanBytes());
+  traffic::PoissonUplinkWorkload workload(cell, nodes, t, sizes, Rng(5));
+  cell.RunCycles(20);  // warm up
+  cell.ResetStats();
+  cell.RunCycles(200);
+
+  const auto m = metrics::ComputeFigureMetrics(cell, nodes);
+  EXPECT_GT(m.utilization, 0.35);
+  EXPECT_LT(m.utilization, 0.65);
+  EXPECT_GT(m.mean_packet_delay_cycles, 0.5);
+  EXPECT_LT(m.mean_packet_delay_cycles, 8.0);
+  EXPECT_GT(m.fairness_index, 0.9);
+}
+
+}  // namespace
+}  // namespace osumac

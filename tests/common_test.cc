@@ -1,0 +1,188 @@
+// Unit tests for the common utilities: tick arithmetic, intervals, bit I/O,
+// statistics and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "common/bitio.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace osumac {
+namespace {
+
+// --- time -------------------------------------------------------------------
+
+TEST(TimeTest, SymbolDurationsAreExact) {
+  EXPECT_EQ(kTicksPerForwardSymbol, 15);
+  EXPECT_EQ(kTicksPerReverseSymbol, 20);
+  EXPECT_EQ(ForwardSymbols(3200), kTicksPerSecond);
+  EXPECT_EQ(ReverseSymbols(2400), kTicksPerSecond);
+}
+
+TEST(TimeTest, PaperDurationsAreExactTicks) {
+  EXPECT_DOUBLE_EQ(ToSeconds(ReverseSymbols(969)), 0.40375);   // data slot
+  EXPECT_DOUBLE_EQ(ToSeconds(ReverseSymbols(210)), 0.0875);    // GPS slot
+  EXPECT_DOUBLE_EQ(ToSeconds(ForwardSymbols(300)), 0.09375);   // fwd packet
+  EXPECT_DOUBLE_EQ(ToSeconds(ReverseSymbols(300)), 0.125);     // rev packet
+  EXPECT_DOUBLE_EQ(ToSeconds(FromMilliseconds(20)), 0.020);    // switch guard
+}
+
+TEST(IntervalTest, OverlapIsHalfOpen) {
+  const Interval a{0, 10};
+  const Interval b{10, 20};
+  EXPECT_FALSE(a.Overlaps(b)) << "touching intervals do not overlap";
+  EXPECT_TRUE(a.Overlaps({9, 11}));
+  EXPECT_TRUE(a.Overlaps({-5, 1}));
+  EXPECT_FALSE(a.Overlaps({-5, 0}));
+  EXPECT_TRUE(a.Overlaps({3, 4}));  // containment
+}
+
+TEST(IntervalTest, PaddedGrowsBothSides) {
+  const Interval a{100, 200};
+  EXPECT_EQ(a.Padded(20), (Interval{80, 220}));
+  // A 20 ms guard makes back-to-back TX/RX illegal but a gap of exactly
+  // one guard legal (half-open).
+  const Interval tx{0, 100};
+  const Interval rx{100 + 960, 2000};
+  EXPECT_FALSE(tx.Padded(960).Overlaps(rx));
+  EXPECT_TRUE(tx.Padded(961).Overlaps(rx));
+}
+
+TEST(IntervalTest, ContainsAndLength) {
+  const Interval a{5, 8};
+  EXPECT_TRUE(a.Contains(5));
+  EXPECT_TRUE(a.Contains(7));
+  EXPECT_FALSE(a.Contains(8));
+  EXPECT_EQ(a.length(), 3);
+  EXPECT_TRUE((Interval{4, 4}.empty()));
+}
+
+// --- bit I/O -----------------------------------------------------------------
+
+TEST(BitIoTest, RoundTripMixedWidths) {
+  BitWriter w;
+  w.Write(0b101, 3);
+  w.Write(0xBEEF, 16);
+  w.Write(0, 1);
+  w.Write(0x3F, 6);
+  w.Write(0x123456789ULL, 36);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.Read(3), 0b101u);
+  EXPECT_EQ(r.Read(16), 0xBEEFu);
+  EXPECT_EQ(r.Read(1), 0u);
+  EXPECT_EQ(r.Read(6), 0x3Fu);
+  EXPECT_EQ(r.Read(36), 0x123456789ULL);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitIoTest, MsbFirstLayout) {
+  BitWriter w;
+  w.Write(1, 1);
+  w.Write(0, 7);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0x80);
+}
+
+TEST(BitIoTest, ReadingPastEndOverflowsWithZeros) {
+  BitWriter w;
+  w.Write(0xFF, 8);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.Read(8), 0xFFu);
+  EXPECT_EQ(r.Read(8), 0u);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitIoTest, PaddingAndZeros) {
+  BitWriter w;
+  w.Write(0xA, 4);
+  w.WriteZeros(100);
+  EXPECT_EQ(w.bit_size(), 104);
+  const auto padded = w.BytesPaddedTo(48);
+  EXPECT_EQ(padded.size(), 48u);
+  EXPECT_EQ(padded[0], 0xA0);
+  for (std::size_t i = 13; i < 48; ++i) EXPECT_EQ(padded[i], 0);
+}
+
+// --- stats --------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, SampleSetQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Quantile(0.95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+}
+
+TEST(StatsTest, JainFairness) {
+  const double equal[] = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(equal), 1.0);
+  const double unfair[] = {1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(unfair), 0.25);  // 1/n
+  const double mixed[] = {4, 2, 2};
+  // (8)^2 / (3 * 24) = 64/72
+  EXPECT_NEAR(JainFairnessIndex(mixed), 64.0 / 72.0, 1e-12);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+}
+
+TEST(StatsTest, HistogramCumulative) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.6, 2.5, 9.5, 100.0}) h.Add(x);  // 100 clamps
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_EQ(h.bin_count(1), 2);
+  EXPECT_EQ(h.bin_count(9), 2);  // 9.5 and the clamped 100
+  EXPECT_NEAR(h.CumulativeFractionAtOrBelow(3.0), 4.0 / 6.0, 1e-12);
+}
+
+// --- rng -----------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng a(123);
+  Rng c = a.Fork();
+  Rng d = a.Fork();
+  EXPECT_NE(c.Next(), d.Next());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng a(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = a.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng a(6);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += a.Exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 1.5);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng a(7);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += a.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace osumac

@@ -1,0 +1,158 @@
+// Configuration-matrix property test: run the same mixed scenario under
+// every feature-toggle combination and assert the protocol invariants that
+// must hold regardless of configuration.  Catches toggle interactions
+// (e.g. ARQ x no-second-CF, static GPS x erasures) that single-feature
+// tests cannot.
+#include <gtest/gtest.h>
+
+#include "mac/cell.h"
+#include "traffic/workload.h"
+
+namespace osumac {
+namespace {
+
+using mac::Cell;
+using mac::CellConfig;
+using mac::ChannelModelConfig;
+using mac::MobileSubscriber;
+
+struct ConfigCase {
+  bool second_cf;
+  bool dynamic_gps;
+  bool dynamic_contention;
+  bool arq;
+  bool erasures;
+  bool noisy;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ConfigCase>& info) {
+  const ConfigCase& c = info.param;
+  std::string name;
+  name += c.second_cf ? "cf2_" : "nocf2_";
+  name += c.dynamic_gps ? "dyngps_" : "statgps_";
+  name += c.dynamic_contention ? "dyncont_" : "statcont_";
+  name += c.arq ? "arq_" : "noarq_";
+  name += c.erasures ? "ei_" : "noei_";
+  name += c.noisy ? "noisy" : "clean";
+  return name;
+}
+
+class ConfigMatrixTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigMatrixTest, InvariantsHoldUnderEveryToggleCombination) {
+  const ConfigCase& c = GetParam();
+  CellConfig config;
+  config.seed = 701;
+  config.mac.use_second_control_field = c.second_cf;
+  config.mac.dynamic_gps_slots = c.dynamic_gps;
+  config.mac.dynamic_contention_slots = c.dynamic_contention;
+  config.mac.downlink_arq = c.arq;
+  config.erasure_side_information = c.erasures;
+  if (c.noisy) {
+    config.reverse.kind = ChannelModelConfig::Kind::kGilbertElliott;
+    config.reverse.ge.p_good_to_bad = 0.004;
+    config.reverse.ge.p_bad_to_good = 0.12;
+    config.reverse.ge.error_prob_bad = 0.6;
+    config.forward.kind = ChannelModelConfig::Kind::kUniform;
+    config.forward.symbol_error_prob = 0.02;
+  }
+
+  Cell cell(config);
+  std::vector<int> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(nodes.back());
+  }
+  std::vector<int> buses;
+  for (int i = 0; i < 2; ++i) {
+    buses.push_back(cell.AddSubscriber(true));
+    cell.PowerOn(buses.back());
+  }
+  cell.RunCycles(15);
+
+  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
+  traffic::PoissonUplinkWorkload up(
+      cell, nodes, traffic::MeanInterarrivalTicks(0.6, 6, 9, sizes.MeanBytes()), sizes,
+      Rng(11));
+  // Downlink modest enough that even the weakest arm (no second CF +
+  // static GPS slots: six reverse slots) can carry the ARQ ack traffic —
+  // overload behaviour is studied separately in bench_ablation_arq.
+  traffic::PoissonDownlinkWorkload down(cell, nodes, 14 * mac::kCycleTicks, sizes,
+                                        Rng(12));
+  // Mid-run churn: a bus leaves, another joins.
+  cell.RunCycles(40);
+  cell.RequestSignOff(buses[0]);
+  const int newcomer = cell.AddSubscriber(true);
+  cell.PowerOn(newcomer);
+  cell.RunCycles(60);
+
+  // --- invariants, independent of configuration -----------------------------
+  const auto& bs = cell.base_station().counters();
+  const auto& cm = cell.metrics();
+
+  // Conservation: never deliver more than offered, per-user shares sum up.
+  EXPECT_LE(cm.unique_payload_bytes, cm.offered_bytes);
+  std::int64_t share_sum = 0;
+  for (const auto& [uid, bytes] : cm.per_user_bytes) share_sum += bytes;
+  EXPECT_EQ(share_sum, cm.unique_payload_bytes);
+
+  // Liveness: the cell moves real traffic under every configuration.
+  EXPECT_GT(bs.data_packets_received, 50);
+  EXPECT_GT(cm.unique_payload_bytes, 0);
+
+  // Temporal QoS: active buses never miss the 4-second bound.
+  for (int b : {buses[1], newcomer}) {
+    const auto& st = cell.subscriber(b).stats();
+    if (!st.gps_access_delay_seconds.empty()) {
+      EXPECT_LT(st.gps_access_delay_seconds.Max(), 4.0) << "bus " << b;
+    }
+    EXPECT_GT(st.gps_reports_sent, 30) << "bus " << b;
+  }
+
+  // Structural: GPS slots stay a dense prefix iff dynamic adjustment is on.
+  if (c.dynamic_gps) {
+    EXPECT_TRUE(cell.base_station().gps_manager().IsDensePrefix());
+  }
+
+  // The disabled-CF2 design never uses the last reverse data slot.
+  if (!c.second_cf) {
+    EXPECT_EQ(bs.last_slot_data_packets, 0);
+  }
+
+  // ARQ machinery only runs when enabled.
+  if (!c.arq) {
+    EXPECT_EQ(bs.forward_retransmissions, 0);
+    EXPECT_EQ(bs.forward_acks_received, 0);
+  }
+
+  // Clean channels never lose forward packets (scheduler correctness);
+  // noisy ones must still deliver most downlink traffic.
+  if (!c.noisy) {
+    EXPECT_EQ(cm.forward_packets_lost, 0);
+  }
+}
+
+std::vector<ConfigCase> AllCases() {
+  std::vector<ConfigCase> cases;
+  for (bool second_cf : {true, false}) {
+    for (bool dynamic_gps : {true, false}) {
+      for (bool dynamic_contention : {true, false}) {
+        for (bool arq : {true, false}) {
+          for (bool noisy : {true, false}) {
+            // Erasure side info only does anything on the noisy channel;
+            // pair it with noise to keep the matrix at 32 runs.
+            cases.push_back(
+                {second_cf, dynamic_gps, dynamic_contention, arq, noisy, noisy});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllToggles, ConfigMatrixTest, ::testing::ValuesIn(AllCases()),
+                         CaseName);
+
+}  // namespace
+}  // namespace osumac

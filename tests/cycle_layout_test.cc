@@ -1,0 +1,146 @@
+// Tests for the notification-cycle geometry (Sections 3.3-3.4, Table 2).
+#include <gtest/gtest.h>
+
+#include "mac/cycle_layout.h"
+
+namespace osumac::mac {
+namespace {
+
+TEST(CycleLayoutTest, CycleLengthMatchesPaper) {
+  EXPECT_EQ(kCycleTicks, 191250);
+  EXPECT_DOUBLE_EQ(ToSeconds(kCycleTicks), 3.984375);  // paper: "3.9844"
+  EXPECT_DOUBLE_EQ(ToSeconds(kReverseShiftTicks), 0.30125);
+}
+
+TEST(CycleLayoutTest, ForwardStructure) {
+  EXPECT_EQ(ForwardCycleLayout::Preamble(), (Interval{0, 4500}));
+  EXPECT_EQ(ForwardCycleLayout::ControlFields1(), (Interval{4500, 13500}));
+  EXPECT_EQ(ForwardCycleLayout::DataSlot(0), (Interval{13500, 18000}));
+  EXPECT_EQ(ForwardCycleLayout::Preamble2(), (Interval{18000, 20250}));
+  EXPECT_EQ(ForwardCycleLayout::ControlFields2(), (Interval{20250, 29250}));
+  EXPECT_EQ(ForwardCycleLayout::DataSlot(1).begin, 29250);
+  EXPECT_EQ(ForwardCycleLayout::DataSlot(36).end, kCycleTicks);
+  EXPECT_EQ(kForwardDataSlots, 37);  // the paper's N = 37
+}
+
+TEST(CycleLayoutTest, ForwardSlotsAreContiguousAndDisjoint) {
+  for (int i = 1; i < kForwardDataSlots - 1; ++i) {
+    EXPECT_EQ(ForwardCycleLayout::DataSlot(i).end,
+              ForwardCycleLayout::DataSlot(i + 1).begin);
+    EXPECT_FALSE(
+        ForwardCycleLayout::DataSlot(i).Overlaps(ForwardCycleLayout::DataSlot(i + 1)));
+  }
+}
+
+TEST(CycleLayoutTest, FormatSelection) {
+  EXPECT_EQ(FormatForGpsCount(0), ReverseFormat::kFormat2);
+  EXPECT_EQ(FormatForGpsCount(3), ReverseFormat::kFormat2);
+  EXPECT_EQ(FormatForGpsCount(4), ReverseFormat::kFormat1);
+  EXPECT_EQ(FormatForGpsCount(8), ReverseFormat::kFormat1);
+}
+
+TEST(CycleLayoutTest, SlotCountsPerFormat) {
+  const ReverseCycleLayout f1(ReverseFormat::kFormat1);
+  const ReverseCycleLayout f2(ReverseFormat::kFormat2);
+  EXPECT_EQ(f1.gps_slot_count(), 8);
+  EXPECT_EQ(f1.data_slot_count(), 8);
+  EXPECT_EQ(f2.gps_slot_count(), 3);
+  EXPECT_EQ(f2.data_slot_count(), 9);  // the paper's M = 9
+}
+
+// Table 2, format 1 (seconds).
+TEST(CycleLayoutTest, Table2Format1AccessTimes) {
+  const ReverseCycleLayout f1(ReverseFormat::kFormat1);
+  const double gps_expected[] = {0.30125, 0.38875, 0.47625, 0.56375,
+                                 0.65125, 0.73875, 0.82625, 0.91375};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(ToSeconds(f1.GpsSlot(i).begin), gps_expected[i]) << "GPS slot " << i + 1;
+  }
+  const double data_expected[] = {1.00125, 1.40500, 1.80875, 2.21250,
+                                  2.61625, 3.02000, 3.42375, 3.82750};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(ToSeconds(f1.DataSlot(i).begin), data_expected[i])
+        << "data slot " << i + 1;
+  }
+}
+
+// Table 2, format 2.  The paper's printed rows 8/9 are shifted by one (its
+// "data slot 8" duplicates slot 7); the arithmetic from the stated layout
+// gives the values below — see EXPERIMENTS.md.
+TEST(CycleLayoutTest, Table2Format2AccessTimes) {
+  const ReverseCycleLayout f2(ReverseFormat::kFormat2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(ToSeconds(f2.GpsSlot(i).begin), 0.30125 + i * 0.0875);
+  }
+  const double data_expected[] = {0.56375, 0.96750, 1.37125, 1.77500, 2.17875,
+                                  2.58250, 2.98625, 3.39000, 3.79375};
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(ToSeconds(f2.DataSlot(i).begin), data_expected[i])
+        << "data slot " << i + 1;
+  }
+}
+
+TEST(CycleLayoutTest, BothFormatsHaveSameContentLength) {
+  // 8 GPS + 8 data == 3 GPS + 9 data + 0.03375 s guard == 3.93 s.
+  const ReverseCycleLayout f1(ReverseFormat::kFormat1);
+  const ReverseCycleLayout f2(ReverseFormat::kFormat2);
+  const Tick f1_content = f1.DataSlot(7).end - kReverseShiftTicks;
+  const Tick f2_content = f2.DataSlot(8).end - kReverseShiftTicks;
+  EXPECT_DOUBLE_EQ(ToSeconds(f1_content), 3.93);  // the paper's "3.93 seconds"
+  // Format 2's slots end 0.03375 s earlier; its extra guard restores parity.
+  EXPECT_EQ(f1_content, f2_content + static_cast<Tick>(0.03375 * kTicksPerSecond));
+  // Both reverse cycles append a trailing guard aligning to the 3.984375 s
+  // forward cycle (the paper quotes this guard as "0.0544 second").
+  EXPECT_DOUBLE_EQ(ToSeconds(kCycleTicks - f1_content), 0.054375);
+}
+
+TEST(CycleLayoutTest, OnlyLastDataSlotOverlapsNextCf1) {
+  for (const ReverseFormat fmt : {ReverseFormat::kFormat1, ReverseFormat::kFormat2}) {
+    const ReverseCycleLayout layout(fmt);
+    for (int i = 0; i < layout.data_slot_count(); ++i) {
+      EXPECT_EQ(layout.DataSlotOverlapsNextCf1(i), i == layout.last_data_slot());
+    }
+    // GPS slots never reach the next cycle.
+    for (int i = 0; i < layout.gps_slot_count(); ++i) {
+      EXPECT_LT(layout.GpsSlot(i).end, kCycleTicks);
+    }
+  }
+}
+
+TEST(CycleLayoutTest, LastSlotUserCanStillSwitchToCf2) {
+  // The tail of the last data slot (running into the next cycle) plus the
+  // 20 ms switch guard must end before the next cycle's second preamble, so
+  // the CF2 listener rule is physically realizable.
+  for (const ReverseFormat fmt : {ReverseFormat::kFormat1, ReverseFormat::kFormat2}) {
+    const ReverseCycleLayout layout(fmt);
+    const Tick tail_end = layout.DataSlot(layout.last_data_slot()).end - kCycleTicks;
+    EXPECT_GT(tail_end, 0);
+    EXPECT_LE(tail_end + phy::kHalfDuplexSwitchTicks,
+              ForwardCycleLayout::Preamble2().begin);
+  }
+}
+
+TEST(CycleLayoutTest, GpsSlotOneStartsExactlyOneGuardAfterCf1) {
+  // The paper's "extra 0.02 seconds makes it possible for the GPS users to
+  // transmit right after they learn their schedules".
+  const ReverseCycleLayout layout(ReverseFormat::kFormat1);
+  EXPECT_EQ(layout.GpsSlot(0).begin,
+            ForwardCycleLayout::ControlFields1().end + phy::kHalfDuplexSwitchTicks);
+}
+
+TEST(CycleLayoutTest, ReverseSlotsDisjointWithinCycle) {
+  for (const ReverseFormat fmt : {ReverseFormat::kFormat1, ReverseFormat::kFormat2}) {
+    const ReverseCycleLayout layout(fmt);
+    std::vector<Interval> all;
+    for (int i = 0; i < layout.gps_slot_count(); ++i) all.push_back(layout.GpsSlot(i));
+    for (int i = 0; i < layout.data_slot_count(); ++i) all.push_back(layout.DataSlot(i));
+    for (std::size_t a = 0; a < all.size(); ++a) {
+      for (std::size_t b = a + 1; b < all.size(); ++b) {
+        EXPECT_FALSE(all[a].Overlaps(all[b])) << "slots " << a << " and " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osumac::mac

@@ -1,0 +1,115 @@
+// Tests for erasure side-information decoding (extension; the paper's
+// burst-erasure reference [2]): receivers that can flag fade-period symbols
+// as erasures let RS(64,48) absorb bursts up to twice as long.
+#include <gtest/gtest.h>
+
+#include "fec/reed_solomon.h"
+#include "mac/cell.h"
+#include "phy/channel.h"
+#include "phy/error_model.h"
+
+namespace osumac {
+namespace {
+
+phy::GilbertElliottModel::Params HarshFades() {
+  // Mean fade ~6.7 symbols with a dense error rate inside the fade: deep
+  // enough that errors-only decoding (t = 8) loses most faded codewords,
+  // short enough that the 15-erasure budget absorbs nearly all of them —
+  // the regime erasure side information is built for.
+  phy::GilbertElliottModel::Params p;
+  p.p_good_to_bad = 0.01;
+  p.p_bad_to_good = 0.15;
+  p.error_prob_good = 0.0;
+  p.error_prob_bad = 0.9;
+  return p;
+}
+
+TEST(ErasureSideInfoTest, GilbertElliottReportsFadedSymbols) {
+  Rng rng(401);
+  phy::GilbertElliottModel model(HarshFades());
+  int reported = 0;
+  int corrupted = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<fec::GfElem> word(64, 0);
+    std::vector<int> erasures;
+    corrupted += model.CorruptWithSideInfo(word, rng, &erasures);
+    reported += static_cast<int>(erasures.size());
+    for (int pos : erasures) {
+      ASSERT_GE(pos, 0);
+      ASSERT_LT(pos, 64);
+    }
+  }
+  EXPECT_GT(reported, 0);
+  EXPECT_GE(reported, corrupted) << "every corrupted symbol sits inside a fade "
+                                    "(error_prob_good = 0), so side info covers it";
+}
+
+TEST(ErasureSideInfoTest, SideInfoRoughlyDoublesBurstTolerance) {
+  // Same channel statistics, two receivers: one decodes errors-only, one
+  // uses the fade flags as erasures.  The erasure-aware receiver must lose
+  // far fewer codewords.
+  const auto& rs = fec::ReedSolomon::Osu6448();
+  auto run = [&](bool side_info) {
+    Rng rng(402);  // same noise realization per mode
+    phy::GilbertElliottModel model(HarshFades());
+    int failures = 0;
+    const int words = 3000;
+    for (int i = 0; i < words; ++i) {
+      std::vector<fec::GfElem> data(48, static_cast<fec::GfElem>(i & 0xFF));
+      const std::vector<std::vector<fec::GfElem>> cw = {rs.Encode(data)};
+      const auto decoded = phy::ApplyChannel(cw, rs, model, rng, nullptr, side_info);
+      if (!decoded.has_value()) {
+        ++failures;
+      } else {
+        EXPECT_EQ(decoded->front(), data) << "never silently wrong";
+      }
+    }
+    return failures;
+  };
+  const int without = run(false);
+  const int with = run(true);
+  EXPECT_GT(without, 20) << "the fades must actually hurt the plain receiver";
+  EXPECT_LT(with, without / 2) << "side info must absorb most fade bursts";
+}
+
+TEST(ErasureSideInfoTest, EndToEndGpsLossDrops) {
+  auto run = [](bool side_info) {
+    mac::CellConfig config;
+    config.seed = 403;
+    config.erasure_side_information = side_info;
+    config.reverse.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+    config.reverse.ge = HarshFades();
+    mac::Cell cell(config);
+    for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
+    cell.RunCycles(20);
+    cell.ResetStats();
+    cell.RunCycles(300);
+    const auto& bs = cell.base_station().counters();
+    const double total =
+        static_cast<double>(bs.gps_packets_received + bs.gps_packets_failed);
+    return total > 0 ? static_cast<double>(bs.gps_packets_failed) / total : 0.0;
+  };
+  const double loss_without = run(false);
+  const double loss_with = run(true);
+  EXPECT_GT(loss_without, 0.02);
+  EXPECT_LT(loss_with, loss_without * 0.6)
+      << "fade flags must rescue a large share of GPS reports";
+}
+
+TEST(ErasureSideInfoTest, NoEffectOnUniformChannels) {
+  // The uniform model has no side information; both modes behave alike.
+  const auto& rs = fec::ReedSolomon::Osu6448();
+  phy::UniformErrorModel model(0.05);
+  Rng rng1(404), rng2(404);
+  std::vector<fec::GfElem> data(48, 0x5A);
+  const std::vector<std::vector<fec::GfElem>> cw = {rs.Encode(data)};
+  phy::UniformErrorModel m1(0.05), m2(0.05);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = phy::ApplyChannel(cw, rs, m1, rng1, nullptr, false);
+    const auto b = phy::ApplyChannel(cw, rs, m2, rng2, nullptr, true);
+    EXPECT_EQ(a.has_value(), b.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace osumac

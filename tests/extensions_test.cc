@@ -1,0 +1,390 @@
+// Tests for the protocol extensions: in-band deregistration, downlink ARQ,
+// uplink message routing (subscriber-to-subscriber), GPS liveness timeout,
+// and the multi-cell Network with backbone routing and handoff.
+#include <gtest/gtest.h>
+
+#include "mac/cell.h"
+#include "mac/network.h"
+#include "traffic/workload.h"
+
+namespace osumac {
+namespace {
+
+using mac::Cell;
+using mac::CellConfig;
+using mac::ChannelModelConfig;
+using mac::MobileSubscriber;
+using mac::Network;
+
+// ---------------------------------------------------------------------------
+// In-band deregistration
+// ---------------------------------------------------------------------------
+
+TEST(SignOffTest, DataUserSignsOffInBand) {
+  CellConfig config;
+  config.seed = 71;
+  Cell cell(config);
+  const int node = cell.AddSubscriber(false);
+  cell.PowerOn(node);
+  cell.RunCycles(4);
+  ASSERT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kActive);
+  const mac::UserId uid = cell.subscriber(node).user_id();
+  ASSERT_TRUE(cell.base_station().registered_users().contains(uid));
+
+  cell.RequestSignOff(node);
+  cell.RunCycles(4);
+  EXPECT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kOff);
+  EXPECT_FALSE(cell.base_station().registered_users().contains(uid));
+  EXPECT_EQ(cell.base_station().counters().deregistrations_received, 1);
+}
+
+TEST(SignOffTest, GpsSignOffTriggersSlotConsolidation) {
+  CellConfig config;
+  config.seed = 72;
+  Cell cell(config);
+  std::vector<int> buses;
+  for (int i = 0; i < 4; ++i) {
+    buses.push_back(cell.AddSubscriber(true));
+    cell.PowerOn(buses.back());
+  }
+  cell.RunCycles(6);
+  ASSERT_EQ(cell.base_station().gps_manager().active_count(), 4);
+  ASSERT_EQ(cell.base_station().current_format(), mac::ReverseFormat::kFormat1);
+
+  cell.RequestSignOff(buses[0]);
+  cell.RunCycles(4);
+  EXPECT_EQ(cell.base_station().gps_manager().active_count(), 3);
+  EXPECT_EQ(cell.base_station().current_format(), mac::ReverseFormat::kFormat2);
+  EXPECT_TRUE(cell.base_station().gps_manager().IsDensePrefix());
+}
+
+TEST(SignOffTest, SignOffWhileUnregisteredJustPowersOff) {
+  CellConfig config;
+  Cell cell(config);
+  const int node = cell.AddSubscriber(false);
+  cell.RequestSignOff(node);
+  EXPECT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kOff);
+}
+
+// ---------------------------------------------------------------------------
+// Downlink ARQ
+// ---------------------------------------------------------------------------
+
+void RunArqScenario(bool arq, mac::Cell*& cell_out) {
+  CellConfig config;
+  config.seed = 73;
+  config.mac.downlink_arq = arq;
+  // A channel lossy enough to kill a few codewords per run but not the
+  // control fields wholesale (a mobile that cannot hear the schedule
+  // cannot be helped by ARQ either).
+  config.forward.kind = ChannelModelConfig::Kind::kUniform;
+  config.forward.symbol_error_prob = 0.09;
+  cell_out = new Cell(config);
+  Cell& cell = *cell_out;
+  const int node = cell.AddSubscriber(false);
+  cell.PowerOn(node);
+  cell.RunCycles(15);  // registration may need retries on a noisy CF path
+  ASSERT_EQ(cell.subscriber(node).state(), MobileSubscriber::State::kActive);
+  for (int m = 0; m < 4; ++m) {
+    ASSERT_TRUE(cell.SendDownlinkMessage(node, 44 * 10));  // 10 packets each
+    cell.RunCycles(15);
+  }
+  cell.RunCycles(30);
+}
+
+TEST(DownlinkArqTest, LossyForwardChannelRecoveredWithArq) {
+  Cell* cell = nullptr;
+  RunArqScenario(true, cell);
+  ASSERT_NE(cell, nullptr);
+  const auto& bs = cell->base_station().counters();
+  EXPECT_GT(bs.forward_retransmissions, 0) << "the noise must trigger ARQ";
+  EXPECT_GT(bs.forward_acks_received, 0);
+  EXPECT_EQ(cell->metrics().downlink_message_delay_cycles.size(), 4u)
+      << "all four messages must eventually assemble";
+  delete cell;
+}
+
+TEST(DownlinkArqTest, WithoutArqLossesAreFinal) {
+  Cell* cell = nullptr;
+  RunArqScenario(false, cell);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GT(cell->metrics().forward_packets_lost, 0);
+  EXPECT_LT(cell->metrics().downlink_message_delay_cycles.size(), 4u)
+      << "without ARQ at least one message stays incomplete";
+  EXPECT_EQ(cell->base_station().counters().forward_retransmissions, 0);
+  delete cell;
+}
+
+TEST(DownlinkArqTest, CleanChannelArqCostsNothingButAcks) {
+  CellConfig config;
+  config.seed = 74;
+  config.mac.downlink_arq = true;
+  Cell cell(config);
+  const int node = cell.AddSubscriber(false);
+  cell.PowerOn(node);
+  cell.RunCycles(4);
+  ASSERT_TRUE(cell.SendDownlinkMessage(node, 44 * 5));
+  cell.RunCycles(10);
+  const auto& bs = cell.base_station().counters();
+  EXPECT_EQ(bs.forward_retransmissions, 0);
+  EXPECT_EQ(bs.forward_arq_drops, 0);
+  EXPECT_GT(bs.forward_acks_received, 0);
+  EXPECT_EQ(cell.subscriber(node).stats().forward_packets_received, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Subscriber-to-subscriber routing
+// ---------------------------------------------------------------------------
+
+TEST(RoutingTest, SameCellMessageForwardedDownlink) {
+  CellConfig config;
+  config.seed = 75;
+  Cell cell(config);
+  const int alice = cell.AddSubscriber(false);
+  const int bob = cell.AddSubscriber(false);
+  cell.PowerOn(alice);
+  cell.PowerOn(bob);
+  cell.RunCycles(5);
+
+  ASSERT_TRUE(cell.SendSubscriberMessage(alice, cell.subscriber(bob).ein(), 130));
+  cell.RunCycles(10);
+  const auto& bs = cell.base_station().counters();
+  EXPECT_EQ(bs.messages_forwarded_local, 1);
+  EXPECT_EQ(cell.subscriber(bob).stats().forward_packets_received, 3);  // 130 B
+  EXPECT_EQ(cell.metrics().downlink_message_delay_cycles.size(), 1u);
+}
+
+TEST(RoutingTest, MessageToUnregisteredEinIsPagedAndDeliveredLater) {
+  CellConfig config;
+  config.seed = 76;
+  config.mac.inactive_listen_period_cycles = 3;
+  Cell cell(config);
+  const int alice = cell.AddSubscriber(false);
+  const int sleeper = cell.AddSubscriber(false);  // never powered on
+  cell.PowerOn(alice);
+  cell.RunCycles(5);
+
+  ASSERT_TRUE(cell.SendSubscriberMessage(alice, cell.subscriber(sleeper).ein(), 88));
+  cell.RunCycles(4);
+  EXPECT_GE(cell.base_station().counters().messages_buffered_for_paging, 1);
+  // The paged unit wakes, registers, and receives the buffered message.
+  cell.RunCycles(12);
+  EXPECT_EQ(cell.subscriber(sleeper).state(), MobileSubscriber::State::kActive);
+  EXPECT_EQ(cell.subscriber(sleeper).stats().forward_packets_received, 2);  // 88 B
+}
+
+TEST(RoutingTest, PagingBufferIsBounded) {
+  CellConfig config;
+  config.seed = 77;
+  config.mac.forward_buffer_messages = 2;
+  config.mac.inactive_listen_period_cycles = 200;  // ghost stays asleep
+  Cell cell(config);
+  const int alice = cell.AddSubscriber(false);
+  const int ghost = cell.AddSubscriber(false);
+  cell.PowerOn(alice);
+  cell.RunCycles(5);
+  // Five messages burst in at once; they all complete within two cycles,
+  // long before the sleeping destination could hear a page.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cell.SendSubscriberMessage(alice, cell.subscriber(ghost).ein(), 40));
+  }
+  cell.RunCycles(4);
+  const auto& bs = cell.base_station().counters();
+  EXPECT_EQ(bs.messages_buffered_for_paging, 2);
+  EXPECT_EQ(bs.forward_buffer_drops, 3);
+}
+
+TEST(RoutingTest, PagedGhostEventuallyDrainsTheBuffer) {
+  // The complement of the bounded-buffer test: once the paged unit wakes
+  // (its periodic listen window) it registers and the buffered messages
+  // flow out as downlink traffic.
+  CellConfig config;
+  config.seed = 77;
+  config.mac.forward_buffer_messages = 2;
+  config.mac.inactive_listen_period_cycles = 6;
+  Cell cell(config);
+  const int alice = cell.AddSubscriber(false);
+  const int ghost = cell.AddSubscriber(false);
+  cell.PowerOn(alice);
+  cell.RunCycles(5);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cell.SendSubscriberMessage(alice, cell.subscriber(ghost).ein(), 40));
+  }
+  cell.RunCycles(20);
+  EXPECT_EQ(cell.subscriber(ghost).state(), MobileSubscriber::State::kActive);
+  EXPECT_EQ(cell.subscriber(ghost).stats().forward_packets_received, 2)
+      << "the two buffered messages arrive; the third was dropped";
+}
+
+// ---------------------------------------------------------------------------
+// GPS liveness timeout
+// ---------------------------------------------------------------------------
+
+TEST(GpsTimeoutTest, SilentBusIsSignedOffAndSlotsConsolidate) {
+  CellConfig config;
+  config.seed = 78;
+  config.mac.gps_miss_signoff_threshold = 5;
+  Cell cell(config);
+  std::vector<int> buses;
+  for (int i = 0; i < 4; ++i) {
+    buses.push_back(cell.AddSubscriber(true));
+    cell.PowerOn(buses.back());
+  }
+  cell.RunCycles(8);
+  ASSERT_EQ(cell.base_station().gps_manager().active_count(), 4);
+
+  // Bus 1 dies abruptly (battery pulled): no in-band sign-off.
+  cell.subscriber(buses[1]).PowerOff();
+  cell.RunCycles(10);
+  EXPECT_EQ(cell.base_station().counters().gps_timeouts, 1);
+  EXPECT_EQ(cell.base_station().gps_manager().active_count(), 3);
+  EXPECT_EQ(cell.base_station().current_format(), mac::ReverseFormat::kFormat2)
+      << "the dead bus's slot was reclaimed";
+  EXPECT_TRUE(cell.base_station().gps_manager().IsDensePrefix());
+}
+
+TEST(GpsTimeoutTest, DisabledByDefault) {
+  CellConfig config;
+  config.seed = 79;
+  Cell cell(config);
+  const int bus = cell.AddSubscriber(true);
+  cell.PowerOn(bus);
+  cell.RunCycles(5);
+  cell.subscriber(bus).PowerOff();
+  cell.RunCycles(20);
+  EXPECT_EQ(cell.base_station().counters().gps_timeouts, 0);
+  EXPECT_EQ(cell.base_station().gps_manager().active_count(), 1)
+      << "without the extension, a dead bus holds its slot (paper behaviour)";
+}
+
+// ---------------------------------------------------------------------------
+// Dual-role subscribers (GPS bus with an onboard data terminal)
+// ---------------------------------------------------------------------------
+
+TEST(DualRoleTest, GpsUserCarriesDataWithoutLosingQoS) {
+  CellConfig config;
+  config.seed = 85;
+  Cell cell(config);
+  const int bus = cell.AddSubscriber(true);
+  const int office = cell.AddSubscriber(false);
+  cell.PowerOn(bus);
+  cell.PowerOn(office);
+  cell.RunCycles(6);
+  ASSERT_EQ(cell.subscriber(bus).state(), MobileSubscriber::State::kActive);
+  cell.ResetStats();
+
+  // The bus uploads telemetry while reporting its position every cycle.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cell.SendUplinkMessage(bus, 200));
+    cell.RunCycles(6);
+  }
+  const auto& st = cell.subscriber(bus).stats();
+  EXPECT_EQ(st.packets_delivered, 5 * 5) << "200 B = 5 packets per message";
+  EXPECT_GE(st.gps_reports_sent, 29) << "GPS cadence unaffected";
+  EXPECT_LT(st.gps_access_delay_seconds.Max(), 4.0);
+  // And receives downlink too.
+  ASSERT_TRUE(cell.SendDownlinkMessage(bus, 100));
+  cell.RunCycles(5);
+  EXPECT_EQ(st.forward_packets_received, 3);
+}
+
+TEST(DualRoleTest, GpsUserNeverTakesTheLastDataSlot) {
+  CellConfig config;
+  config.seed = 86;
+  Cell cell(config);
+  const int bus = cell.AddSubscriber(true);
+  cell.PowerOn(bus);
+  cell.RunCycles(5);
+  // Saturate the bus's uplink queue so it demands every slot.
+  for (int i = 0; i < 6; ++i) cell.SendUplinkMessage(bus, 400);
+  for (int c = 0; c < 20; ++c) {
+    cell.RunCycles(1);
+    const auto& schedule = cell.base_station().reverse_schedule();
+    const mac::ReverseCycleLayout layout(cell.base_station().current_format());
+    EXPECT_NE(schedule[static_cast<std::size_t>(layout.last_data_slot())],
+              cell.subscriber(bus).user_id())
+        << "cycle " << c << ": a GPS user in the last slot could not listen "
+        << "to CF2 without clashing with its GPS transmission";
+  }
+  // The data still flows despite the restriction.
+  EXPECT_GT(cell.subscriber(bus).stats().packets_delivered, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cell Network
+// ---------------------------------------------------------------------------
+
+TEST(NetworkTest, CrossCellMessageRoutesOverBackbone) {
+  CellConfig config;
+  config.seed = 80;
+  Network net(config, 2);
+  const int alice = net.AddSubscriber(0, false);
+  const int bob = net.AddSubscriber(1, false);
+  net.PowerOn(alice);
+  net.PowerOn(bob);
+  net.RunCycles(5);
+  ASSERT_EQ(net.subscriber(alice).state(), MobileSubscriber::State::kActive);
+  ASSERT_EQ(net.subscriber(bob).state(), MobileSubscriber::State::kActive);
+
+  ASSERT_TRUE(net.SendMessage(alice, bob, 130));
+  net.RunCycles(10);
+  EXPECT_EQ(net.counters().backbone_messages, 1);
+  EXPECT_EQ(net.subscriber(bob).stats().forward_packets_received, 3);
+}
+
+TEST(NetworkTest, HandoffMovesSubscriberAndReroutesTraffic) {
+  CellConfig config;
+  config.seed = 81;
+  Network net(config, 3);
+  const int alice = net.AddSubscriber(0, false);
+  const int bob = net.AddSubscriber(1, false);
+  net.PowerOn(alice);
+  net.PowerOn(bob);
+  net.RunCycles(5);
+
+  // Bob drives into cell 2.
+  net.Handoff(bob, 2);
+  EXPECT_EQ(net.WhereIs(bob).cell, 2);
+  EXPECT_EQ(net.counters().handoffs, 1);
+  net.RunCycles(5);
+  ASSERT_EQ(net.subscriber(bob).state(), MobileSubscriber::State::kActive)
+      << "re-registered in the new cell via contention";
+
+  ASSERT_TRUE(net.SendMessage(alice, bob, 88));
+  net.RunCycles(10);
+  EXPECT_EQ(net.subscriber(bob).stats().forward_packets_received, 2)
+      << "backbone follows the mobility registry";
+  EXPECT_EQ(net.cell(2).base_station().counters().messages_forwarded_local, 1);
+}
+
+TEST(NetworkTest, GpsBusHandoffKeepsReporting) {
+  CellConfig config;
+  config.seed = 82;
+  Network net(config, 2);
+  const int bus = net.AddSubscriber(0, true);
+  net.PowerOn(bus);
+  net.RunCycles(6);
+  ASSERT_TRUE(net.subscriber(bus).gps_slot().has_value());
+  const auto before = net.cell(0).base_station().counters().gps_packets_received;
+  EXPECT_GT(before, 0);
+
+  net.Handoff(bus, 1);
+  net.RunCycles(10);
+  EXPECT_EQ(net.cell(0).base_station().gps_manager().active_count(), 0)
+      << "old cell released the GPS slot";
+  EXPECT_GT(net.cell(1).base_station().counters().gps_packets_received, 0)
+      << "reports continue from the new cell";
+}
+
+TEST(NetworkTest, LockstepCellsStayInSync) {
+  CellConfig config;
+  config.seed = 83;
+  Network net(config, 4);
+  net.RunCycles(7);
+  for (int i = 0; i < net.cell_count(); ++i) {
+    EXPECT_EQ(net.cell(i).current_cycle(), 6) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace osumac

@@ -1,0 +1,109 @@
+// Tests for the FAMA and RQMA survey baselines.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "baselines/fama.h"
+#include "baselines/rqma.h"
+#include "baselines/slotted_aloha.h"
+#include "common/stats.h"
+
+namespace osumac::baselines {
+namespace {
+
+BaselineWorkload Load(double per_station, int frames = 3000) {
+  BaselineWorkload w;
+  w.data_stations = 20;
+  w.packets_per_station_per_frame = per_station;
+  w.frames = frames;
+  return w;
+}
+
+TEST(FamaTest, LightLoadDeliversEverything) {
+  Rng rng(21);
+  const auto r = Fama().Run(Load(0.05), rng);
+  EXPECT_GT(r.throughput, r.offered_load * 0.9);
+  EXPECT_EQ(r.dropped, 0);
+}
+
+TEST(FamaTest, CollisionsOnlyCostTheMinislot) {
+  // Under saturation FAMA's data slots are collision-free, so throughput
+  // beats slotted ALOHA's 1/e even after paying the acquisition overhead.
+  Rng rng1(22), rng2(22);
+  const auto fama = Fama().Run(Load(1.5, 2000), rng1);
+  const auto aloha = SlottedAloha().Run(Load(1.5, 2000), rng2);
+  EXPECT_GT(fama.throughput, 0.55);
+  EXPECT_GT(fama.throughput, aloha.throughput * 1.3);
+}
+
+TEST(FamaTest, FloorIsNeverCollided) {
+  // The delivered count must equal successful acquisitions: no data slot
+  // is ever lost to a collision (collision_rate refers to minislots only).
+  Rng rng(23);
+  const auto r = Fama().Run(Load(0.8, 2000), rng);
+  EXPECT_GT(r.collision_rate, 0.0) << "minislot collisions do happen";
+  EXPECT_GT(r.throughput, 0.5) << "but the data portion stays efficient";
+}
+
+TEST(RqmaTest, SessionsEstablishAndDeliver) {
+  Rng rng(24);
+  const auto r = Rqma().Run(Load(0.05), rng);
+  EXPECT_GT(r.throughput, r.offered_load * 0.85);
+}
+
+TEST(RqmaTest, RealTimeLossUnderOverload) {
+  // Offered ~2.5x the transmission slots: EDF keeps delay bounded by the
+  // deadline, and the excess shows up as deadline drops, not as unbounded
+  // queueing — the defining real-time behaviour.
+  Rng rng(25);
+  Rqma::Params params;
+  params.backlog_slots = 20;  // every station can hold a session
+  const Rqma rqma(params);
+  const auto r = rqma.Run(Load(2.0, 2000), rng);
+  EXPECT_GT(r.voice_drop_rate, 0.2) << "deadline drops absorb the overload";
+  EXPECT_LE(r.mean_delay_frames, static_cast<double>(params.deadline_frames))
+      << "no delivered packet can be older than its deadline";
+  EXPECT_GT(r.throughput, 0.9) << "the transmission slots stay busy";
+}
+
+TEST(RqmaTest, DeadlineCheatingGrabsUnfairShare) {
+  // The OSU-MAC paper's critique of RQMA: "a malicious mobile host may use
+  // more resources than its fair share by specifying tighter deadlines".
+  Rqma::Params honest;
+  honest.backlog_slots = 20;  // sessions for everyone: isolate the EDF effect
+  Rqma::Params cheating = honest;
+  cheating.cheater_index = 0;
+
+  Rng rng1(26), rng2(26);
+  const Rqma fair(honest);
+  const Rqma rigged(cheating);
+  fair.Run(Load(2.0, 2000), rng1);
+  rigged.Run(Load(2.0, 2000), rng2);
+
+  const auto& fair_shares = fair.last_delivered_per_station();
+  const auto& rigged_shares = rigged.last_delivered_per_station();
+  const double fair_avg =
+      static_cast<double>(std::accumulate(fair_shares.begin(), fair_shares.end(), 0LL)) /
+      static_cast<double>(fair_shares.size());
+  EXPECT_LT(static_cast<double>(fair_shares[0]), fair_avg * 1.5)
+      << "honest EDF is roughly fair";
+  EXPECT_GT(static_cast<double>(rigged_shares[0]), fair_avg * 1.8)
+      << "the cheater's fake deadlines jump the EDF queue";
+}
+
+TEST(RqmaTest, FairnessIndexDropsWithACheater) {
+  Rqma::Params cheating;
+  cheating.backlog_slots = 20;
+  cheating.cheater_index = 3;
+  Rng rng(27);
+  const Rqma rigged(cheating);
+  rigged.Run(Load(2.0, 2000), rng);
+  std::vector<double> shares;
+  for (auto d : rigged.last_delivered_per_station()) {
+    shares.push_back(static_cast<double>(d));
+  }
+  EXPECT_LT(JainFairnessIndex(shares), 0.98);
+}
+
+}  // namespace
+}  // namespace osumac::baselines

@@ -1,0 +1,137 @@
+// Tests for GPS slot management rules R1-R3 and dynamic slot adjustment
+// (Section 3.3).
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mac/gps_slot_manager.h"
+
+namespace osumac::mac {
+namespace {
+
+TEST(GpsSlotManagerTest, AdmitsInOrder) {
+  GpsSlotManager mgr;
+  for (int i = 0; i < 8; ++i) {
+    const auto slot = mgr.Admit(static_cast<UserId>(i));
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_EQ(*slot, i) << "R2: first unused slot";
+  }
+  EXPECT_EQ(mgr.active_count(), 8);
+  EXPECT_FALSE(mgr.Admit(50).has_value()) << "ninth GPS user rejected";
+}
+
+TEST(GpsSlotManagerTest, ReleaseMovesHighestIntoHole) {
+  GpsSlotManager mgr;
+  for (UserId u = 0; u < 5; ++u) mgr.Admit(u);
+  // Release the user in slot 1; the user in slot 4 must take slot 1 (R3).
+  const auto move = mgr.Release(1);
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->user, 4);
+  EXPECT_EQ(move->from_slot, 4);
+  EXPECT_EQ(move->to_slot, 1);
+  EXPECT_TRUE(mgr.IsDensePrefix());
+  EXPECT_EQ(mgr.OwnerOf(1), 4);
+  EXPECT_EQ(mgr.OwnerOf(4), kNoUser);
+}
+
+TEST(GpsSlotManagerTest, ReleaseLastNeedsNoMove) {
+  GpsSlotManager mgr;
+  for (UserId u = 0; u < 3; ++u) mgr.Admit(u);
+  EXPECT_FALSE(mgr.Release(2).has_value());
+  EXPECT_TRUE(mgr.IsDensePrefix());
+}
+
+TEST(GpsSlotManagerTest, ReassignmentNeverMovesUserLater) {
+  // The real-time argument behind R3: a re-assigned user moves to an
+  // *earlier* slot, so its inter-report interval can only shrink below the
+  // 4-second bound, never stretch.
+  Rng rng(404);
+  GpsSlotManager mgr;
+  std::set<UserId> active;
+  UserId next = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (active.size() < 8 && (active.empty() || rng.Bernoulli(0.5))) {
+      const UserId u = next++;
+      if (next > 60) next = 0;
+      if (active.contains(u)) continue;
+      if (mgr.Admit(u).has_value()) active.insert(u);
+    } else if (!active.empty()) {
+      const auto it = std::next(active.begin(),
+                                rng.UniformInt(0, static_cast<std::int64_t>(active.size()) - 1));
+      const UserId leaving = *it;
+      const auto move = mgr.Release(leaving);
+      active.erase(it);
+      if (move.has_value()) {
+        EXPECT_LT(move->to_slot, move->from_slot) << "R3 must move earlier only";
+      }
+    }
+    EXPECT_TRUE(mgr.IsDensePrefix()) << "R1 invariant violated at step " << step;
+    EXPECT_EQ(mgr.active_count(), static_cast<int>(active.size()));
+    for (UserId u : active) EXPECT_TRUE(mgr.SlotOf(u).has_value());
+  }
+}
+
+TEST(GpsSlotManagerTest, FormatSwitchesAtThreeUsers) {
+  GpsSlotManager mgr;
+  EXPECT_EQ(mgr.Format(), ReverseFormat::kFormat2);
+  for (UserId u = 0; u < 3; ++u) mgr.Admit(u);
+  EXPECT_EQ(mgr.Format(), ReverseFormat::kFormat2) << "3 users: 5 slots fuse";
+  mgr.Admit(3);
+  EXPECT_EQ(mgr.Format(), ReverseFormat::kFormat1) << "4 users: full GPS block";
+  mgr.Release(0);
+  EXPECT_EQ(mgr.Format(), ReverseFormat::kFormat2);
+}
+
+TEST(GpsSlotManagerTest, FormatDowngradeKeepsUsersInFirstThreeSlots) {
+  // When the count drops to 3 the cycle switches to format 2 (only GPS
+  // slots 0-2 exist); consolidation must already have packed everyone in.
+  GpsSlotManager mgr;
+  for (UserId u = 0; u < 6; ++u) mgr.Admit(u);
+  mgr.Release(0);
+  mgr.Release(2);
+  mgr.Release(4);
+  ASSERT_EQ(mgr.active_count(), 3);
+  ASSERT_EQ(mgr.Format(), ReverseFormat::kFormat2);
+  for (UserId u : {static_cast<UserId>(1), static_cast<UserId>(3), static_cast<UserId>(5)}) {
+    const auto slot = mgr.SlotOf(u);
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_LT(*slot, 3);
+  }
+}
+
+TEST(GpsSlotManagerTest, StaticModeLeavesHoles) {
+  // The "naive approach" the paper rejects: holes persist and cannot be
+  // converted into data slots.
+  GpsSlotManager mgr(/*dynamic=*/false);
+  for (UserId u = 0; u < 8; ++u) mgr.Admit(u);
+  mgr.Release(1);
+  mgr.Release(2);
+  mgr.Release(4);
+  mgr.Release(5);
+  mgr.Release(6);
+  EXPECT_FALSE(mgr.IsDensePrefix()) << "holes at slots 1-2 and 4-6 persist";
+  EXPECT_EQ(mgr.Format(), ReverseFormat::kFormat1) << "never fuses into a data slot";
+  EXPECT_EQ(mgr.OwnerOf(3), 3);
+  EXPECT_EQ(mgr.OwnerOf(7), 7);
+  // Re-admitting fills the first hole (R2 still applies).
+  EXPECT_EQ(mgr.Admit(20), 1);
+}
+
+TEST(GpsSlotManagerTest, PaperHoleExample) {
+  // The paper's example: users 1..8 registered in order; users 2,3,5,6,7
+  // leave, creating holes 2-3 and 5-7.  With dynamic adjustment the three
+  // survivors end up consolidated in slots 0-2 and format 2 applies.
+  GpsSlotManager mgr;
+  for (UserId u = 1; u <= 8; ++u) mgr.Admit(u);
+  for (UserId u : {2, 3, 5, 6, 7}) mgr.Release(static_cast<UserId>(u));
+  EXPECT_EQ(mgr.active_count(), 3);
+  EXPECT_TRUE(mgr.IsDensePrefix());
+  EXPECT_EQ(mgr.Format(), ReverseFormat::kFormat2);
+  std::set<UserId> survivors = {mgr.OwnerOf(0), mgr.OwnerOf(1), mgr.OwnerOf(2)};
+  EXPECT_EQ(survivors, (std::set<UserId>{1, 4, 8}));
+}
+
+}  // namespace
+}  // namespace osumac::mac

@@ -1,0 +1,121 @@
+// Unit tests for the discrete-event simulation engine.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace osumac::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id)) << "double cancel fails";
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterExecutionFails) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(1, [] {});
+  sim.RunToCompletion();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<Tick> fired;
+  for (Tick t : {10, 20, 30, 40}) {
+    sim.ScheduleAt(t, [&fired, t] { fired.push_back(t); });
+  }
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  sim.RunUntil(25);
+  EXPECT_EQ(sim.now(), 25) << "clock advances to the horizon";
+  sim.RunUntil(100);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(5, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, PendingAndExecutedCounts) {
+  Simulator sim;
+  const EventId a = sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(2, [] {});
+  sim.ScheduleAt(3, [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  Tick last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const Tick when = (i * 7919) % 1000;  // scattered times
+    sim.ScheduleAt(when, [&, when] {
+      if (when < last) monotone = false;
+      last = when;
+    });
+  }
+  sim.RunToCompletion();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace osumac::sim

@@ -1,0 +1,106 @@
+// Soak tests: long runs with mobility, churn and noise; the system must
+// stay internally consistent and its working set bounded.
+#include <gtest/gtest.h>
+
+#include "mac/cell.h"
+#include "mac/network.h"
+#include "traffic/workload.h"
+
+namespace osumac {
+namespace {
+
+using mac::Cell;
+using mac::CellConfig;
+using mac::ChannelModelConfig;
+using mac::MobileSubscriber;
+using mac::Network;
+
+TEST(SoakTest, SingleCellThousandsOfCycles) {
+  // ~5.5 simulated hours of a loaded, noisy cell.
+  CellConfig config;
+  config.seed = 801;
+  config.reverse.kind = ChannelModelConfig::Kind::kGilbertElliott;
+  config.reverse.ge.p_good_to_bad = 0.002;
+  config.reverse.ge.p_bad_to_good = 0.1;
+  config.reverse.ge.error_prob_bad = 0.5;
+  Cell cell(config);
+  std::vector<int> nodes;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(nodes.back());
+  }
+  for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
+  cell.RunCycles(15);
+  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
+  traffic::PoissonUplinkWorkload up(
+      cell, nodes, traffic::MeanInterarrivalTicks(0.75, 12, 8, sizes.MeanBytes()),
+      sizes, Rng(1));
+  traffic::PoissonDownlinkWorkload down(cell, nodes, 10 * mac::kCycleTicks, sizes,
+                                        Rng(2));
+  cell.RunCycles(5000);
+
+  const auto& bs = cell.base_station().counters();
+  EXPECT_EQ(bs.cycles, 5015);
+  EXPECT_GT(bs.data_packets_received, 20000);
+  EXPECT_GT(bs.gps_packets_received, 4 * 4500);
+  EXPECT_LE(cell.metrics().unique_payload_bytes, cell.metrics().offered_bytes);
+  // The event queue must not accumulate (slot events are consumed each
+  // cycle; only the next cycle's skeleton plus workload arrivals pend).
+  EXPECT_LT(cell.simulator().pending_events(), 200u);
+  // Every bus held its QoS across the whole run.
+  for (int n = 12; n < 16; ++n) {
+    EXPECT_LT(cell.subscriber(n).stats().gps_access_delay_seconds.Max(), 4.0);
+  }
+}
+
+TEST(SoakTest, NetworkWithRandomWalkMobility) {
+  CellConfig config;
+  config.seed = 802;
+  Network net(config, 4);
+  Rng rng(3);
+  std::vector<int> mobiles;
+  for (int i = 0; i < 12; ++i) {
+    mobiles.push_back(net.AddSubscriber(static_cast<int>(rng.UniformInt(0, 3)),
+                                        /*wants_gps=*/i < 4));
+    net.PowerOn(mobiles.back());
+  }
+  net.RunCycles(10);
+
+  std::int64_t messages_sent = 0;
+  for (int step = 0; step < 80; ++step) {
+    net.RandomWalk(0.08, rng);
+    // Random chatter between mobiles, across whatever cells they are in.
+    for (int k = 0; k < 2; ++k) {
+      const int a = static_cast<int>(rng.UniformInt(0, 11));
+      const int b = static_cast<int>(rng.UniformInt(0, 11));
+      if (a != b && net.subscriber(a).state() == MobileSubscriber::State::kActive) {
+        if (net.SendMessage(a, b, static_cast<int>(rng.UniformInt(40, 300)))) {
+          ++messages_sent;
+        }
+      }
+    }
+    net.RunCycles(3);
+  }
+  net.RunCycles(20);
+
+  EXPECT_GT(net.counters().handoffs, 20);
+  EXPECT_GT(messages_sent, 50);
+  EXPECT_GT(net.counters().backbone_messages, 5);
+  // Consistency across the whole network after heavy churn.
+  int gps_total = 0;
+  for (int c = 0; c < net.cell_count(); ++c) {
+    EXPECT_TRUE(net.cell(c).base_station().gps_manager().IsDensePrefix());
+    gps_total += net.cell(c).base_station().gps_manager().active_count();
+    for (const auto& [uid, ein] : net.cell(c).base_station().registered_users()) {
+      EXPECT_EQ(net.cell(c).base_station().UserIdForEin(ein), uid);
+    }
+  }
+  // Every GPS mobile is active in exactly one cell.
+  EXPECT_EQ(gps_total, 4);
+  for (int m : mobiles) {
+    EXPECT_EQ(net.subscriber(m).state(), MobileSubscriber::State::kActive) << m;
+  }
+}
+
+}  // namespace
+}  // namespace osumac

@@ -1,0 +1,86 @@
+// Tests for the per-cycle time-series tracer.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "metrics/tracer.h"
+#include "traffic/workload.h"
+
+namespace osumac::metrics {
+namespace {
+
+TEST(CycleTracerTest, CapturesPerCycleDeltas) {
+  mac::CellConfig config;
+  config.seed = 91;
+  mac::Cell cell(config);
+  std::vector<int> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(nodes.back());
+  }
+  cell.PowerOn(cell.AddSubscriber(true));
+
+  CycleTracer tracer;
+  for (int c = 0; c < 30; ++c) {
+    cell.RunCycles(1);
+    tracer.Sample(cell);
+    if (c == 10) cell.SendUplinkMessage(nodes[0], 200);
+  }
+  ASSERT_EQ(tracer.samples().size(), 30u);
+
+  // Registration activity appears in the first samples, then stops.
+  int early_registrations = 0;
+  int late_registrations = 0;
+  for (const CycleSample& s : tracer.samples()) {
+    if (s.cycle < 8) {
+      early_registrations += s.registrations;
+    } else {
+      late_registrations += s.registrations;
+    }
+  }
+  EXPECT_GT(early_registrations, 0);
+  EXPECT_EQ(late_registrations, 0);
+
+  // The message sent at cycle 10 shows up as data packets shortly after.
+  int packets_after = 0;
+  for (const CycleSample& s : tracer.samples()) {
+    if (s.cycle >= 10) packets_after += s.data_packets;
+  }
+  EXPECT_EQ(packets_after, 5);  // 200 bytes = 5 packets
+
+  // Gauges reflect the final population: 5 data users + 1 bus.
+  const CycleSample& last = tracer.samples().back();
+  EXPECT_EQ(last.active_users, 6);
+  EXPECT_EQ(last.gps_users, 1);
+  EXPECT_EQ(last.format, 2);
+  EXPECT_EQ(last.gps_reports, 1) << "one bus reports once per cycle";
+}
+
+TEST(CycleTracerTest, CsvOutputIsWellFormed) {
+  mac::CellConfig config;
+  config.seed = 92;
+  mac::Cell cell(config);
+  cell.PowerOn(cell.AddSubscriber(false));
+  CycleTracer tracer;
+  for (int c = 0; c < 5; ++c) {
+    cell.RunCycles(1);
+    tracer.Sample(cell);
+  }
+  std::ostringstream out;
+  tracer.WriteCsv(out);
+  const std::string csv = out.str();
+  // Header + 5 rows, all with the same number of commas.
+  const std::string header = CycleTracer::CsvHeader();
+  const auto header_commas = std::count(header.begin(), header.end(), ',');
+  std::istringstream lines(csv);
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), header_commas) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 6);
+}
+
+}  // namespace
+}  // namespace osumac::metrics

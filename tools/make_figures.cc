@@ -1,0 +1,111 @@
+// make_figures — regenerates every evaluation figure as CSV files.
+//
+//   $ ./make_figures [output_dir]     (default: results/)
+//
+// Runs the Section-5 load sweep once and writes one CSV per figure
+// (fig8_utilization_delay.csv, fig9_collision_reservation.csv,
+// fig10_control_overhead.csv, fig11_fairness.csv, fig12a_cf2_gain.csv,
+// fig12b_slot_usage.csv) plus the robustness grid.  Plot them with
+// tools/plot_figures.py (matplotlib) or any spreadsheet.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "../bench/sweep_common.h"
+
+using namespace osumac;
+using namespace osumac::bench;
+
+namespace {
+
+std::ofstream Open(const std::filesystem::path& dir, const std::string& name) {
+  std::ofstream out(dir / name);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", (dir / name).c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "results";
+  std::filesystem::create_directories(dir);
+
+  // One pass over the load sweep feeds figures 8-12(a).
+  auto fig8 = Open(dir, "fig8_utilization_delay.csv");
+  fig8 << "rho,offered,utilization,packet_delay_cycles,message_delay_cycles,"
+          "p95_delay,drop_rate\n";
+  auto fig9 = Open(dir, "fig9_collision_reservation.csv");
+  fig9 << "rho,collision_probability,reservation_latency_cycles\n";
+  auto fig10 = Open(dir, "fig10_control_overhead.csv");
+  fig10 << "rho,control_overhead,reservation_packets,data_packets\n";
+  auto fig11 = Open(dir, "fig11_fairness.csv");
+  fig11 << "rho,fairness_index\n";
+  auto fig12a = Open(dir, "fig12a_cf2_gain.csv");
+  fig12a << "rho,cf2_gain,utilization_with_cf2,utilization_without_cf2\n";
+
+  std::printf("load sweep (figs 8-12a)...\n");
+  for (double rho : LoadSweep()) {
+    SweepPoint point;
+    point.rho = rho;
+    const SweepResult r = RunLoadPoint(point);
+    SweepPoint no_cf2 = point;
+    no_cf2.mac.use_second_control_field = false;
+    const SweepResult r_no = RunLoadPoint(no_cf2);
+
+    fig8 << rho << ',' << r.offered_load << ',' << r.figure.utilization << ','
+         << r.figure.mean_packet_delay_cycles << ','
+         << r.figure.mean_message_delay_cycles << ','
+         << r.figure.p95_packet_delay_cycles << ',' << r.figure.message_drop_rate
+         << '\n';
+    fig9 << rho << ',' << r.figure.collision_probability << ','
+         << r.figure.mean_reservation_latency << '\n';
+    fig10 << rho << ',' << r.figure.control_overhead << ','
+          << r.bs.reservation_packets_received << ',' << r.bs.data_packets_received
+          << '\n';
+    fig11 << rho << ',' << r.figure.fairness_index << '\n';
+    fig12a << rho << ',' << r.figure.second_cf_gain << ',' << r.figure.utilization
+           << ',' << r_no.figure.utilization << '\n';
+  }
+
+  std::printf("figure 12(b) arms...\n");
+  auto fig12b = Open(dir, "fig12b_slot_usage.csv");
+  fig12b << "rho,gps_users,dynamic,avg_data_slots_used\n";
+  for (double rho : LoadSweep()) {
+    for (int gps : {1, 4}) {
+      for (bool dynamic : {true, false}) {
+        SweepPoint point;
+        point.rho = rho;
+        point.gps_users = gps;
+        point.mac.dynamic_gps_slots = dynamic;
+        const SweepResult r = RunLoadPoint(point);
+        fig12b << rho << ',' << gps << ',' << (dynamic ? 1 : 0) << ','
+               << r.figure.avg_data_slots_used << '\n';
+      }
+    }
+  }
+
+  std::printf("robustness grid...\n");
+  auto grid = Open(dir, "robustness_grid.csv");
+  grid << "data_users,gps_users,utilization,packet_delay_cycles,fairness,"
+          "gps_max_access_s\n";
+  for (int data_users : {5, 8, 11, 14}) {
+    for (int gps_users : {1, 3, 4, 8}) {
+      SweepPoint point;
+      point.rho = 0.7;
+      point.data_users = data_users;
+      point.gps_users = gps_users;
+      point.measure_cycles = 500;
+      const SweepResult r = RunLoadPoint(point);
+      grid << data_users << ',' << gps_users << ',' << r.figure.utilization << ','
+           << r.figure.mean_packet_delay_cycles << ',' << r.figure.fairness_index
+           << ',' << r.figure.gps_access_delay_max_s << '\n';
+    }
+  }
+
+  std::printf("wrote CSVs to %s — plot with tools/plot_figures.py\n", dir.c_str());
+  return 0;
+}

@@ -1,0 +1,207 @@
+// osumac_sim — configurable command-line front end to the simulator.
+//
+//   $ osumac_sim --rho 0.8 --data-users 12 --gps 4 --cycles 1000
+//                --channel uniform --ser 0.02 --seed 7
+//
+// Builds one cell with the requested population, drives the paper's
+// Poisson e-mail workload at the requested load index, and prints the full
+// Section-5 metric set.  Feature toggles expose the ablations.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "osumac/osumac.h"
+
+using namespace osumac;
+
+namespace {
+
+struct Options {
+  double rho = 0.7;
+  int data_users = 10;
+  int gps_users = 4;
+  int cycles = 500;
+  int warmup = 50;
+  std::uint64_t seed = 1;
+  std::string channel = "perfect";
+  double ser = 0.02;
+  bool arq = false;
+  bool no_second_cf = false;
+  bool static_gps = false;
+  bool static_contention = false;
+  int fixed_size = 0;  ///< 0 = uniform 40..500
+  double downlink_rho = 0.0;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: osumac_sim [options]\n"
+      "  --rho X             reverse-channel load index (default 0.7)\n"
+      "  --data-users N      non-real-time subscribers (default 10)\n"
+      "  --gps N             GPS buses, 0..8 (default 4)\n"
+      "  --cycles N          measured notification cycles (default 500)\n"
+      "  --warmup N          warm-up cycles excluded from stats (default 50)\n"
+      "  --seed N            RNG seed (default 1)\n"
+      "  --channel KIND      perfect | uniform | ge (default perfect)\n"
+      "  --ser P             symbol error probability for 'uniform'\n"
+      "  --fixed-size B      fixed message size in bytes (default: uniform 40-500)\n"
+      "  --downlink-rho X    also drive downlink e-mail at this load\n"
+      "  --arq               enable the downlink ARQ extension\n"
+      "  --no-second-cf      ablation: disable the second control fields\n"
+      "  --static-gps        ablation: disable dynamic GPS slot adjustment\n"
+      "  --static-contention ablation: fixed number of contention slots\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atof(argv[++i]);
+      return true;
+    };
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return true;
+    };
+    if (arg == "--rho") {
+      if (!next_value(opt.rho)) return false;
+    } else if (arg == "--data-users") {
+      if (!next_int(opt.data_users)) return false;
+    } else if (arg == "--gps") {
+      if (!next_int(opt.gps_users)) return false;
+    } else if (arg == "--cycles") {
+      if (!next_int(opt.cycles)) return false;
+    } else if (arg == "--warmup") {
+      if (!next_int(opt.warmup)) return false;
+    } else if (arg == "--seed") {
+      int s = 0;
+      if (!next_int(s)) return false;
+      opt.seed = static_cast<std::uint64_t>(s);
+    } else if (arg == "--channel") {
+      if (i + 1 >= argc) return false;
+      opt.channel = argv[++i];
+    } else if (arg == "--ser") {
+      if (!next_value(opt.ser)) return false;
+    } else if (arg == "--fixed-size") {
+      if (!next_int(opt.fixed_size)) return false;
+    } else if (arg == "--downlink-rho") {
+      if (!next_value(opt.downlink_rho)) return false;
+    } else if (arg == "--arq") {
+      opt.arq = true;
+    } else if (arg == "--no-second-cf") {
+      opt.no_second_cf = true;
+    } else if (arg == "--static-gps") {
+      opt.static_gps = true;
+    } else if (arg == "--static-contention") {
+      opt.static_contention = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, opt) || opt.help) {
+    PrintUsage();
+    return opt.help ? 0 : 1;
+  }
+  if (opt.gps_users < 0 || opt.gps_users > 8 || opt.data_users < 1) {
+    std::fprintf(stderr, "invalid population\n");
+    return 1;
+  }
+
+  mac::CellConfig config;
+  config.seed = opt.seed;
+  config.mac.downlink_arq = opt.arq;
+  config.mac.use_second_control_field = !opt.no_second_cf;
+  config.mac.dynamic_gps_slots = !opt.static_gps;
+  config.mac.dynamic_contention_slots = !opt.static_contention;
+  if (opt.channel == "uniform") {
+    config.forward.kind = mac::ChannelModelConfig::Kind::kUniform;
+    config.forward.symbol_error_prob = opt.ser / 2;  // stronger BS transmitter
+    config.reverse.kind = mac::ChannelModelConfig::Kind::kUniform;
+    config.reverse.symbol_error_prob = opt.ser;
+  } else if (opt.channel == "ge") {
+    config.forward.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+    config.reverse.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+  } else if (opt.channel != "perfect") {
+    std::fprintf(stderr, "unknown channel kind '%s'\n", opt.channel.c_str());
+    return 1;
+  }
+
+  mac::Cell cell(config);
+  std::vector<int> laptops;
+  for (int i = 0; i < opt.data_users; ++i) {
+    laptops.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(laptops.back());
+  }
+  for (int i = 0; i < opt.gps_users; ++i) cell.PowerOn(cell.AddSubscriber(true));
+  cell.RunCycles(12);
+
+  const auto sizes = opt.fixed_size > 0
+                         ? traffic::SizeDistribution::Fixed(opt.fixed_size)
+                         : traffic::SizeDistribution::Uniform(40, 500);
+  const int d = mac::ReverseCycleLayout(cell.base_station().current_format())
+                    .data_slot_count();
+  traffic::PoissonUplinkWorkload uplink(
+      cell, laptops,
+      traffic::MeanInterarrivalTicks(opt.rho, opt.data_users, d, sizes.MeanBytes()),
+      sizes, Rng(opt.seed + 101));
+  std::unique_ptr<traffic::PoissonDownlinkWorkload> downlink;
+  if (opt.downlink_rho > 0) {
+    downlink = std::make_unique<traffic::PoissonDownlinkWorkload>(
+        cell, laptops,
+        traffic::MeanInterarrivalTicks(opt.downlink_rho, opt.data_users,
+                                       mac::kForwardDataSlots, sizes.MeanBytes()),
+        sizes, Rng(opt.seed + 202));
+  }
+
+  cell.RunCycles(opt.warmup);
+  cell.ResetStats();
+  cell.RunCycles(opt.cycles);
+
+  const auto m = metrics::ComputeFigureMetrics(cell, laptops);
+  const auto& bs = cell.base_station().counters();
+  std::printf("==== osumac_sim: rho=%.2f users=%d gps=%d cycles=%d channel=%s ====\n",
+              opt.rho, opt.data_users, opt.gps_users, opt.cycles, opt.channel.c_str());
+  std::printf("utilization            %8.3f\n", m.utilization);
+  std::printf("packet delay           %8.2f cycles (p95 %.2f)\n",
+              m.mean_packet_delay_cycles, m.p95_packet_delay_cycles);
+  std::printf("message delay          %8.2f cycles\n", m.mean_message_delay_cycles);
+  std::printf("collision probability  %8.3f\n", m.collision_probability);
+  std::printf("reservation latency    %8.2f cycles\n", m.mean_reservation_latency);
+  std::printf("control overhead       %8.3f\n", m.control_overhead);
+  std::printf("fairness (Jain)        %8.4f\n", m.fairness_index);
+  std::printf("2nd-CF gain            %8.1f%%\n", 100 * m.second_cf_gain);
+  std::printf("data slots used        %8.2f per cycle\n", m.avg_data_slots_used);
+  std::printf("drop rate              %8.3f\n", m.message_drop_rate);
+  if (opt.gps_users > 0) {
+    std::printf("GPS max access delay   %8.2f s (bound 4 s)\n", m.gps_access_delay_max_s);
+    std::printf("GPS reports/bus/cycle  %8.3f\n", m.gps_reports_per_bus_per_cycle);
+  }
+  if (bs.decode_failures > 0 || bs.gps_packets_failed > 0) {
+    std::printf("uplink decode failures %8lld (+%lld GPS)\n",
+                static_cast<long long>(bs.decode_failures),
+                static_cast<long long>(bs.gps_packets_failed));
+  }
+  if (opt.downlink_rho > 0) {
+    std::printf("downlink msg delay     %8.2f cycles, lost packets %lld, retx %lld\n",
+                cell.metrics().downlink_message_delay_cycles.empty()
+                    ? 0.0
+                    : cell.metrics().downlink_message_delay_cycles.Mean(),
+                static_cast<long long>(cell.metrics().forward_packets_lost),
+                static_cast<long long>(bs.forward_retransmissions));
+  }
+  return 0;
+}

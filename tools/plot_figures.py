@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Plots the evaluation figures from the CSVs written by make_figures.
+
+Usage:
+    ./build/tools/make_figures results/
+    python3 tools/plot_figures.py results/        # writes results/*.png
+
+Requires matplotlib (and pandas).  Each plot mirrors one figure of the
+ICDCS 2001 paper; see EXPERIMENTS.md for the paper-vs-measured discussion.
+"""
+import sys
+from pathlib import Path
+
+import pandas as pd
+import matplotlib
+
+matplotlib.use("Agg")
+import matplotlib.pyplot as plt  # noqa: E402
+
+
+def save(fig, outdir: Path, name: str) -> None:
+    fig.tight_layout()
+    fig.savefig(outdir / name, dpi=150)
+    plt.close(fig)
+    print(f"wrote {outdir / name}")
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+
+    # Figure 8: utilization and delay vs load.
+    df = pd.read_csv(outdir / "fig8_utilization_delay.csv")
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(9, 3.5))
+    ax1.plot(df.rho, df.utilization, "o-", label="measured")
+    ax1.plot(df.rho, df.rho, "--", color="gray", label="utilization = load")
+    ax1.set_xlabel("load index ρ"); ax1.set_ylabel("reverse-link utilization")
+    ax1.set_title("Fig. 8(a)"); ax1.legend()
+    ax2.plot(df.rho, df.packet_delay_cycles, "o-")
+    ax2.set_xlabel("load index ρ"); ax2.set_ylabel("packet delay (cycles)")
+    ax2.set_yscale("log"); ax2.set_title("Fig. 8(b)")
+    save(fig, outdir, "fig8.png")
+
+    # Figure 9: collision probability and reservation latency.
+    df = pd.read_csv(outdir / "fig9_collision_reservation.csv")
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(9, 3.5))
+    ax1.plot(df.rho, df.collision_probability, "o-")
+    ax1.set_xlabel("load index ρ"); ax1.set_ylabel("collision probability")
+    ax1.set_title("Fig. 9(a)")
+    ax2.plot(df.rho, df.reservation_latency_cycles, "o-")
+    ax2.set_xlabel("load index ρ"); ax2.set_ylabel("reservation latency (cycles)")
+    ax2.set_title("Fig. 9(b)")
+    save(fig, outdir, "fig9.png")
+
+    # Figure 10: control overhead.
+    df = pd.read_csv(outdir / "fig10_control_overhead.csv")
+    fig, ax = plt.subplots(figsize=(5, 3.5))
+    ax.plot(df.rho, df.control_overhead, "o-")
+    ax.set_xlabel("load index ρ")
+    ax.set_ylabel("reservation packets / data packets")
+    ax.set_title("Fig. 10: control overhead")
+    save(fig, outdir, "fig10.png")
+
+    # Figure 11: fairness.
+    df = pd.read_csv(outdir / "fig11_fairness.csv")
+    fig, ax = plt.subplots(figsize=(5, 3.5))
+    ax.plot(df.rho, df.fairness_index, "o-")
+    ax.axhline(0.99, linestyle="--", color="gray", label="paper: > 0.99")
+    ax.set_ylim(0.9, 1.005)
+    ax.set_xlabel("load index ρ"); ax.set_ylabel("Jain fairness index")
+    ax.set_title("Fig. 11: fairness"); ax.legend()
+    save(fig, outdir, "fig11.png")
+
+    # Figure 12(a): second-control-field gain.
+    df = pd.read_csv(outdir / "fig12a_cf2_gain.csv")
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(9, 3.5))
+    ax1.plot(df.rho, 100 * df.cf2_gain, "o-")
+    ax1.set_xlabel("load index ρ"); ax1.set_ylabel("last-slot packet share (%)")
+    ax1.set_title("Fig. 12(a): 2nd-CF gain (paper: 5–14%)")
+    ax2.plot(df.rho, df.utilization_with_cf2, "o-", label="two control fields")
+    ax2.plot(df.rho, df.utilization_without_cf2, "s--", label="ablation: one set")
+    ax2.set_xlabel("load index ρ"); ax2.set_ylabel("utilization")
+    ax2.set_title("ablation"); ax2.legend()
+    save(fig, outdir, "fig12a.png")
+
+    # Figure 12(b): dynamic slot adjustment.
+    df = pd.read_csv(outdir / "fig12b_slot_usage.csv")
+    fig, ax = plt.subplots(figsize=(6, 3.5))
+    for gps, dyn, style, label in [
+        (1, 1, "o-", "1 GPS user, dynamic"),
+        (1, 0, "s--", "1 GPS user, static"),
+        (4, 1, "^-", "4 GPS users, dynamic"),
+        (4, 0, "v--", "4 GPS users, static"),
+    ]:
+        sel = df[(df.gps_users == gps) & (df.dynamic == dyn)]
+        ax.plot(sel.rho, sel.avg_data_slots_used, style, label=label)
+    ax.set_xlabel("load index ρ"); ax.set_ylabel("data slots used / cycle")
+    ax.set_title("Fig. 12(b): dynamic slot adjustment"); ax.legend(fontsize=8)
+    save(fig, outdir, "fig12b.png")
+
+    print("done")
+
+
+if __name__ == "__main__":
+    main()
