@@ -1,0 +1,127 @@
+// Machine-checked protocol audits (see docs/INVARIANTS.md).
+//
+// The ProtocolAuditor subscribes to a Cell's per-cycle observation points
+// (mac/cell_observer.h) and verifies, every notification cycle, the
+// invariants the paper's correctness argument rests on:
+//
+//   R1-dense-prefix        GPS slots form a dense prefix           (§3.3)
+//   R3-slot-moved-later    a live GPS user's slot index never grows (§3.3)
+//   gps-access-interval    <= 4 s between a bus's slot starts       (§2.1, §3.3)
+//   gps-schedule-consistent occupancy count/duplicates in the field (§3.3)
+//   format-consistency     reverse format matches GPS occupancy     (§3.3)
+//   gps-user-last-slot     no GPS user holds the last data slot     (§3.4)
+//   slot-containment       every burst exactly fills one slot       (§3.2)
+//   reverse-slot-owner     assigned slots carry only their owner    (§3.1)
+//   channel-overlap        one transmission per non-contention slot (§2.2)
+//   half-duplex-guard      20 ms TX/RX switch guard per subscriber  (§2.2)
+//   cf-consistency         CF2 repeats CF1 apart from late fields   (§3.4)
+//
+// Violations are recorded (kRecord) or escalate into a contract-check
+// failure (kAbort).  The per-invariant checks take plain view structs so
+// unit tests can audit fabricated (deliberately broken) scheduler states.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "mac/cell_observer.h"
+#include "mac/cycle_layout.h"
+#include "mac/ids.h"
+
+namespace osumac::mac {
+class Cell;
+}
+
+namespace osumac::analysis {
+
+/// One detected invariant violation.
+struct AuditViolation {
+  std::string invariant;  ///< name as listed in docs/INVARIANTS.md
+  Tick tick = 0;          ///< simulation time of detection
+  std::string detail;
+};
+
+class ProtocolAuditor : public mac::CellObserver {
+ public:
+  enum class Mode {
+    kRecord,  ///< collect violations; inspect via violations()/Report()
+    kAbort,   ///< fail a contract check on the first violation
+  };
+  explicit ProtocolAuditor(Mode mode = Mode::kRecord) : mode_(mode) {}
+
+  // --- view structs (unit-testable entry points) ---------------------------
+
+  /// Snapshot of one planned cycle's scheduling state.
+  struct ScheduleView {
+    std::int64_t cycle = 0;
+    Tick cycle_start = 0;
+    bool dynamic_gps = true;  ///< false reproduces the paper's naive ablation
+    mac::ReverseFormat format = mac::ReverseFormat::kFormat2;
+    int gps_active = 0;  ///< GpsSlotManager::active_count()
+    std::array<mac::UserId, mac::kMaxGpsSlots> gps_schedule{};
+    std::array<mac::UserId, mac::kMaxReverseDataSlots> reverse_schedule{};
+    int data_slot_count = 0;
+  };
+
+  /// Reverse-channel transmissions pending mid-cycle.
+  struct TransmissionView {
+    Tick cycle_start = 0;
+    mac::ReverseFormat format = mac::ReverseFormat::kFormat2;
+    std::array<mac::UserId, mac::kMaxGpsSlots> gps_schedule{};
+    std::array<mac::UserId, mac::kMaxReverseDataSlots> reverse_schedule{};
+    struct Burst {
+      mac::UserId sender = mac::kNoUser;  ///< kNoUser: not yet registered (contention)
+      Interval on_air;
+    };
+    std::vector<Burst> bursts;
+  };
+
+  /// One subscriber radio's commitments.
+  struct RadioView {
+    int node = -1;
+    std::vector<Interval> tx;
+    std::vector<Interval> rx;
+  };
+
+  void AuditSchedule(const ScheduleView& view, Tick now);
+  void AuditTransmissions(const TransmissionView& view, Tick now);
+  void AuditHalfDuplex(const std::vector<RadioView>& radios, Tick now);
+  void AuditControlFieldPair(const mac::ControlFields& cf1,
+                             const mac::ControlFields& cf2, mac::UserId cf2_listener,
+                             Tick now);
+
+  // --- CellObserver --------------------------------------------------------
+
+  void OnCyclePlanned(const mac::Cell& cell, const mac::ControlFields& cf1,
+                      std::int64_t cycle, Tick now) override;
+  void OnControlFieldsDelivered(const mac::Cell& cell, const mac::ControlFields& cf,
+                                bool second, Tick cycle_start, Tick now) override;
+
+  // --- results -------------------------------------------------------------
+
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+  std::int64_t cycles_audited() const { return cycles_audited_; }
+  /// Human-readable summary (one line per violation, with tick).
+  std::string Report() const;
+  /// Clears violations and temporal tracking state.
+  void Reset();
+
+ private:
+  void Violate(const char* invariant, Tick tick, std::string detail);
+
+  Mode mode_;
+  std::vector<AuditViolation> violations_;
+  std::int64_t cycles_audited_ = 0;
+
+  // Temporal tracking across cycles.
+  std::map<mac::UserId, int> last_gps_slot_;         ///< R3 monotonicity
+  std::map<mac::UserId, Tick> last_gps_slot_begin_;  ///< <= 4 s access interval
+  std::optional<mac::ControlFields> cf1_this_cycle_;
+};
+
+}  // namespace osumac::analysis

@@ -1,12 +1,12 @@
 #include "common/bitio.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac {
 
 void BitWriter::Write(std::uint64_t value, int width) {
-  assert(width > 0 && width <= 64);
-  assert(width == 64 || (value >> width) == 0);
+  OSUMAC_DCHECK(width > 0 && width <= 64);
+  OSUMAC_DCHECK(width == 64 || (value >> width) == 0);
   for (int i = width - 1; i >= 0; --i) {
     const int bit = static_cast<int>((value >> i) & 1u);
     const int byte_index = bit_size_ / 8;
@@ -18,7 +18,7 @@ void BitWriter::Write(std::uint64_t value, int width) {
 }
 
 void BitWriter::WriteZeros(int count) {
-  assert(count >= 0);
+  OSUMAC_DCHECK_GE(count, 0);
   for (int i = 0; i < count; i += 64) {
     const int chunk = count - i < 64 ? count - i : 64;
     Write(0, chunk);
@@ -32,7 +32,7 @@ std::vector<std::uint8_t> BitWriter::BytesPaddedTo(std::size_t min_bytes) const 
 }
 
 std::uint64_t BitReader::Read(int width) {
-  assert(width > 0 && width <= 64);
+  OSUMAC_DCHECK(width > 0 && width <= 64);
   std::uint64_t value = 0;
   for (int i = 0; i < width; ++i) {
     const int byte_index = bit_pos_ / 8;
@@ -50,7 +50,7 @@ std::uint64_t BitReader::Read(int width) {
 }
 
 void BitReader::Skip(int count) {
-  assert(count >= 0);
+  OSUMAC_DCHECK_GE(count, 0);
   bit_pos_ += count;
   if (bit_pos_ > static_cast<int>(bytes_.size()) * 8) overflowed_ = true;
 }

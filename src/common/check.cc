@@ -1,0 +1,55 @@
+#include "common/check.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace osumac::check {
+namespace {
+
+// Single-threaded simulator: plain globals, innermost scope wins.
+std::function<Tick()> g_sim_clock;          // NOLINT(cert-err58-cpp)
+std::function<std::string()> g_state_dump;  // NOLINT(cert-err58-cpp)
+
+}  // namespace
+
+ScopedSimClock::ScopedSimClock(std::function<Tick()> now)
+    : previous_(std::exchange(g_sim_clock, std::move(now))) {}
+
+ScopedSimClock::~ScopedSimClock() { g_sim_clock = std::move(previous_); }
+
+ScopedStateDump::ScopedStateDump(std::function<std::string()> dump)
+    : previous_(std::exchange(g_state_dump, std::move(dump))) {}
+
+ScopedStateDump::~ScopedStateDump() { g_state_dump = std::move(previous_); }
+
+std::optional<Tick> CurrentTick() {
+  if (!g_sim_clock) return std::nullopt;
+  return g_sim_clock();
+}
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& detail) {
+  const Tick now = CurrentTick().value_or(0);
+  std::string message = "CHECK failed: ";
+  message += expr;
+  message += " at ";
+  message += file;
+  message += ":";
+  message += std::to_string(line);
+  if (!detail.empty()) {
+    message += " (";
+    message += detail;
+    message += ")";
+  }
+  // Through the same sink as regular logging so the report carries the
+  // simulation time (raw tick + seconds) in the standard format.
+  LogAlways(now, "check", message);
+  if (g_state_dump) {
+    LogAlways(now, "check", "state dump:\n" + g_state_dump());
+  }
+  std::abort();
+}
+
+}  // namespace osumac::check

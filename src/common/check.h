@@ -1,0 +1,135 @@
+// Always-on contract checking.
+//
+// The protocol's correctness claims are invariants (GPS slot rules R1-R3,
+// the <= 4 s access interval, the 20 ms half-duplex guard, ...), so their
+// runtime guards must not vanish in optimized builds the way assert() does
+// under NDEBUG.  OSUMAC_CHECK* fire in *every* build type; OSUMAC_DCHECK*
+// are reserved for per-symbol hot paths where the branch itself is a
+// measurable cost and compile away under NDEBUG like assert().
+//
+//   OSUMAC_CHECK(cond)                 abort if !cond
+//   OSUMAC_CHECK(cond && "why")        same, message travels in the report
+//   OSUMAC_CHECK_EQ/NE/LT/LE/GT/GE(a, b)   comparison with operand capture:
+//                                      the failure report prints both values
+//   OSUMAC_DCHECK / OSUMAC_DCHECK_*   debug-only twins (still type-checked
+//                                      in release builds, never evaluated)
+//
+// A failing check reports file:line, the expression, captured operands, the
+// current simulation tick (if a sim clock is registered) and every
+// registered state dump, through the logging sink, then calls std::abort().
+//
+// The registration hooks are process-global and deliberately not
+// thread-safe: the simulator is single-threaded by design (see
+// common/logging.h).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/time.h"
+
+namespace osumac::check {
+
+/// True when OSUMAC_DCHECK* are live (i.e. NDEBUG is not defined).
+#ifdef NDEBUG
+inline constexpr bool kDChecksEnabled = false;
+#else
+inline constexpr bool kDChecksEnabled = true;
+#endif
+
+/// Registers the simulation clock consulted by failure reports, restoring
+/// the previous clock on destruction (scopes nest; the innermost wins).
+/// The Cell installs one so every check failure carries simulation time.
+class ScopedSimClock {
+ public:
+  explicit ScopedSimClock(std::function<Tick()> now);
+  ~ScopedSimClock();
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+
+ private:
+  std::function<Tick()> previous_;
+};
+
+/// Registers a state-dump callback (e.g. a cell/scheduler snapshot) printed
+/// on any check failure, restoring the previous dumper on destruction.
+class ScopedStateDump {
+ public:
+  explicit ScopedStateDump(std::function<std::string()> dump);
+  ~ScopedStateDump();
+  ScopedStateDump(const ScopedStateDump&) = delete;
+  ScopedStateDump& operator=(const ScopedStateDump&) = delete;
+
+ private:
+  std::function<std::string()> previous_;
+};
+
+/// Current simulation tick per the registered clock, or nullopt if none.
+std::optional<Tick> CurrentTick();
+
+/// Prints the failure report (file:line, expression, operands, sim tick,
+/// state dump) through the logging sink and aborts.  `detail` is extra
+/// context, e.g. captured operand values; empty is fine.
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& detail);
+
+/// Cold path of the comparison macros: stringifies both operands.
+template <typename A, typename B>
+[[noreturn]] void FailCheckOp(const char* file, int line, const char* expr,
+                              const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << "lhs = " << lhs << ", rhs = " << rhs;
+  FailCheck(file, line, expr, os.str());
+}
+
+}  // namespace osumac::check
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+
+#define OSUMAC_CHECK(cond)                                              \
+  do {                                                                  \
+    if (__builtin_expect(!(cond), 0)) {                                 \
+      ::osumac::check::FailCheck(__FILE__, __LINE__, #cond, {});        \
+    }                                                                   \
+  } while (0)
+
+#define OSUMAC_CHECK_OP_(opstr, op, a, b)                                     \
+  do {                                                                        \
+    const auto& osumac_lhs_ = (a);                                            \
+    const auto& osumac_rhs_ = (b);                                            \
+    if (__builtin_expect(!(osumac_lhs_ op osumac_rhs_), 0)) {                 \
+      ::osumac::check::FailCheckOp(__FILE__, __LINE__, #a " " opstr " " #b,   \
+                                   osumac_lhs_, osumac_rhs_);                 \
+    }                                                                         \
+  } while (0)
+
+#define OSUMAC_CHECK_EQ(a, b) OSUMAC_CHECK_OP_("==", ==, a, b)
+#define OSUMAC_CHECK_NE(a, b) OSUMAC_CHECK_OP_("!=", !=, a, b)
+#define OSUMAC_CHECK_LT(a, b) OSUMAC_CHECK_OP_("<", <, a, b)
+#define OSUMAC_CHECK_LE(a, b) OSUMAC_CHECK_OP_("<=", <=, a, b)
+#define OSUMAC_CHECK_GT(a, b) OSUMAC_CHECK_OP_(">", >, a, b)
+#define OSUMAC_CHECK_GE(a, b) OSUMAC_CHECK_OP_(">=", >=, a, b)
+
+// Debug-only twins.  The `if (kDChecksEnabled)` keeps the condition
+// compiled (and its operands odr-used, so no unused-variable warnings) in
+// every build type while the optimizer removes the dead branch under
+// NDEBUG.  tools/lint.py verifies that the always-on macros above are NOT
+// themselves gated on NDEBUG.
+#define OSUMAC_DCHECK(cond)                                   \
+  do {                                                        \
+    if (::osumac::check::kDChecksEnabled) OSUMAC_CHECK(cond); \
+  } while (0)
+#define OSUMAC_DCHECK_OP_(name, a, b)                        \
+  do {                                                       \
+    if (::osumac::check::kDChecksEnabled) name(a, b);        \
+  } while (0)
+#define OSUMAC_DCHECK_EQ(a, b) OSUMAC_DCHECK_OP_(OSUMAC_CHECK_EQ, a, b)
+#define OSUMAC_DCHECK_NE(a, b) OSUMAC_DCHECK_OP_(OSUMAC_CHECK_NE, a, b)
+#define OSUMAC_DCHECK_LT(a, b) OSUMAC_DCHECK_OP_(OSUMAC_CHECK_LT, a, b)
+#define OSUMAC_DCHECK_LE(a, b) OSUMAC_DCHECK_OP_(OSUMAC_CHECK_LE, a, b)
+#define OSUMAC_DCHECK_GT(a, b) OSUMAC_DCHECK_OP_(OSUMAC_CHECK_GT, a, b)
+#define OSUMAC_DCHECK_GE(a, b) OSUMAC_DCHECK_OP_(OSUMAC_CHECK_GE, a, b)
+
+// NOLINTEND(cppcoreguidelines-macro-usage)

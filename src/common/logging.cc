@@ -3,6 +3,11 @@
 namespace osumac {
 namespace {
 LogLevel g_level = LogLevel::kNone;
+
+void Emit(Tick now, const char* tag, const std::string& message) {
+  std::fprintf(stderr, "[%10.4fs t=%lld] %s: %s\n", ToSeconds(now),
+               static_cast<long long>(now), tag, message.c_str());
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level; }
@@ -10,7 +15,11 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 
 void LogAt(LogLevel level, Tick now, const char* tag, const std::string& message) {
   if (static_cast<int>(level) > static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%10.4fs] %s: %s\n", ToSeconds(now), tag, message.c_str());
+  Emit(now, tag, message);
+}
+
+void LogAlways(Tick now, const char* tag, const std::string& message) {
+  Emit(now, tag, message);
 }
 
 }  // namespace osumac

@@ -17,7 +17,13 @@ enum class LogLevel { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
-/// Emits "[   12.3456s] tag: message" to stderr if `level` is enabled.
+/// Emits "[   12.3456s t=593100] tag: message" to stderr if `level` is
+/// enabled.  The raw tick rides along because %.4f seconds alone loses tick
+/// precision at long horizons (1 tick = 1/48000 s ~ 0.00002 s).
 void LogAt(LogLevel level, Tick now, const char* tag, const std::string& message);
+
+/// Same sink and format as LogAt but unconditional — check failures and
+/// audit reports use this so they are never swallowed by the level gate.
+void LogAlways(Tick now, const char* tag, const std::string& message);
 
 }  // namespace osumac

@@ -1,7 +1,7 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 #include <cmath>
 
 namespace osumac {
@@ -24,8 +24,8 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double SampleSet::Quantile(double q) const {
-  assert(!samples_.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  OSUMAC_CHECK(!samples_.empty());
+  OSUMAC_CHECK(q >= 0.0 && q <= 1.0);
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
@@ -46,7 +46,7 @@ double SampleSet::Mean() const {
 }
 
 double SampleSet::Max() const {
-  assert(!samples_.empty());
+  OSUMAC_CHECK(!samples_.empty());
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -64,8 +64,8 @@ double JainFairnessIndex(std::span<const double> allocations) {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
-  assert(hi > lo);
-  assert(bins > 0);
+  OSUMAC_CHECK_GT(hi, lo);
+  OSUMAC_CHECK_GT(bins, 0u);
 }
 
 void Histogram::Add(double x) {

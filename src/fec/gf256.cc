@@ -1,6 +1,6 @@
 #include "fec/gf256.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::fec {
 
@@ -29,19 +29,19 @@ Gf256::Gf256() {
 }
 
 GfElem Gf256::Inverse(GfElem a) const {
-  assert(a != 0 && "inverse of zero");
+  OSUMAC_DCHECK(a != 0 && "inverse of zero");
   return exp_[static_cast<std::size_t>(255 - log_[a])];
 }
 
 GfElem Gf256::Div(GfElem a, GfElem b) const {
-  assert(b != 0 && "division by zero");
+  OSUMAC_DCHECK(b != 0 && "division by zero");
   if (a == 0) return 0;
   return exp_[static_cast<std::size_t>(log_[a] + 255 - log_[b])];
 }
 
 GfElem Gf256::Pow(GfElem a, int n) const {
   if (n == 0) return 1;
-  assert(a != 0 && "0 to non-zero power is 0; negative power of 0 undefined");
+  OSUMAC_DCHECK(a != 0 && "0 to non-zero power is 0; negative power of 0 undefined");
   long e = static_cast<long>(log_[a]) * n;
   e %= 255;
   if (e < 0) e += 255;
@@ -49,7 +49,7 @@ GfElem Gf256::Pow(GfElem a, int n) const {
 }
 
 int Gf256::Log(GfElem a) const {
-  assert(a != 0 && "log of zero");
+  OSUMAC_DCHECK(a != 0 && "log of zero");
   return log_[a];
 }
 
@@ -100,7 +100,7 @@ GfElem Eval(const std::vector<GfElem>& p, GfElem x) {
 
 std::vector<GfElem> Mod(const std::vector<GfElem>& p, const std::vector<GfElem>& d) {
   const int dd = Degree(d);
-  assert(dd >= 0 && "modulus must be non-zero");
+  OSUMAC_DCHECK(dd >= 0 && "modulus must be non-zero");
   const auto& gf = Gf256::Instance();
   std::vector<GfElem> r = p;
   const GfElem lead_inv = gf.Inverse(d[static_cast<std::size_t>(dd)]);

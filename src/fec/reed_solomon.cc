@@ -1,7 +1,7 @@
 #include "fec/reed_solomon.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::fec {
 
@@ -11,7 +11,7 @@ const Gf256& gf() { return Gf256::Instance(); }
 
 ReedSolomon::ReedSolomon(int n, int k, int first_consecutive_root)
     : n_(n), k_(k), fcr_(first_consecutive_root) {
-  assert(0 < k && k < n && n <= 255);
+  OSUMAC_CHECK(0 < k && k < n && n <= 255);
   // g(x) = (x - a^fcr)(x - a^{fcr+1}) ... (x - a^{fcr+n-k-1})
   generator_ = {1};
   for (int i = 0; i < n_ - k_; ++i) {
@@ -25,7 +25,7 @@ const ReedSolomon& ReedSolomon::Osu6448() {
 }
 
 std::vector<GfElem> ReedSolomon::Encode(std::span<const GfElem> data) const {
-  assert(static_cast<int>(data.size()) == k_);
+  OSUMAC_CHECK_EQ(static_cast<int>(data.size()), k_);
   const int parity_len = n_ - k_;
   // Message polynomial times x^{n-k}: data[0] is the coefficient of x^{n-1}.
   std::vector<GfElem> shifted(static_cast<std::size_t>(n_), 0);
@@ -61,7 +61,7 @@ std::vector<GfElem> ReedSolomon::Syndromes(std::span<const GfElem> received) con
 }
 
 bool ReedSolomon::IsCodeword(std::span<const GfElem> word) const {
-  assert(static_cast<int>(word.size()) == n_);
+  OSUMAC_CHECK_EQ(static_cast<int>(word.size()), n_);
   const std::vector<GfElem> s = Syndromes(word);
   return std::all_of(s.begin(), s.end(), [](GfElem e) { return e == 0; });
 }
@@ -72,7 +72,7 @@ std::optional<DecodeResult> ReedSolomon::Decode(std::span<const GfElem> received
 
 std::optional<DecodeResult> ReedSolomon::DecodeWithErasures(
     std::span<const GfElem> received, std::span<const int> erasure_positions) const {
-  assert(static_cast<int>(received.size()) == n_);
+  OSUMAC_CHECK_EQ(static_cast<int>(received.size()), n_);
   const int nroots = n_ - k_;
   const int f = static_cast<int>(erasure_positions.size());
   if (f > nroots) return std::nullopt;
@@ -88,7 +88,7 @@ std::optional<DecodeResult> ReedSolomon::DecodeWithErasures(
   // Erasure locator Gamma(x) = prod (1 + X_j x), X_j = alpha^{n-1-pos}.
   std::vector<GfElem> lambda = {1};
   for (int pos : erasure_positions) {
-    assert(pos >= 0 && pos < n_);
+    OSUMAC_DCHECK(pos >= 0 && pos < n_);
     lambda = poly::Mul(lambda, {1, gf().Exp(n_ - 1 - pos)});
   }
 

@@ -1,7 +1,6 @@
 #include "mac/cell.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "common/logging.h"
 #include "mac/packet.h"
 #include "phy/phy_params.h"
@@ -25,10 +24,36 @@ Cell::Cell(const CellConfig& config)
       rng_(config.seed),
       bs_(config.mac),
       data_code_(fec::ReedSolomon::Osu6448()),
-      gps_code_(32, 9) {
-  assert(config_.mac.min_contention_slots >= 1 &&
+      gps_code_(32, 9),
+      check_clock_([this] { return sim_.now(); }),
+      check_dump_([this] { return DumpState(); }) {
+  OSUMAC_CHECK(config_.mac.min_contention_slots >= 1 &&
          "slot 0 must stay unassigned: it can conflict with the CF2 "
          "listener's reception window in format 2");
+}
+
+std::string Cell::DumpState() const {
+  std::string out;
+  out += "cell: cycle " + std::to_string(current_cycle());
+  out += ", format " +
+         std::string(bs_.current_format() == ReverseFormat::kFormat1 ? "1" : "2");
+  out += ", subscribers " + std::to_string(subscriber_count());
+  out += ", pending events " + std::to_string(sim_.pending_events());
+  out += ", pending bursts " + std::to_string(reverse_channel_.pending_bursts());
+  out += "\n  gps schedule:";
+  for (UserId u : bs_.gps_manager().Schedule()) {
+    out += ' ';
+    out += (u == kNoUser ? std::string("-") : std::to_string(u));
+  }
+  out += "\n  reverse schedule:";
+  for (UserId u : bs_.reverse_schedule()) {
+    out += ' ';
+    out += (u == kNoUser ? std::string("-") : std::to_string(u));
+  }
+  out += "\n  cf2 listener: ";
+  out += (bs_.cf2_listener() == kNoUser ? std::string("-")
+                                        : std::to_string(bs_.cf2_listener()));
+  return out;
 }
 
 int Cell::AddSubscriber(bool wants_gps, std::optional<Ein> ein_override) {
@@ -122,7 +147,7 @@ void Cell::ResetStats() {
 
 void Cell::StartCycle(std::int64_t n) {
   const Tick T = n * kCycleTicks;
-  assert(sim_.now() == T);
+  OSUMAC_CHECK_EQ(sim_.now(), T);
 
   for (auto& sub : subscribers_) {
     sub->OnCycleStart(static_cast<std::uint16_t>(n & 0xFFFF), T);
@@ -139,6 +164,8 @@ void Cell::StartCycle(std::int64_t n) {
   ++metrics_.cycles;
   metrics_.capacity_bytes +=
       static_cast<std::int64_t>(layout.data_slot_count()) * kPacketPayloadBytes;
+
+  if (observer_ != nullptr) observer_->OnCyclePlanned(*this, cf1, n, sim_.now());
 
   // CF1 delivery at its last symbol.
   sim_.ScheduleAt(T + ForwardCycleLayout::ControlFields1().end,
@@ -250,6 +277,10 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
                                               : data_code_.Encode(b.info));
       reverse_channel_.Transmit(std::move(coded));
     }
+  }
+
+  if (observer_ != nullptr) {
+    observer_->OnControlFieldsDelivered(*this, cf, second, cycle_start, sim_.now());
   }
 }
 

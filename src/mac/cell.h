@@ -19,13 +19,16 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/time.h"
 #include "fec/reed_solomon.h"
 #include "mac/base_station.h"
+#include "mac/cell_observer.h"
 #include "mac/config.h"
 #include "mac/subscriber.h"
 #include "phy/channel.h"
@@ -101,6 +104,17 @@ class Cell {
   BaseStation& base_station() { return bs_; }
   const BaseStation& base_station() const { return bs_; }
   sim::Simulator& simulator() { return sim_; }
+  const CellConfig& config() const { return config_; }
+  const phy::ReverseChannel& reverse_channel() const { return reverse_channel_; }
+
+  /// Attaches an observer notified at the per-cycle audit points (nullptr
+  /// detaches).  At most one observer; the auditor in src/analysis is the
+  /// intended client.
+  void SetObserver(CellObserver* observer) { observer_ = observer; }
+
+  /// One-line-per-field snapshot of the scheduling state, printed by the
+  /// contract framework when a check fails while this cell is running.
+  std::string DumpState() const;
 
   // --- traffic ---------------------------------------------------------------
 
@@ -160,6 +174,11 @@ class Cell {
   std::map<std::uint32_t, Tick> downlink_enqueue_tick_;
 
   CellMetrics metrics_;
+  CellObserver* observer_ = nullptr;
+
+  // Declared last so the check hooks outlive nothing they reference.
+  check::ScopedSimClock check_clock_;
+  check::ScopedStateDump check_dump_;
 };
 
 }  // namespace osumac::mac

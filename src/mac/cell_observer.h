@@ -1,0 +1,37 @@
+// Observation hooks into a Cell's notification-cycle machinery.
+//
+// A CellObserver is notified at the two points of each cycle where the
+// protocol state is complete and self-consistent: right after the base
+// station planned the cycle (schedules fixed, CF1 built), and right after a
+// control-field set was delivered (subscribers have committed their radios
+// and put their reverse bursts on the air).  The ProtocolAuditor in
+// src/analysis builds on this to verify the paper's invariants every cycle;
+// the interface lives here so mac does not depend on analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "mac/control_fields.h"
+
+namespace osumac::mac {
+
+class Cell;
+
+class CellObserver {
+ public:
+  virtual ~CellObserver() = default;
+
+  /// Cycle `cycle` has been planned: both channel schedules are fixed and
+  /// `cf1` is about to go on the air.  Called at the cycle-start tick.
+  virtual void OnCyclePlanned(const Cell& cell, const ControlFields& cf1,
+                              std::int64_t cycle, Tick now) = 0;
+
+  /// Control fields (`second` selects CF1/CF2) were delivered to their
+  /// listeners; every burst the listeners planned for this cycle is now
+  /// pending on the reverse channel and all radio commitments are made.
+  virtual void OnControlFieldsDelivered(const Cell& cell, const ControlFields& cf,
+                                        bool second, Tick cycle_start, Tick now) = 0;
+};
+
+}  // namespace osumac::mac

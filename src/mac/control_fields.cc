@@ -1,6 +1,6 @@
 #include "mac/control_fields.h"
 
-#include <cassert>
+#include "common/check.h"
 
 #include "common/bitio.h"
 #include "phy/phy_params.h"
@@ -25,7 +25,7 @@ std::array<std::vector<fec::GfElem>, 2> SerializeControlFields(const ControlFiel
   for (UserId uid : cf.forward_schedule) w.Write(uid, kUserIdBits);
   for (UserId uid : cf.reverse_acks) w.Write(uid, kUserIdBits);
   w.Write(cf.gps_ack_bitmap, 8);
-  assert(cf.grant_count >= 0 && cf.grant_count <= kMaxRegistrationGrants);
+  OSUMAC_CHECK(cf.grant_count >= 0 && cf.grant_count <= kMaxRegistrationGrants);
   w.Write(static_cast<std::uint64_t>(cf.grant_count), 2);
   for (const RegistrationGrant& g : cf.grants) {
     w.Write(g.ein, kEinBits);
@@ -38,13 +38,13 @@ std::array<std::vector<fec::GfElem>, 2> SerializeControlFields(const ControlFiel
   } else {
     w.WriteZeros(kEinBits + kUserIdBits);
   }
-  assert(cf.paged_count >= 0 && cf.paged_count <= kMaxPagedUsers);
+  OSUMAC_CHECK(cf.paged_count >= 0 && cf.paged_count <= kMaxPagedUsers);
   w.Write(static_cast<std::uint64_t>(cf.paged_count), 4);
   for (Ein ein : cf.paging) w.Write(ein, kEinBits);
   w.WriteZeros(14);  // reserved pad to the paper's 630-bit total
-  assert(w.bit_size() == kControlFieldBits);
+  OSUMAC_CHECK_EQ(w.bit_size(), kControlFieldBits);
   w.WriteZeros(kControlFieldReservedBits);  // reserved bits of the 2 codewords
-  assert(w.bit_size() == 2 * phy::kRsInfoBits);
+  OSUMAC_CHECK_EQ(w.bit_size(), 2 * phy::kRsInfoBits);
 
   const std::vector<fec::GfElem> bytes = w.BytesPaddedTo(2 * phy::kRsInfoBytes);
   std::array<std::vector<fec::GfElem>, 2> blocks;

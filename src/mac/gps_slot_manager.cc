@@ -1,12 +1,14 @@
 #include "mac/gps_slot_manager.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::mac {
 
 std::optional<int> GpsSlotManager::Admit(UserId uid) {
-  assert(uid != kNoUser);
-  assert(!SlotOf(uid).has_value() && "user already holds a GPS slot");
+  OSUMAC_CHECK_NE(uid, kNoUser);
+  // Hot path (per-churn O(slots) scan): debug-only; the per-cycle auditor
+  // catches a double admission through gps-schedule-consistent.
+  OSUMAC_DCHECK(!SlotOf(uid).has_value() && "user already holds a GPS slot");
   // (R2): first unused slot.
   for (int i = 0; i < kMaxGpsSlots; ++i) {
     if (slots_[static_cast<std::size_t>(i)] == kNoUser) {
@@ -20,7 +22,7 @@ std::optional<int> GpsSlotManager::Admit(UserId uid) {
 
 std::optional<GpsSlotManager::Move> GpsSlotManager::Release(UserId uid) {
   const std::optional<int> slot = SlotOf(uid);
-  assert(slot.has_value() && "releasing a user that holds no GPS slot");
+  OSUMAC_CHECK(slot.has_value() && "releasing a user that holds no GPS slot");
   slots_[static_cast<std::size_t>(*slot)] = kNoUser;
   --active_;
   if (!dynamic_) return std::nullopt;  // naive approach: the hole persists
@@ -42,7 +44,9 @@ std::optional<GpsSlotManager::Move> GpsSlotManager::Release(UserId uid) {
   move.to_slot = *slot;
   slots_[static_cast<std::size_t>(*slot)] = move.user;
   slots_[static_cast<std::size_t>(highest)] = kNoUser;
-  assert(IsDensePrefix());
+  // Hot path (per-churn O(slots) scan): debug-only; the per-cycle auditor
+  // checks R1-dense-prefix on every planned schedule.
+  OSUMAC_DCHECK(IsDensePrefix());  // (R1) restored by the single move
   return move;
 }
 

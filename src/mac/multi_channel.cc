@@ -1,11 +1,11 @@
 #include "mac/multi_channel.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::mac {
 
 MultiChannelCell::MultiChannelCell(const CellConfig& config, int carriers) {
-  assert(carriers >= 1);
+  OSUMAC_CHECK_GE(carriers, 1);
   for (int i = 0; i < carriers; ++i) {
     CellConfig carrier_config = config;
     carrier_config.seed = config.seed + 0x517CC1B7ull * static_cast<std::uint64_t>(i + 1);

@@ -1,11 +1,11 @@
 #include "mac/network.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::mac {
 
 Network::Network(const CellConfig& config, int num_cells) {
-  assert(num_cells > 0);
+  OSUMAC_CHECK_GT(num_cells, 0);
   for (int i = 0; i < num_cells; ++i) {
     CellConfig cell_config = config;
     cell_config.seed = config.seed + static_cast<std::uint64_t>(i) * 0x9E3779B9u;
@@ -19,7 +19,7 @@ Network::Network(const CellConfig& config, int num_cells) {
 }
 
 int Network::AddSubscriber(int cell_index, bool wants_gps) {
-  assert(cell_index >= 0 && cell_index < cell_count());
+  OSUMAC_CHECK(cell_index >= 0 && cell_index < cell_count());
   Mobile mobile;
   mobile.ein = next_ein_++;
   mobile.gps = wants_gps;

@@ -1,6 +1,6 @@
 #include "mac/packet.h"
 
-#include <cassert>
+#include "common/check.h"
 
 #include "common/bitio.h"
 
@@ -33,7 +33,7 @@ std::vector<fec::GfElem> PadTo(const BitWriter& w, int bytes) {
 }  // namespace
 
 std::vector<fec::GfElem> SerializeDataPacket(const DataPacket& p) {
-  assert(p.payload_bytes <= kPacketPayloadBytes);
+  OSUMAC_CHECK_LE(p.payload_bytes, kPacketPayloadBytes);
   BitWriter w;
   PacketHeader h = p.header;
   h.kind = PacketKind::kData;
@@ -81,7 +81,7 @@ std::vector<fec::GfElem> SerializeDeregistrationPacket(const DeregistrationPacke
 }
 
 std::vector<fec::GfElem> SerializeForwardAckPacket(const ForwardAckPacket& p) {
-  assert(p.count >= 0 && p.count <= kMaxForwardAcks);
+  OSUMAC_CHECK(p.count >= 0 && p.count <= kMaxForwardAcks);
   BitWriter w;
   PacketHeader h = p.header;
   h.kind = PacketKind::kForwardAck;
@@ -104,7 +104,7 @@ std::vector<fec::GfElem> SerializeGpsPacket(const GpsPacket& p) {
 }
 
 std::vector<fec::GfElem> SerializeForwardDataPacket(const ForwardDataPacket& p) {
-  assert(p.payload_bytes <= kPacketPayloadBytes);
+  OSUMAC_CHECK_LE(p.payload_bytes, kPacketPayloadBytes);
   BitWriter w;
   w.Write(p.dest, kUserIdBits);
   w.Write(p.message_id, 32);

@@ -1,7 +1,7 @@
 #include "mac/subscriber.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::mac {
 

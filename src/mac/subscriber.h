@@ -147,6 +147,7 @@ class MobileSubscriber {
   bool is_gps() const { return wants_gps_; }
   int node_index() const { return node_index_; }
   phy::HalfDuplexRadio& radio() { return radio_; }
+  const phy::HalfDuplexRadio& radio() const { return radio_; }
   const SubscriberStats& stats() const { return stats_; }
   /// Zeroes the statistics (used after a warm-up period).
   void ResetStats() { stats_ = SubscriberStats{}; }

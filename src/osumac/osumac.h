@@ -10,10 +10,12 @@
 //   - osumac::fec::ReedSolomon     — RS(64,48) / RS(32,9) codecs
 //   - osumac::phy::*               — channel and radio models, Table-1 params
 //   - osumac::baselines::*         — PRMA, D-TDMA, RAMA, DRMA, slotted ALOHA
+//   - osumac::analysis::*          — the protocol-invariant auditor
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once
 
+#include "analysis/protocol_auditor.h"
 #include "baselines/common.h"
 #include "baselines/drma.h"
 #include "baselines/dtdma.h"

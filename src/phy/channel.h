@@ -88,6 +88,9 @@ class ReverseChannel {
   /// a well-formed run; lingering bursts indicate a scheduling bug).
   std::size_t pending_bursts() const { return pending_.size(); }
 
+  /// Bursts not yet resolved, for auditing (see analysis/protocol_auditor).
+  const std::vector<CodedBurst>& pending() const { return pending_; }
+
  private:
   std::vector<CodedBurst> Collect(Interval slot);
 

@@ -1,6 +1,6 @@
 #include "phy/error_model.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::phy {
 
@@ -13,7 +13,7 @@ void FlipByte(fec::GfElem& b, Rng& rng) {
 }  // namespace
 
 UniformErrorModel::UniformErrorModel(double symbol_error_prob) : p_(symbol_error_prob) {
-  assert(p_ >= 0.0 && p_ <= 1.0);
+  OSUMAC_CHECK(p_ >= 0.0 && p_ <= 1.0);
 }
 
 int UniformErrorModel::Corrupt(std::span<fec::GfElem> codeword, Rng& rng) {
@@ -28,8 +28,8 @@ int UniformErrorModel::Corrupt(std::span<fec::GfElem> codeword, Rng& rng) {
 }
 
 GilbertElliottModel::GilbertElliottModel(const Params& params) : params_(params) {
-  assert(params_.p_good_to_bad >= 0 && params_.p_good_to_bad <= 1);
-  assert(params_.p_bad_to_good >= 0 && params_.p_bad_to_good <= 1);
+  OSUMAC_CHECK(params_.p_good_to_bad >= 0 && params_.p_good_to_bad <= 1);
+  OSUMAC_CHECK(params_.p_bad_to_good >= 0 && params_.p_bad_to_good <= 1);
 }
 
 int GilbertElliottModel::Corrupt(std::span<fec::GfElem> codeword, Rng& rng) {

@@ -1,6 +1,6 @@
 #include "phy/radio.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace osumac::phy {
 
@@ -13,7 +13,7 @@ bool HalfDuplexRadio::ConflictsWith(const std::deque<Interval>& set, Interval in
 }
 
 void HalfDuplexRadio::CommitTransmit(Interval interval) {
-  assert(CanTransmit(interval) && "TX scheduled against an RX commitment");
+  OSUMAC_CHECK(CanTransmit(interval) && "TX scheduled against an RX commitment");
   tx_.push_back(interval);
 }
 

@@ -40,6 +40,10 @@ class HalfDuplexRadio {
   std::size_t pending_tx() const { return tx_.size(); }
   std::size_t pending_rx() const { return rx_.size(); }
 
+  /// Commitment lists, for auditing (see analysis/protocol_auditor).
+  const std::deque<Interval>& tx_commitments() const { return tx_; }
+  const std::deque<Interval>& rx_commitments() const { return rx_; }
+
  private:
   static bool ConflictsWith(const std::deque<Interval>& set, Interval interval);
 

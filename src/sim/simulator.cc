@@ -1,13 +1,14 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace osumac::sim {
 
 EventId Simulator::ScheduleAt(Tick when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  assert(fn != nullptr);
+  OSUMAC_CHECK_GE(when, now_);  // cannot schedule into the past
+  OSUMAC_CHECK(fn != nullptr);
   const std::uint64_t seq = next_seq_++;
   pending_.emplace(seq, std::move(fn));
   queue_.push(QueueKey{when, seq});

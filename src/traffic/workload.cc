@@ -1,7 +1,7 @@
 #include "traffic/workload.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 #include <cmath>
 
 #include "mac/packet.h"
@@ -10,7 +10,7 @@ namespace osumac::traffic {
 
 Tick MeanInterarrivalTicks(double rho, int data_users, int data_slots,
                            double mean_message_bytes) {
-  assert(rho > 0 && data_users > 0 && data_slots > 0);
+  OSUMAC_CHECK(rho > 0 && data_users > 0 && data_slots > 0);
   const double capacity_bytes_per_cycle =
       static_cast<double>(data_slots) * mac::kPacketPayloadBytes;
   const double t_seconds = static_cast<double>(data_users) *

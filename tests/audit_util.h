@@ -1,0 +1,35 @@
+// Test helper: run a Cell under the protocol-invariant auditor.
+//
+// Declare a ScopedAudit right after constructing the Cell; on scope exit it
+// fails the test (with the auditor's full report) if any paper invariant was
+// violated during the run.  This puts every integration/soak scenario under
+// continuous machine-checked audit at no extra test-code cost.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "analysis/protocol_auditor.h"
+#include "mac/cell.h"
+
+namespace osumac::test {
+
+class ScopedAudit {
+ public:
+  explicit ScopedAudit(mac::Cell& cell) : cell_(&cell) {
+    cell_->SetObserver(&auditor_);
+  }
+  ~ScopedAudit() {
+    cell_->SetObserver(nullptr);
+    EXPECT_TRUE(auditor_.violations().empty()) << auditor_.Report();
+  }
+  ScopedAudit(const ScopedAudit&) = delete;
+  ScopedAudit& operator=(const ScopedAudit&) = delete;
+
+  analysis::ProtocolAuditor& auditor() { return auditor_; }
+
+ private:
+  mac::Cell* cell_;
+  analysis::ProtocolAuditor auditor_;
+};
+
+}  // namespace osumac::test

@@ -43,11 +43,15 @@ TEST_P(PlanningFuzz, ScheduleInvariantsHoldUnderChaos) {
     const auto& registered = bs.registered_users();
     for (int i = 0; i < n_data; ++i) {
       const UserId u = cf.reverse_schedule[static_cast<std::size_t>(i)];
-      if (u != kNoUser) EXPECT_TRUE(registered.contains(u)) << "step " << step;
+      if (u != kNoUser) {
+        EXPECT_TRUE(registered.contains(u)) << "step " << step;
+      }
     }
     for (int s = 0; s < kForwardDataSlots; ++s) {
       const UserId u = cf.forward_schedule[static_cast<std::size_t>(s)];
-      if (u != kNoUser) EXPECT_TRUE(registered.contains(u)) << "step " << step;
+      if (u != kNoUser) {
+        EXPECT_TRUE(registered.contains(u)) << "step " << step;
+      }
     }
 
     // --- invariant: GPS users never hold the last data slot -----------------

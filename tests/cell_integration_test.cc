@@ -4,6 +4,7 @@
 // invariants.
 #include <gtest/gtest.h>
 
+#include "audit_util.h"
 #include "mac/cell.h"
 #include "metrics/experiment.h"
 #include "traffic/workload.h"
@@ -33,6 +34,7 @@ TEST(CellInvariantsTest, DeliveredNeverExceedsOfferedAndCountsAgree) {
   CellConfig config;
   config.seed = 21;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   const auto nodes = AddActiveDataUsers(cell, 8);
   cell.RunCycles(8);
   const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
@@ -61,6 +63,7 @@ TEST(CellInvariantsTest, DeterministicAcrossRuns) {
     CellConfig config;
     config.seed = 77;
     Cell cell(config);
+    test::ScopedAudit audit(cell);
     auto nodes = AddActiveDataUsers(cell, 6);
     for (int i = 0; i < 2; ++i) {
       cell.PowerOn(cell.AddSubscriber(true));
@@ -85,6 +88,7 @@ TEST(CellInvariantsTest, NoForwardLossesOnPerfectChannel) {
   CellConfig config;
   config.seed = 23;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   const auto nodes = AddActiveDataUsers(cell, 6);
   for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
   cell.RunCycles(8);
@@ -112,6 +116,7 @@ TEST(CellErrorInjectionTest, ArqRecoversFromUniformNoise) {
   config.forward.kind = ChannelModelConfig::Kind::kUniform;
   config.forward.symbol_error_prob = 0.02;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   const auto nodes = AddActiveDataUsers(cell, 5);
   cell.RunCycles(10);
   for (int n : nodes) cell.SendUplinkMessage(n, 200);
@@ -127,6 +132,7 @@ TEST(CellErrorInjectionTest, HarshNoiseCausesRetransmissionsButNoCorruption) {
   config.reverse.kind = ChannelModelConfig::Kind::kUniform;
   config.reverse.symbol_error_prob = 0.13;  // mean ~8.3 errors: frequent failures
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   const auto nodes = AddActiveDataUsers(cell, 4);
   cell.RunCycles(30);  // registration needs retries too
   int active = 0;
@@ -153,6 +159,7 @@ TEST(CellErrorInjectionTest, GilbertElliottFadesDropGpsWithoutRetransmission) {
   config.reverse.ge.p_bad_to_good = 0.05;
   config.reverse.ge.error_prob_bad = 0.5;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   std::vector<int> buses;
   for (int i = 0; i < 4; ++i) {
     buses.push_back(cell.AddSubscriber(true));
@@ -177,6 +184,7 @@ TEST(CellGpsChurnTest, SlotConsolidationAndFormatSwitchLive) {
   CellConfig config;
   config.seed = 41;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   std::vector<int> buses;
   for (int i = 0; i < 6; ++i) {
     buses.push_back(cell.AddSubscriber(true));
@@ -216,6 +224,7 @@ TEST(CellGpsChurnTest, EightBusesWithDataTrafficKeepQoS) {
   CellConfig config;
   config.seed = 42;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   std::vector<int> buses;
   for (int i = 0; i < 8; ++i) {
     buses.push_back(cell.AddSubscriber(true));
@@ -246,6 +255,7 @@ TEST(CellRegistrationTest, StormOfTwentyUsersAllRegister) {
   CellConfig config;
   config.seed = 51;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   std::vector<int> nodes;
   for (int i = 0; i < 20; ++i) {
     nodes.push_back(cell.AddSubscriber(false));
@@ -266,6 +276,7 @@ TEST(CellRegistrationTest, TricklingArrivalsMeetDesignTargets) {
   CellConfig config;
   config.seed = 52;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   SampleSet latency;
   for (int i = 0; i < 40; ++i) {
     const int node = cell.AddSubscriber(false);
@@ -283,6 +294,7 @@ TEST(CellRegistrationTest, PagingWakesInactiveUser) {
   config.seed = 53;
   config.mac.inactive_listen_period_cycles = 3;  // shorten the test
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   const int node = cell.AddSubscriber(false);  // never powered on
   cell.RunCycles(2);
   EXPECT_FALSE(cell.SendDownlinkMessage(node, 100)) << "unregistered: pages instead";
@@ -302,6 +314,7 @@ TEST(CellTwoCfTest, LastSlotCarriesTrafficAndStaysConsistent) {
   CellConfig config;
   config.seed = 61;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   const auto nodes = AddActiveDataUsers(cell, 8);
   cell.RunCycles(8);
   const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
@@ -323,6 +336,7 @@ TEST(CellTwoCfTest, AblationDisablingSecondCfWastesTheLastSlot) {
   config.seed = 62;
   config.mac.use_second_control_field = false;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   const auto nodes = AddActiveDataUsers(cell, 8);
   cell.RunCycles(8);
   const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
@@ -343,6 +357,7 @@ TEST(CellTwoCfTest, AblationStaticGpsSlotsWasteBandwidth) {
     config.seed = 63;
     config.mac.dynamic_gps_slots = dynamic;
     Cell cell(config);
+    test::ScopedAudit audit(cell);
     cell.PowerOn(cell.AddSubscriber(true));  // one bus
     std::vector<int> nodes = AddActiveDataUsers(cell, 10);
     cell.RunCycles(10);

@@ -1,0 +1,88 @@
+// Tests for the always-on contract framework (common/check.h).
+//
+// The death tests are the runtime half of satellite guard S1: they prove
+// OSUMAC_CHECK* fire in the build type the suite actually runs under —
+// including RelWithDebInfo, where NDEBUG silences plain assert().  The
+// static half is tools/lint.py, which rejects bare assert() in src/ and any
+// NDEBUG gating of the always-on macros.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.h"
+
+namespace osumac {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  OSUMAC_CHECK(true);
+  OSUMAC_CHECK_EQ(2 + 2, 4);
+  OSUMAC_CHECK_NE(1, 2);
+  OSUMAC_CHECK_LT(1, 2);
+  OSUMAC_CHECK_LE(2, 2);
+  OSUMAC_CHECK_GT(3, 2);
+  OSUMAC_CHECK_GE(3, 3);
+  OSUMAC_DCHECK(true);
+  OSUMAC_DCHECK_EQ(5, 5);
+}
+
+TEST(CheckTest, CurrentTickFollowsInnermostRegisteredClock) {
+  EXPECT_FALSE(check::CurrentTick().has_value());
+  {
+    check::ScopedSimClock outer([] { return Tick{42}; });
+    EXPECT_EQ(check::CurrentTick(), Tick{42});
+    {
+      check::ScopedSimClock inner([] { return Tick{43}; });
+      EXPECT_EQ(check::CurrentTick(), Tick{43});
+    }
+    EXPECT_EQ(check::CurrentTick(), Tick{42});
+  }
+  EXPECT_FALSE(check::CurrentTick().has_value());
+}
+
+// The framework's reason to exist: the check must die in *this* build type,
+// whatever it is.  The default RelWithDebInfo build defines NDEBUG, which
+// compiled the old assert()s out silently.
+TEST(CheckDeathTest, FiresInEveryBuildType) {
+  EXPECT_DEATH(OSUMAC_CHECK(1 + 1 == 3), "1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosCaptureOperands) {
+  const int slots = 7;
+  const int limit = 5;
+  EXPECT_DEATH(OSUMAC_CHECK_LE(slots, limit), "lhs = 7, rhs = 5");
+  EXPECT_DEATH(OSUMAC_CHECK_EQ(slots, limit), "slots == limit");
+}
+
+TEST(CheckDeathTest, ReportCarriesFileAndLine) {
+  EXPECT_DEATH(OSUMAC_CHECK(false), "check_test.cc");
+}
+
+TEST(CheckDeathTest, ReportCarriesSimulationTick) {
+  check::ScopedSimClock clock([] { return Tick{123456}; });
+  EXPECT_DEATH(OSUMAC_CHECK(false), "t=123456");
+}
+
+TEST(CheckDeathTest, ReportIncludesRegisteredStateDump) {
+  check::ScopedStateDump dump([] { return std::string("scheduler-state-snapshot"); });
+  EXPECT_DEATH(OSUMAC_CHECK(false), "scheduler-state-snapshot");
+}
+
+TEST(CheckDeathTest, MessageConventionTravelsInReport) {
+  EXPECT_DEATH(OSUMAC_CHECK(false && "guard interval too small"),
+               "guard interval too small");
+}
+
+// DCHECKs follow the build flag: live without NDEBUG, compiled away (but
+// still type-checked) with it.
+TEST(CheckDeathTest, DChecksFollowBuildFlag) {
+  if (check::kDChecksEnabled) {
+    EXPECT_DEATH(OSUMAC_DCHECK(1 == 2), "1 == 2");
+  } else {
+    OSUMAC_DCHECK(1 == 2);        // must be a no-op
+    OSUMAC_DCHECK_EQ(1, 2);       // ditto
+  }
+}
+
+}  // namespace
+}  // namespace osumac

@@ -142,5 +142,54 @@ TEST(CycleLayoutTest, ReverseSlotsDisjointWithinCycle) {
   }
 }
 
+TEST(CycleLayoutTest, Format2LastSlotEndPlusGuardMeetsFormat1ContentEnd) {
+  // Format 2 trades five GPS slots (5 x 0.0875 s) for one data slot
+  // (0.40375 s); the 0.03375 s difference is the trailing guard that keeps
+  // both formats' reverse content the same length (Section 3.3, Figure 3).
+  const ReverseCycleLayout f1(ReverseFormat::kFormat1);
+  const ReverseCycleLayout f2(ReverseFormat::kFormat2);
+  const Tick guard = static_cast<Tick>(0.03375 * kTicksPerSecond);
+  EXPECT_EQ(guard, 1620);
+  EXPECT_EQ(f2.DataSlot(8).end, 201480);
+  EXPECT_EQ(f2.DataSlot(8).end + guard, f1.DataSlot(7).end);
+  EXPECT_EQ(5 * phy::kGpsSlotTicks, phy::kReverseDataSlotTicks + guard);
+}
+
+TEST(CycleLayoutTest, PaddedIntervalMayHaveNegativeBegin) {
+  // The half-duplex guard padding runs on plain Ticks; an interval near the
+  // time origin pads into negative time and must still behave (overlap
+  // queries against early commitments depend on it).
+  const Interval padded = Interval{100, 200}.Padded(960);
+  EXPECT_EQ(padded, (Interval{-860, 1160}));
+  EXPECT_EQ(padded.length(), 2020);
+  EXPECT_FALSE(padded.empty());
+  EXPECT_TRUE(padded.Contains(-1));
+  EXPECT_TRUE(padded.Overlaps(Interval{-1000, -800}));
+  EXPECT_FALSE(padded.Overlaps(Interval{-1000, -860}));  // half-open: touch is fine
+  EXPECT_FALSE(padded.Overlaps(Interval{1160, 2000}));
+}
+
+TEST(CycleLayoutTest, FormatBoundaryAtThreeToFourUsers) {
+  // The 3/4-user boundary is where the five freed GPS slots fuse into the
+  // extra data slot; both sides must agree with the slot-count tables.
+  EXPECT_EQ(FormatForGpsCount(3), ReverseFormat::kFormat2);
+  EXPECT_EQ(FormatForGpsCount(4), ReverseFormat::kFormat1);
+  EXPECT_EQ(ReverseCycleLayout(FormatForGpsCount(3)).gps_slot_count(), 3);
+  EXPECT_EQ(ReverseCycleLayout(FormatForGpsCount(3)).data_slot_count(), 9);
+  EXPECT_EQ(ReverseCycleLayout(FormatForGpsCount(4)).gps_slot_count(), 8);
+  EXPECT_EQ(ReverseCycleLayout(FormatForGpsCount(4)).data_slot_count(), 8);
+}
+
+TEST(CycleLayoutTest, GpsSlotPositionsAreFormatIndependent) {
+  // A format switch must never move a surviving bus's report slot in time:
+  // the <= 4 s access guarantee relies on slot i starting at the same
+  // offset in both formats.
+  const ReverseCycleLayout f1(ReverseFormat::kFormat1);
+  const ReverseCycleLayout f2(ReverseFormat::kFormat2);
+  for (int i = 0; i < f2.gps_slot_count(); ++i) {
+    EXPECT_EQ(f1.GpsSlot(i), f2.GpsSlot(i)) << "GPS slot " << i;
+  }
+}
+
 }  // namespace
 }  // namespace osumac::mac

@@ -1,0 +1,340 @@
+// Tests for the protocol-invariant auditor (analysis/protocol_auditor.h).
+//
+// Two layers: a live Cell run under audit (with GPS churn, format switches
+// and traffic) must produce zero violations; and fabricated views of a
+// deliberately broken scheduler must be caught, with the diagnostic naming
+// the violated invariant and the simulation tick.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/protocol_auditor.h"
+#include "mac/cell.h"
+#include "mac/control_fields.h"
+#include "mac/cycle_layout.h"
+#include "phy/phy_params.h"
+
+namespace osumac {
+namespace {
+
+using analysis::ProtocolAuditor;
+using mac::kNoUser;
+using mac::ReverseCycleLayout;
+using mac::ReverseFormat;
+
+// A well-formed format-2 cycle: users 1 and 2 in GPS slots 0-1, user 4
+// holding data slots 1-2, slot 0 left for contention.
+ProtocolAuditor::ScheduleView GoodSchedule() {
+  ProtocolAuditor::ScheduleView v;
+  v.cycle = 3;
+  v.cycle_start = 3 * mac::kCycleTicks;
+  v.dynamic_gps = true;
+  v.format = ReverseFormat::kFormat2;
+  v.gps_active = 2;
+  v.gps_schedule.fill(kNoUser);
+  v.reverse_schedule.fill(kNoUser);
+  v.gps_schedule[0] = 1;
+  v.gps_schedule[1] = 2;
+  v.reverse_schedule[1] = 4;
+  v.reverse_schedule[2] = 4;
+  v.data_slot_count = 9;
+  return v;
+}
+
+TEST(ProtocolAuditorTest, CleanScheduleProducesNoViolations) {
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(GoodSchedule(), 100);
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+  EXPECT_EQ(auditor.cycles_audited(), 1);
+}
+
+TEST(ProtocolAuditorTest, DetectsR1DensePrefixHole) {
+  auto v = GoodSchedule();
+  v.gps_schedule[1] = kNoUser;  // hole at slot 1 ...
+  v.gps_schedule[2] = 2;        // ... but slot 2 occupied
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(v, 777);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "R1-dense-prefix");
+  EXPECT_EQ(auditor.violations()[0].tick, 777);
+}
+
+TEST(ProtocolAuditorTest, StaticGpsPolicyMayHoldHoles) {
+  auto v = GoodSchedule();
+  v.dynamic_gps = false;  // the paper's naive ablation keeps format 1 ...
+  v.format = ReverseFormat::kFormat1;
+  v.data_slot_count = 8;
+  v.gps_schedule[1] = kNoUser;  // ... and holes are by design
+  v.gps_schedule[2] = 2;
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(v, 0);
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+}
+
+TEST(ProtocolAuditorTest, DetectsDuplicateGpsUserAndCountMismatch) {
+  auto v = GoodSchedule();
+  v.gps_schedule[1] = 1;  // user 1 owns two slots; count still says 2
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(v, 5);
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations()[0].invariant, "gps-schedule-consistent");
+}
+
+TEST(ProtocolAuditorTest, DetectsFormatMismatchingOccupancy) {
+  auto v = GoodSchedule();
+  v.format = ReverseFormat::kFormat1;  // 2 active GPS users demand format 2
+  v.data_slot_count = 8;
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(v, 5);
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations()[0].invariant, "format-consistency");
+}
+
+TEST(ProtocolAuditorTest, DetectsAssignmentBeyondFormatSlotCount) {
+  auto v = GoodSchedule();
+  v.gps_schedule.fill(kNoUser);
+  for (int i = 0; i < 5; ++i) v.gps_schedule[static_cast<std::size_t>(i)] =
+      static_cast<mac::UserId>(i + 1);
+  v.gps_active = 5;
+  v.format = ReverseFormat::kFormat1;  // 8 data slots; slot 8 does not exist
+  v.data_slot_count = 8;
+  v.reverse_schedule[8] = 10;
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(v, 5);
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations()[0].invariant, "format-consistency");
+}
+
+TEST(ProtocolAuditorTest, DetectsGpsUserOnLastDataSlot) {
+  auto v = GoodSchedule();
+  v.reverse_schedule[8] = 1;  // user 1 is a GPS user; slot 8 is the last
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(v, 5);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "gps-user-last-slot");
+}
+
+TEST(ProtocolAuditorTest, DetectsGpsSlotMovedLater) {
+  ProtocolAuditor auditor;
+  auto v = GoodSchedule();
+  auditor.AuditSchedule(v, 0);
+  // Next cycle a broken scheduler moves user 2 from slot 1 up to slot 2.
+  v.cycle += 1;
+  v.cycle_start += mac::kCycleTicks;
+  v.gps_schedule[1] = 3;
+  v.gps_schedule[2] = 2;
+  v.gps_active = 3;
+  auditor.AuditSchedule(v, mac::kCycleTicks);
+  // Moving later breaks R3 — and with a full cycle in between, the stretch
+  // also overshoots the 4 s bound (191250 + 4200 = 195450 > 192000 ticks):
+  // the two invariants catching the same bug from both sides.
+  ASSERT_EQ(auditor.violations().size(), 2u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "R3-slot-moved-later");
+  EXPECT_EQ(auditor.violations()[0].tick, mac::kCycleTicks);
+  EXPECT_EQ(auditor.violations()[1].invariant, "gps-access-interval");
+}
+
+TEST(ProtocolAuditorTest, DetectsMissedAccessInterval) {
+  ProtocolAuditor auditor;
+  auto v = GoodSchedule();
+  auditor.AuditSchedule(v, 0);
+  // A skipped cycle: same slots, but the next report chance is ~7.97 s away.
+  v.cycle += 2;
+  v.cycle_start += 2 * mac::kCycleTicks;
+  auditor.AuditSchedule(v, 2 * mac::kCycleTicks);
+  ASSERT_EQ(auditor.violations().size(), 2u);  // both users 1 and 2
+  EXPECT_EQ(auditor.violations()[0].invariant, "gps-access-interval");
+}
+
+TEST(ProtocolAuditorTest, SignedOffUserRestartsItsHistory) {
+  ProtocolAuditor auditor;
+  auto v = GoodSchedule();
+  auditor.AuditSchedule(v, 0);
+  // User 2 signs off for one cycle and re-registers at a later slot two
+  // cycles later: legal, R3 applies to live users only.
+  auto gone = v;
+  gone.gps_schedule[1] = kNoUser;
+  gone.gps_active = 1;
+  gone.cycle_start += mac::kCycleTicks;
+  auditor.AuditSchedule(gone, mac::kCycleTicks);
+  auto back = GoodSchedule();
+  back.gps_schedule[1] = 3;
+  back.gps_schedule[2] = 2;
+  back.gps_active = 3;
+  back.cycle_start += 2 * mac::kCycleTicks;
+  auditor.AuditSchedule(back, 2 * mac::kCycleTicks);
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+}
+
+// --- transmissions ---------------------------------------------------------
+
+ProtocolAuditor::TransmissionView GoodTransmissions() {
+  const ReverseCycleLayout layout(ReverseFormat::kFormat2);
+  ProtocolAuditor::TransmissionView v;
+  v.cycle_start = mac::kCycleTicks;
+  v.format = ReverseFormat::kFormat2;
+  v.gps_schedule.fill(kNoUser);
+  v.reverse_schedule.fill(kNoUser);
+  v.gps_schedule[0] = 1;
+  v.reverse_schedule[1] = 4;
+  auto abs = [&](Interval rel) {
+    return Interval{v.cycle_start + rel.begin, v.cycle_start + rel.end};
+  };
+  v.bursts.push_back({1, abs(layout.GpsSlot(0))});
+  v.bursts.push_back({4, abs(layout.DataSlot(1))});
+  // Two contenders in the contention slot 0: a legal collision.
+  v.bursts.push_back({7, abs(layout.DataSlot(0))});
+  v.bursts.push_back({kNoUser, abs(layout.DataSlot(0))});
+  return v;
+}
+
+TEST(ProtocolAuditorTest, CleanTransmissionsIncludingContentionCollision) {
+  ProtocolAuditor auditor;
+  auditor.AuditTransmissions(GoodTransmissions(), 0);
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+}
+
+TEST(ProtocolAuditorTest, DetectsBurstFillingNoSlot) {
+  auto v = GoodTransmissions();
+  v.bursts[1].on_air.begin += 5;  // slides out of its slot
+  ProtocolAuditor auditor;
+  auditor.AuditTransmissions(v, 9);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "slot-containment");
+  EXPECT_EQ(auditor.violations()[0].tick, 9);
+}
+
+TEST(ProtocolAuditorTest, DetectsWrongSenderInAssignedSlots) {
+  auto v = GoodTransmissions();
+  v.bursts[0].sender = 2;  // GPS slot 0 belongs to user 1
+  v.bursts[1].sender = 5;  // data slot 1 belongs to user 4
+  ProtocolAuditor auditor;
+  auditor.AuditTransmissions(v, 9);
+  ASSERT_EQ(auditor.violations().size(), 2u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "reverse-slot-owner");
+  EXPECT_EQ(auditor.violations()[1].invariant, "reverse-slot-owner");
+}
+
+TEST(ProtocolAuditorTest, DetectsOverlapInAssignedSlot) {
+  const ReverseCycleLayout layout(ReverseFormat::kFormat2);
+  auto v = GoodTransmissions();
+  // A second burst from the slot owner's uid in assigned data slot 1:
+  // per-sender rules pass, but two transmissions still collide on the air.
+  v.bursts.push_back({4, {v.cycle_start + layout.DataSlot(1).begin,
+                          v.cycle_start + layout.DataSlot(1).end}});
+  ProtocolAuditor auditor;
+  auditor.AuditTransmissions(v, 9);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "channel-overlap");
+}
+
+// --- half duplex -----------------------------------------------------------
+
+TEST(ProtocolAuditorTest, DetectsHalfDuplexGuardViolation) {
+  ProtocolAuditor auditor;
+  // 500 ticks between TX end and RX start: under the 960-tick (20 ms) guard.
+  auditor.AuditHalfDuplex({{3, {{1000, 2000}}, {{2500, 3500}}}}, 42);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "half-duplex-guard");
+  EXPECT_EQ(auditor.violations()[0].tick, 42);
+
+  // A full guard away on both sides: clean.
+  ProtocolAuditor ok;
+  ok.AuditHalfDuplex({{3,
+                       {{1000, 2000}},
+                       {{2000 + phy::kHalfDuplexSwitchTicks, 3500}, {0, 40}}}},
+                     42);
+  EXPECT_TRUE(ok.violations().empty()) << ok.Report();
+}
+
+// --- control-field pair ----------------------------------------------------
+
+TEST(ProtocolAuditorTest, Cf2MayOnlyAddSlotsForTheListener) {
+  mac::ControlFields cf1;
+  cf1.cycle = 9;
+  cf1.forward_schedule[5] = 12;
+  mac::ControlFields cf2 = cf1;
+  cf2.is_second_set = true;
+  cf2.forward_schedule[6] = 30;  // CF1-idle slot assigned to the listener: ok
+  ProtocolAuditor auditor;
+  auditor.AuditControlFieldPair(cf1, cf2, /*cf2_listener=*/30, 50);
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+
+  cf2.forward_schedule[5] = 30;  // reassigning an occupied slot: never
+  auditor.AuditControlFieldPair(cf1, cf2, 30, 51);
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "cf-consistency");
+}
+
+TEST(ProtocolAuditorTest, Cf2MustRepeatSchedulesAndFlags) {
+  mac::ControlFields cf1;
+  mac::ControlFields cf2 = cf1;  // is_second_set left false
+  cf2.gps_schedule[0] = 2;       // and the GPS schedule diverged
+  ProtocolAuditor auditor;
+  auditor.AuditControlFieldPair(cf1, cf2, kNoUser, 50);
+  ASSERT_EQ(auditor.violations().size(), 2u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "cf-consistency");
+}
+
+// --- reporting / modes -----------------------------------------------------
+
+TEST(ProtocolAuditorTest, ReportNamesInvariantAndTick) {
+  auto v = GoodSchedule();
+  v.gps_schedule[1] = kNoUser;
+  v.gps_schedule[2] = 2;
+  ProtocolAuditor auditor;
+  auditor.AuditSchedule(v, 123456);
+  const std::string report = auditor.Report();
+  EXPECT_NE(report.find("R1-dense-prefix"), std::string::npos) << report;
+  EXPECT_NE(report.find("t=123456"), std::string::npos) << report;
+  auditor.Reset();
+  EXPECT_TRUE(auditor.violations().empty());
+  EXPECT_EQ(auditor.cycles_audited(), 0);
+}
+
+TEST(ProtocolAuditorDeathTest, AbortModeEscalatesToContractFailure) {
+  auto v = GoodSchedule();
+  v.reverse_schedule[8] = 1;
+  ProtocolAuditor auditor(ProtocolAuditor::Mode::kAbort);
+  EXPECT_DEATH(auditor.AuditSchedule(v, 5), "gps-user-last-slot");
+}
+
+// --- live cell under audit --------------------------------------------------
+
+TEST(ProtocolAuditorIntegrationTest, CleanRunWithChurnTrafficAndNoise) {
+  mac::CellConfig config;
+  config.seed = 17;
+  config.reverse.kind = mac::ChannelModelConfig::Kind::kUniform;
+  config.reverse.symbol_error_prob = 0.01;
+  mac::Cell cell(config);
+  analysis::ProtocolAuditor auditor;
+  cell.SetObserver(&auditor);
+
+  std::vector<int> data_nodes;
+  std::vector<int> gps_nodes;
+  for (int i = 0; i < 6; ++i) {
+    data_nodes.push_back(cell.AddSubscriber(false));
+    cell.PowerOn(data_nodes.back());
+  }
+  for (int i = 0; i < 6; ++i) {
+    gps_nodes.push_back(cell.AddSubscriber(true));
+    cell.PowerOn(gps_nodes.back());
+  }
+  cell.RunCycles(12);
+  for (const int node : data_nodes) cell.SendUplinkMessage(node, 400);
+  cell.RunCycles(6);
+  // Sign three buses off: rule R3 consolidates and format 1 switches to 2.
+  cell.SignOff(gps_nodes[0]);
+  cell.SignOff(gps_nodes[3]);
+  cell.SignOff(gps_nodes[5]);
+  cell.RunCycles(10);
+  cell.PowerOn(gps_nodes[0]);  // and one re-registers (rule R2)
+  cell.RunCycles(10);
+
+  EXPECT_GE(auditor.cycles_audited(), 38);
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+}
+
+}  // namespace
+}  // namespace osumac

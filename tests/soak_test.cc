@@ -2,6 +2,7 @@
 // stay internally consistent and its working set bounded.
 #include <gtest/gtest.h>
 
+#include "audit_util.h"
 #include "mac/cell.h"
 #include "mac/network.h"
 #include "traffic/workload.h"
@@ -24,6 +25,7 @@ TEST(SoakTest, SingleCellThousandsOfCycles) {
   config.reverse.ge.p_bad_to_good = 0.1;
   config.reverse.ge.error_prob_bad = 0.5;
   Cell cell(config);
+  test::ScopedAudit audit(cell);
   std::vector<int> nodes;
   for (int i = 0; i < 12; ++i) {
     nodes.push_back(cell.AddSubscriber(false));

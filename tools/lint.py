@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Project-specific static checks for the OSU-MAC codebase.
+
+Run from the repository root (CI runs it on every push):
+
+    python3 tools/lint.py
+
+Rules (each exists because a real failure mode motivated it):
+
+  bare-assert      No assert() in src/: the default RelWithDebInfo build
+                   defines NDEBUG, which silently compiles assert() out.
+                   Use OSUMAC_CHECK* (always-on) or OSUMAC_DCHECK* (hot
+                   paths) from common/check.h.
+  float-tick       No float/double arithmetic on Tick values in the
+                   scheduling layers (src/mac, src/sim, src/phy).  All slot
+                   geometry is exact in integer ticks; one float sneaking in
+                   can perturb slot-overlap or guard comparisons.  ToSeconds()
+                   on the same line is exempt (reporting), as is a line
+                   carrying a `lint: allow-float-tick` waiver comment.
+  nondeterminism   No rand()/srand()/time() in src/: the simulator must be
+                   deterministic and seeded (use common/rng.h; pass sim time
+                   explicitly).
+  checks-always-on No NDEBUG gating around the OSUMAC_CHECK* definitions in
+                   common/check.h: the always-on macros must stay always-on
+                   (OSUMAC_DCHECK* are the sanctioned debug-only twins).
+  raw-sanitize     CI must select sanitizers via -DOSUMAC_SANITIZE=...
+                   instead of injecting raw -fsanitize flags, so local
+                   reproduction is one documented cmake option.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+findings: list[str] = []
+
+
+def finding(path: Path, lineno: int, rule: str, message: str) -> None:
+    findings.append(f"{path.relative_to(REPO)}:{lineno}: [{rule}] {message}")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string literal contents (keeps the quotes)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"//.*", "", line)
+    return line
+
+
+def source_files(*roots: str, suffixes: tuple[str, ...] = (".cc", ".h")) -> list[Path]:
+    out: list[Path] = []
+    for root in roots:
+        out.extend(p for p in (REPO / root).rglob("*") if p.suffix in suffixes)
+    return sorted(out)
+
+
+BARE_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+NONDETERMINISM = re.compile(r"(?<![\w_.:])(?:std::)?(rand|srand|time)\s*\(")
+# A floating-point ingredient: the keywords, a floating literal, or a
+# to-double cast.
+FLOAT_USE = re.compile(
+    r"\b(?:double|float)\b|(?<![\w.])\d+\.\d+|static_cast<\s*(?:double|float)\s*>")
+# A tick-typed quantity on the same line.
+TICK_USE = re.compile(r"\bTick\b|\b[A-Za-z_]*[Tt]icks?\b")
+WAIVER = re.compile(r"lint:\s*allow-float-tick")
+
+
+def check_bare_assert() -> None:
+    for path in source_files("src"):
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = strip_comments_and_strings(raw)
+            if "static_assert" in line:
+                line = line.replace("static_assert", "")
+            if BARE_ASSERT.search(line):
+                finding(path, lineno, "bare-assert",
+                        "assert() vanishes under NDEBUG; use OSUMAC_CHECK or "
+                        "OSUMAC_DCHECK (common/check.h)")
+
+
+def check_float_tick() -> None:
+    for path in source_files("src/mac", "src/sim", "src/phy"):
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            if WAIVER.search(raw):
+                continue
+            line = strip_comments_and_strings(raw)
+            if "ToSeconds(" in line:
+                continue  # the one sanctioned Tick -> float bridge
+            if FLOAT_USE.search(line) and TICK_USE.search(line):
+                finding(path, lineno, "float-tick",
+                        "float arithmetic on tick values; slot geometry must "
+                        "stay in exact integer ticks (use ToSeconds() only "
+                        "for reporting)")
+
+
+def check_nondeterminism() -> None:
+    for path in source_files("src"):
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = strip_comments_and_strings(raw)
+            m = NONDETERMINISM.search(line)
+            if m:
+                finding(path, lineno, "nondeterminism",
+                        f"{m.group(1)}() breaks deterministic replay; use "
+                        "common/rng.h / simulation time")
+
+
+def check_checks_always_on() -> None:
+    path = REPO / "src/common/check.h"
+    depth_gated = 0  # depth of enclosing NDEBUG-conditional blocks
+    saw_check_define = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        stripped = raw.strip()
+        if re.match(r"#\s*if(def|ndef)?\b", stripped):
+            depth_gated += 1 if "NDEBUG" in stripped or depth_gated else 0
+        elif re.match(r"#\s*endif\b", stripped) and depth_gated:
+            depth_gated -= 1
+        if re.match(r"#\s*define\s+OSUMAC_CHECK\b|#\s*define\s+OSUMAC_CHECK_", stripped):
+            saw_check_define = True
+            if depth_gated:
+                finding(path, lineno, "checks-always-on",
+                        "OSUMAC_CHECK* defined inside an NDEBUG conditional; "
+                        "the always-on macros must fire in every build type")
+        # kDChecksEnabled is the only sanctioned NDEBUG use: a constant the
+        # optimizer folds, keeping DCHECK conditions type-checked everywhere.
+    if not saw_check_define:
+        finding(path, 1, "checks-always-on", "OSUMAC_CHECK definition not found")
+
+
+def check_raw_sanitize() -> None:
+    path = REPO / ".github/workflows/ci.yml"
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        if "-fsanitize" in raw:
+            finding(path, lineno, "raw-sanitize",
+                    "select sanitizers with -DOSUMAC_SANITIZE=... so the CI "
+                    "configuration is reproducible locally")
+
+
+def main() -> int:
+    check_bare_assert()
+    check_float_tick()
+    check_nondeterminism()
+    check_checks_always_on()
+    check_raw_sanitize()
+    if findings:
+        print("\n".join(findings))
+        print(f"\nlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ struct Options {
   bool static_contention = false;
   int fixed_size = 0;  ///< 0 = uniform 40..500
   double downlink_rho = 0.0;
+  bool audit = false;
   bool help = false;
 };
 
@@ -51,7 +52,8 @@ void PrintUsage() {
       "  --arq               enable the downlink ARQ extension\n"
       "  --no-second-cf      ablation: disable the second control fields\n"
       "  --static-gps        ablation: disable dynamic GPS slot adjustment\n"
-      "  --static-contention ablation: fixed number of contention slots\n");
+      "  --static-contention ablation: fixed number of contention slots\n"
+      "  --audit             run the protocol-invariant auditor alongside\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options& opt) {
@@ -98,6 +100,8 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       opt.static_gps = true;
     } else if (arg == "--static-contention") {
       opt.static_contention = true;
+    } else if (arg == "--audit") {
+      opt.audit = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -141,6 +145,8 @@ int main(int argc, char** argv) {
   }
 
   mac::Cell cell(config);
+  analysis::ProtocolAuditor auditor;
+  if (opt.audit) cell.SetObserver(&auditor);
   std::vector<int> laptops;
   for (int i = 0; i < opt.data_users; ++i) {
     laptops.push_back(cell.AddSubscriber(false));
@@ -202,6 +208,10 @@ int main(int argc, char** argv) {
                     : cell.metrics().downlink_message_delay_cycles.Mean(),
                 static_cast<long long>(cell.metrics().forward_packets_lost),
                 static_cast<long long>(bs.forward_retransmissions));
+  }
+  if (opt.audit) {
+    std::printf("audit                  %s\n", auditor.Report().c_str());
+    if (!auditor.violations().empty()) return 2;
   }
   return 0;
 }
