@@ -13,6 +13,8 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 
 namespace {
@@ -72,6 +74,7 @@ Outcome Run(bool arq, double uplink_rho, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  osumac::bench::PrintProvenance("bench_ablation_arq");
   std::printf("Ablation: downlink ARQ (extension) vs the paper's unacked forward channel\n");
   std::printf("Fading forward channel (Gilbert-Elliott), downlink e-mail + uplink load\n\n");
   std::printf("%8s %10s | %12s %10s %10s %8s %8s\n", "up_rho", "variant", "dl_loss",

@@ -9,6 +9,8 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 
 namespace {
@@ -66,6 +68,7 @@ StormOutcome RunStorm(bool dynamic, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  osumac::bench::PrintProvenance("bench_ablation_contention");
   std::printf("Ablation: dynamic contention-slot adjustment during a 6-unit storm\n");
   std::printf("%-22s %10s %10s %10s %12s %12s\n", "variant", "p50", "p90", "max",
               "registered", "collisions");

@@ -10,6 +10,8 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 
 namespace {
@@ -56,6 +58,7 @@ Outcome Run(double p_bad_to_good, bool side_info, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  osumac::bench::PrintProvenance("bench_ablation_erasures");
   std::printf("Ablation: erasure side information on Gilbert-Elliott fades\n");
   std::printf("(error rate in fades: 0.9/symbol; RS(64,48): 8-error / 15-erasure budget)\n\n");
   std::printf("%16s | %12s %12s | %12s %12s\n", "mean fade (sym)", "gps_loss",

@@ -10,10 +10,13 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::baselines;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_baselines");
   std::vector<std::unique_ptr<BaselineProtocol>> protocols;
   protocols.push_back(std::make_unique<SlottedAloha>());
   protocols.push_back(std::make_unique<Prma>());

@@ -9,10 +9,13 @@
 
 #include "sweep_common.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::bench;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_fig10_control_overhead");
   metrics::TablePrinter table({"rho", "ctrl_overhead", "resv_sent", "data_sent"}, 14);
   std::printf("Figure 10: control overhead (reservation packets / data packets)\n");
   table.PrintHeader();

@@ -8,10 +8,13 @@
 
 #include "sweep_common.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::bench;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_fig11_fairness");
   metrics::TablePrinter table({"rho", "fairness", "users"}, 12);
   std::printf("Figure 11: fairness of the round-robin reverse-channel scheduler\n");
   table.PrintHeader();

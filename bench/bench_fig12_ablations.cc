@@ -13,10 +13,13 @@
 
 #include "sweep_common.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::bench;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_fig12_ablations");
   std::printf("Figure 12(a): bandwidth gain from the second set of control fields\n");
   metrics::TablePrinter ta({"rho", "cf2_gain", "last_slot_pkts", "all_pkts",
                             "util_with", "util_without"},

@@ -12,10 +12,13 @@
 
 #include "sweep_common.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::bench;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_fig8_utilization_delay");
   // Variable-length messages (uniform 40-500 B), averaged over 3 seeds.
   metrics::TablePrinter table({"rho", "offered", "util", "util_sd", "pkt_delay",
                                "delay_sd", "msg_delay", "drop_rate"},

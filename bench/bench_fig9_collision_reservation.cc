@@ -9,10 +9,13 @@
 
 #include "sweep_common.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::bench;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_fig9_collision_reservation");
   metrics::TablePrinter table(
       {"rho", "coll_prob", "resv_latency", "collisions", "resv_pkts", "piggybacked"}, 13);
   std::printf("Figure 9: contention-slot collision probability and reservation latency\n");

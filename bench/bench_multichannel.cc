@@ -11,10 +11,13 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::mac;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_multichannel");
   std::printf("Capacity scaling with carriers (24 data users @ ~2.2x single-"
               "carrier load, 12 buses)\n");
   std::printf("%8s %12s %12s %12s %12s %12s\n", "carriers", "payload_kB",

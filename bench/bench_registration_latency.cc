@@ -8,6 +8,8 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 
 namespace {
@@ -70,6 +72,7 @@ void Report(const char* label, SampleSet& latency) {
 }  // namespace
 
 int main() {
+  osumac::bench::PrintProvenance("bench_registration_latency");
   std::printf("Registration latency in notification cycles (Section 2.1 targets:\n"
               "80%% within 2 cycles, 99%% within 10 cycles)\n\n");
   auto quiet = MeasureLatency(0.0, 60, 11);

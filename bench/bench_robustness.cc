@@ -10,10 +10,13 @@
 
 #include "sweep_common.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::bench;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_robustness");
   std::printf("Robustness grid at rho = 0.7: data users x GPS users\n");
   metrics::TablePrinter table(
       {"data", "gps", "util", "pkt_delay", "fairness", "coll_prob", "gps_max_s"}, 12);

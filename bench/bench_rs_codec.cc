@@ -3,6 +3,7 @@
 // operations on every packet and control field of the MAC.
 #include <benchmark/benchmark.h>
 
+#include "bench_provenance.h"
 #include "common/rng.h"
 #include "fec/reed_solomon.h"
 
@@ -97,4 +98,4 @@ BENCHMARK(BM_GpsShortCode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OSUMAC_BENCHMARK_MAIN("bench_rs_codec");

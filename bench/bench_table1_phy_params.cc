@@ -5,6 +5,8 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using namespace osumac::phy;
 
@@ -21,6 +23,7 @@ void RowD(const char* name, double fwd, double rev, const char* fmt = "%.6g") {
 }  // namespace
 
 int main() {
+  osumac::bench::PrintProvenance("bench_table1_phy_params");
   std::printf("Table 1: physical-layer parameters pertaining to the MAC design\n");
   std::printf("  %-46s %14s %14s\n", "", "Forward", "Reverse");
   std::printf("  -- general physical layer characteristics --\n");

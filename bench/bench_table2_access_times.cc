@@ -7,11 +7,14 @@
 
 #include "osumac/osumac.h"
 
+#include "bench_provenance.h"
+
 using namespace osumac;
 using mac::ReverseCycleLayout;
 using mac::ReverseFormat;
 
 int main() {
+  osumac::bench::PrintProvenance("bench_table2_access_times");
   const ReverseCycleLayout f1(ReverseFormat::kFormat1);
   const ReverseCycleLayout f2(ReverseFormat::kFormat2);
 

@@ -42,6 +42,14 @@ ControlFields BaseStation::PlanCycle(std::uint16_t cycle) {
       }
       if (it->second.retries >= config_.arq_max_retries) {
         ++counters_.forward_arq_drops;
+        {
+          obs::Event e;
+          e.kind = obs::EventKind::kArqDrop;
+          e.channel = obs::Channel::kForward;
+          e.uid = it->first.first;
+          e.a0 = it->second.retries;
+          Emit(e);
+        }
         it = unacked_forward_.erase(it);
         continue;
       }
@@ -52,6 +60,14 @@ ControlFields BaseStation::PlanCycle(std::uint16_t cycle) {
       auto& queue = downlink_[dest];
       queue.push_front(retx);
       ++counters_.forward_retransmissions;
+      {
+        obs::Event e;
+        e.kind = obs::EventKind::kArqRetry;
+        e.channel = obs::Channel::kForward;
+        e.uid = dest;
+        e.a0 = retries + 1;
+        Emit(e);
+      }
       // Remember the retry count so a re-send resumes where it left off.
       arq_retries_carry_[{dest, (retx.message_id & 0xFFFFu) << 8 | retx.frag_index}] =
           retries + 1;
@@ -253,6 +269,14 @@ void BaseStation::OnGpsSlotResolved(int slot, const phy::SlotReception& receptio
         gps_ack_bitmap_next_ |= static_cast<std::uint8_t>(1u << slot);
         const auto it = ein_to_uid_.find(gps->ein);
         if (it != ein_to_uid_.end()) gps_receptions_.push_back(it->second);
+        {
+          obs::Event e;
+          e.kind = obs::EventKind::kGpsReport;
+          e.channel = obs::Channel::kReverse;
+          e.slot = slot;
+          if (it != ein_to_uid_.end()) e.uid = it->second;
+          Emit(e);
+        }
       } else {
         ++counters_.gps_packets_failed;
       }
@@ -358,6 +382,17 @@ void BaseStation::ProcessUplinkInfo(int slot,
       delivery.duplicate = duplicate;
       delivery.in_contention_slot = in_contention;
       deliveries_.push_back(delivery);
+      {
+        obs::Event e;
+        e.kind = obs::EventKind::kDelivery;
+        e.channel = obs::Channel::kReverse;
+        e.uid = uid;
+        e.slot = slot;
+        e.a0 = d.payload_bytes;
+        e.a1 = duplicate ? 1 : 0;
+        e.a2 = in_contention ? 1 : 0;
+        Emit(e);
+      }
       break;
     }
     case PacketKind::kReservation: {
@@ -367,6 +402,15 @@ void BaseStation::ProcessUplinkInfo(int slot,
       const int want = std::min<int>(r.slots_requested, config_.max_slots_per_request);
       if (want > 0) demand_[r.src] = want;
       set_ack(r.src);
+      {
+        obs::Event e;
+        e.kind = obs::EventKind::kReservation;
+        e.channel = obs::Channel::kReverse;
+        e.uid = r.src;
+        e.slot = slot;
+        e.a0 = want;
+        Emit(e);
+      }
       break;
     }
     case PacketKind::kRegistration: {
@@ -413,10 +457,21 @@ void BaseStation::HandleRegistration(const RegistrationPacket& reg, int /*slot*/
   RegistrationGrant grant;
   grant.ein = reg.ein;
 
+  const auto emit_registration = [this, &reg](std::int64_t code, UserId uid) {
+    obs::Event e;
+    e.kind = obs::EventKind::kRegistration;
+    e.channel = obs::Channel::kReverse;
+    e.uid = uid;
+    e.a0 = code;
+    e.a1 = reg.ein;
+    Emit(e);
+  };
+
   const auto existing = ein_to_uid_.find(reg.ein);
   if (existing != ein_to_uid_.end()) {
     // Already registered (the grant announcement was lost): re-grant.
     grant.user_id = existing->second;
+    emit_registration(obs::kRegRegrant, grant.user_id);
   } else {
     // Allocate the lowest free user ID.
     UserId uid = kNoUser;
@@ -428,12 +483,14 @@ void BaseStation::HandleRegistration(const RegistrationPacket& reg, int /*slot*/
     }
     if (uid == kNoUser) {
       ++counters_.registrations_rejected;  // cell full; silence
+      emit_registration(obs::kRegRejected, kNoUser);
       return;
     }
     if (reg.wants_gps) {
       if (gps_.active_count() >= config_.max_gps_users ||
           !gps_.Admit(uid).has_value()) {
         ++counters_.registrations_rejected;  // all GPS slots taken
+        emit_registration(obs::kRegRejected, kNoUser);
         return;
       }
       gps_users_.insert(uid);
@@ -443,6 +500,7 @@ void BaseStation::HandleRegistration(const RegistrationPacket& reg, int /*slot*/
     paging_.erase(reg.ein);
     ++counters_.registrations_approved;
     grant.user_id = uid;
+    emit_registration(obs::kRegApproved, uid);
     // Deliver messages that were waiting for this EIN to register.
     const auto buffered = paging_buffer_.find(reg.ein);
     if (buffered != paging_buffer_.end()) {
@@ -571,6 +629,13 @@ std::vector<BaseStation::ForwardedMessage> BaseStation::TakeForwardedMessages() 
 void BaseStation::SignOff(UserId uid) {
   const auto it = uid_to_ein_.find(uid);
   if (it == uid_to_ein_.end()) return;
+  {
+    obs::Event e;
+    e.kind = obs::EventKind::kSignOff;
+    e.uid = uid;
+    e.a0 = it->second;
+    Emit(e);
+  }
   ein_to_uid_.erase(it->second);
   uid_to_ein_.erase(it);
   if (gps_users_.erase(uid) > 0) gps_.Release(uid);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/event.h"
 #include "mac/config.h"
 #include "mac/contention.h"
 #include "mac/control_fields.h"
@@ -168,6 +169,13 @@ class BaseStation {
   void ResetCounters() { counters_ = BsCounters{}; }
   const GpsSlotManager& gps_manager() const { return gps_; }
   int contention_slots() const { return contention_.slots(); }
+  /// Contention slots at the front of the current cycle's reverse layout.
+  int contention_slots_this_cycle() const { return contention_slots_this_cycle_; }
+
+  /// Streams packet-semantic events (deliveries, reservations,
+  /// registrations, ARQ activity) to `sink` (null detaches).  The sink
+  /// stamps time; the base station itself has no clock.
+  void SetEventSink(obs::EventSink* sink) { sink_ = sink; }
   ReverseFormat current_format() const { return current_format_; }
   const std::array<UserId, kMaxReverseDataSlots>& reverse_schedule() const {
     return reverse_schedule_;
@@ -190,7 +198,11 @@ class BaseStation {
   void ProcessUplinkInfo(int slot, const std::vector<std::vector<fec::GfElem>>& info,
                          bool is_last_slot);
   void HandleRegistration(const RegistrationPacket& reg, int slot, bool is_last_slot);
+  void Emit(const obs::Event& event) {
+    if (sink_ != nullptr) sink_->Record(event);
+  }
 
+  obs::EventSink* sink_ = nullptr;
   MacConfig config_;
   std::uint16_t cycle_ = 0;
   BsCounters counters_;

@@ -64,7 +64,49 @@ int Cell::AddSubscriber(bool wants_gps, std::optional<Ein> ein_override) {
   forward_models_.push_back(config_.forward.Make());
   reverse_models_.push_back(config_.reverse.Make());
   gps_phase_.push_back(wants_gps ? rng_.UniformInt(0, kCycleTicks - 1) : 0);
+  if (trace_ != nullptr) {
+    subscribers_.back()->SetEventSink(trace_);
+    subscribers_.back()->radio().SetEventSink(trace_, node);
+  }
   return node;
+}
+
+void Cell::AttachTrace(obs::EventTrace* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->SetClock([this] { return sim_.now(); });
+    trace_->SetCycle(current_cycle());
+  }
+  bs_.SetEventSink(trace_);
+  for (int node = 0; node < subscriber_count(); ++node) {
+    subscriber(node).SetEventSink(trace_);
+    subscriber(node).radio().SetEventSink(trace_, node);
+  }
+}
+
+void Cell::EmitBurstTx(int node, const PlannedBurst& burst, Interval on_air) {
+  obs::Event e;
+  e.kind = obs::EventKind::kBurstTx;
+  e.channel = obs::Channel::kReverse;
+  e.node = node;
+  e.slot = burst.slot;
+  e.span = on_air;
+  e.a0 = burst.is_gps_slot ? 1 : 0;
+  Emit(e);
+}
+
+void Cell::EmitSlotResolved(int slot, Interval abs, std::int64_t outcome,
+                            bool assigned, bool designated_contention, bool is_gps) {
+  obs::Event e;
+  e.kind = obs::EventKind::kSlotResolved;
+  e.channel = obs::Channel::kReverse;
+  e.slot = slot;
+  e.span = abs;
+  e.a0 = outcome;
+  e.a1 = assigned ? 1 : 0;
+  e.a2 = designated_contention ? 1 : 0;
+  e.a3 = is_gps ? 1 : 0;
+  Emit(e);
 }
 
 void Cell::PowerOn(int node) { subscriber(node).PowerOn(); }
@@ -89,6 +131,7 @@ bool Cell::SendUplinkMessage(int node, int bytes) {
       phy::CodedBurst coded;
       coded.on_air = {cycle_start + rel.begin, cycle_start + rel.end};
       coded.sender = node;
+      EmitBurstTx(node, *burst, coded.on_air);
       coded.codewords.push_back(data_code_.Encode(burst->info));
       reverse_channel_.Transmit(std::move(coded));
     }
@@ -110,6 +153,7 @@ bool Cell::SendSubscriberMessage(int src_node, Ein dest_ein, int bytes) {
       phy::CodedBurst coded;
       coded.on_air = {cycle_start + rel.begin, cycle_start + rel.end};
       coded.sender = src_node;
+      EmitBurstTx(src_node, *burst, coded.on_air);
       coded.codewords.push_back(data_code_.Encode(burst->info));
       reverse_channel_.Transmit(std::move(coded));
     }
@@ -153,6 +197,9 @@ void Cell::StartCycle(std::int64_t n) {
     sub->OnCycleStart(static_cast<std::uint16_t>(n & 0xFFFF), T);
   }
 
+  // Events emitted from here on (including inside PlanCycle) belong to n.
+  if (trace_ != nullptr) trace_->SetCycle(n);
+
   const ReverseFormat format_of_prev = prev_format_;
   const ControlFields cf1 = bs_.PlanCycle(static_cast<std::uint16_t>(n & 0xFFFF));
   // The base station's format is authoritative: under the static-GPS-slot
@@ -164,6 +211,17 @@ void Cell::StartCycle(std::int64_t n) {
   ++metrics_.cycles;
   metrics_.capacity_bytes +=
       static_cast<std::int64_t>(layout.data_slot_count()) * kPacketPayloadBytes;
+
+  if (trace_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::kCycleStart;
+    e.span = {T, T + kCycleTicks};
+    e.a0 = bs_.current_format() == ReverseFormat::kFormat1 ? 1 : 2;
+    e.a1 = layout.data_slot_count();
+    e.a2 = bs_.contention_slots_this_cycle();
+    e.a3 = static_cast<std::int64_t>(layout.data_slot_count()) * kPacketPayloadBytes;
+    trace_->Record(e);
+  }
 
   if (observer_ != nullptr) observer_->OnCyclePlanned(*this, cf1, n, sim_.now());
 
@@ -233,6 +291,15 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
                         cycle_start + ForwardCycleLayout::ControlFields2().end}
              : Interval{cycle_start, cycle_start + ForwardCycleLayout::ControlFields1().end};
 
+  if (trace_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::kCfDelivered;
+    e.channel = obs::Channel::kForward;
+    e.span = body;
+    e.a0 = second ? 1 : 0;
+    trace_->Record(e);
+  }
+
   const std::int64_t n = cycle_start / kCycleTicks;
   for (int node = 0; node < subscriber_count(); ++node) {
     MobileSubscriber& sub = subscriber(node);
@@ -273,6 +340,7 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
       phy::CodedBurst coded;
       coded.on_air = {cycle_start + rel.begin, cycle_start + rel.end};
       coded.sender = node;
+      EmitBurstTx(node, b, coded.on_air);
       coded.codewords.push_back(b.is_gps_slot ? gps_code_.Encode(b.info)
                                               : data_code_.Encode(b.info));
       reverse_channel_.Transmit(std::move(coded));
@@ -291,6 +359,9 @@ void Cell::ResolveGpsSlot(int slot, Interval abs) {
         return *reverse_models_[static_cast<std::size_t>(sender)];
       },
       rng_, config_.erasure_side_information);
+  EmitSlotResolved(slot, abs, static_cast<std::int64_t>(reception.outcome),
+                   /*assigned=*/bs_.gps_manager().OwnerOf(slot) != kNoUser,
+                   /*designated_contention=*/false, /*is_gps=*/true);
   bs_.OnGpsSlotResolved(slot, reception);
   DrainDeliveries();
 }
@@ -310,6 +381,18 @@ void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
           "collision in data slot " + std::to_string(slot) +
               (is_last_of_prev ? " (last of prev)" : "") + ", nodes: " + who);
   }
+  // The deferred last slot was scheduled by the *previous* cycle: its
+  // assignment is whoever must listen to CF2 now (kNoUser = it was open
+  // contention); current-cycle slots read the live schedule.
+  const bool assigned = is_last_of_prev
+                            ? bs_.cf2_listener() != kNoUser
+                            : bs_.reverse_schedule()[static_cast<std::size_t>(slot)] !=
+                                  kNoUser;
+  const bool designated_contention =
+      is_last_of_prev ? bs_.cf2_listener() == kNoUser
+                      : slot < bs_.contention_slots_this_cycle();
+  EmitSlotResolved(slot, abs, static_cast<std::int64_t>(reception.outcome), assigned,
+                   designated_contention, /*is_gps=*/false);
   if (is_last_of_prev) {
     bs_.OnLastSlotOfPreviousCycle(reception);
   } else {
@@ -321,6 +404,27 @@ void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
 void Cell::DeliverForwardSlot(int slot, Interval abs) {
   const std::optional<ForwardDataPacket> packet = bs_.DownlinkPacketForSlot(slot);
   if (!packet.has_value()) return;
+
+  // The base station transmitted regardless of whether anyone receives.
+  if (trace_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::kForwardTx;
+    e.channel = obs::Channel::kForward;
+    e.slot = slot;
+    e.uid = packet->dest;
+    e.span = abs;
+    e.a0 = packet->payload_bytes;
+    trace_->Record(e);
+  }
+  const auto emit_loss = [this, slot, &packet](std::int64_t code) {
+    obs::Event e;
+    e.kind = obs::EventKind::kForwardLoss;
+    e.channel = obs::Channel::kForward;
+    e.slot = slot;
+    e.uid = packet->dest;
+    e.a0 = code;
+    Emit(e);
+  };
 
   MobileSubscriber* dest = nullptr;
   for (auto& sub : subscribers_) {
@@ -340,6 +444,9 @@ void Cell::DeliverForwardSlot(int slot, Interval abs) {
                  : !dest->ExpectsForwardSlot(slot) ? " (not expected)"
                                                    : " (radio busy)"));
     }
+    emit_loss(dest == nullptr ? obs::kLossNoActiveSubscriber
+              : !dest->ExpectsForwardSlot(slot) ? obs::kLossNotExpected
+                                                : obs::kLossRadioBusy);
     ++metrics_.forward_packets_lost;
     return;
   }
@@ -352,6 +459,7 @@ void Cell::DeliverForwardSlot(int slot, Interval abs) {
   std::optional<ForwardDataPacket> parsed;
   if (decoded.has_value()) parsed = ParseForwardDataPacket(decoded->front());
   if (!parsed.has_value()) {
+    emit_loss(obs::kLossDecodeFailure);
     ++metrics_.forward_packets_lost;
     return;
   }

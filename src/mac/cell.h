@@ -31,6 +31,7 @@
 #include "mac/cell_observer.h"
 #include "mac/config.h"
 #include "mac/subscriber.h"
+#include "obs/event_trace.h"
 #include "phy/channel.h"
 #include "phy/error_model.h"
 #include "sim/simulator.h"
@@ -104,6 +105,7 @@ class Cell {
   BaseStation& base_station() { return bs_; }
   const BaseStation& base_station() const { return bs_; }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
   const CellConfig& config() const { return config_; }
   const phy::ReverseChannel& reverse_channel() const { return reverse_channel_; }
 
@@ -111,6 +113,14 @@ class Cell {
   /// detaches).  At most one observer; the auditor in src/analysis is the
   /// intended client.
   void SetObserver(CellObserver* observer) { observer_ = observer; }
+
+  /// Attaches a structured event trace (nullptr detaches): the cell stamps
+  /// it with the simulation clock and cycle context and fans it out to the
+  /// base station, every subscriber and every radio.  Attach after warm-up
+  /// (next to ResetStats) so the trace and the metrics cover the same
+  /// cycles.
+  void AttachTrace(obs::EventTrace* trace);
+  obs::EventTrace* trace() const { return trace_; }
 
   /// One-line-per-field snapshot of the scheduling state, printed by the
   /// contract framework when a check fails while this cell is running.
@@ -149,6 +159,12 @@ class Cell {
   void ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev);
   void DeliverForwardSlot(int slot, Interval abs);
   void DrainDeliveries();
+  void Emit(const obs::Event& event) {
+    if (trace_ != nullptr) trace_->Record(event);
+  }
+  void EmitBurstTx(int node, const PlannedBurst& burst, Interval on_air);
+  void EmitSlotResolved(int slot, Interval abs, std::int64_t outcome, bool assigned,
+                        bool designated_contention, bool is_gps);
   phy::SymbolErrorModel& ForwardModelFor(int node) {
     return *forward_models_[static_cast<std::size_t>(node)];
   }
@@ -175,6 +191,7 @@ class Cell {
 
   CellMetrics metrics_;
   CellObserver* observer_ = nullptr;
+  obs::EventTrace* trace_ = nullptr;
 
   // Declared last so the check hooks outlive nothing they reference.
   check::ScopedSimClock check_clock_;

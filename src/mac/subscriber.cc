@@ -10,6 +10,25 @@ MobileSubscriber::MobileSubscriber(int node_index, Ein ein, bool wants_gps,
     : node_index_(node_index), ein_(ein), wants_gps_(wants_gps), config_(config),
       rng_(std::move(rng)) {}
 
+void MobileSubscriber::EmitContend(std::int64_t code, int slot) {
+  obs::Event e;
+  e.kind = obs::EventKind::kContend;
+  e.channel = obs::Channel::kReverse;
+  e.node = node_index_;
+  e.uid = uid_;
+  e.slot = slot;
+  e.a0 = code;
+  Emit(e);
+}
+
+void MobileSubscriber::EmitRetransmit() {
+  obs::Event e;
+  e.kind = obs::EventKind::kRetransmit;
+  e.node = node_index_;
+  e.uid = uid_;
+  Emit(e);
+}
+
 void MobileSubscriber::PowerOn() {
   if (state_ == State::kOff || state_ == State::kGivenUp) {
     state_ = State::kSyncing;
@@ -91,6 +110,14 @@ std::vector<PlannedBurst> MobileSubscriber::OnControlFields(const ControlFields&
 
 void MobileSubscriber::OnControlFieldsMissed() {
   ++stats_.cf_missed;
+  {
+    obs::Event e;
+    e.kind = obs::EventKind::kCfMissed;
+    e.channel = obs::Channel::kForward;
+    e.node = node_index_;
+    e.uid = uid_;
+    Emit(e);
+  }
   listen_second_next_ = false;  // silent this cycle, so CF1 next cycle
   forward_slots_mine_.clear();
   current_cf_.reset();
@@ -99,12 +126,14 @@ void MobileSubscriber::OnControlFieldsMissed() {
   // retransmit everything (the base station deduplicates).
   for (auto it = in_flight_.rbegin(); it != in_flight_.rend(); ++it) {
     ++stats_.packets_retransmitted;
+    EmitRetransmit();
     queue_.push_front(it->pkt);
   }
   in_flight_.clear();
   if (contention_attempt_.has_value()) {
     if (contention_attempt_->packet.has_value()) {
       ++stats_.packets_retransmitted;
+      EmitRetransmit();
       queue_.push_front(*contention_attempt_->packet);
     }
     contention_attempt_.reset();
@@ -135,6 +164,7 @@ void MobileSubscriber::ProcessAcks(const ControlFields& cf, Tick /*cycle_start*/
       last_acked_more = f.more_slots;
     } else {
       ++stats_.packets_retransmitted;
+      EmitRetransmit();
       requeue.push_back(f.pkt);
     }
   }
@@ -222,6 +252,7 @@ void MobileSubscriber::ProcessAcks(const ControlFields& cf, Tick /*cycle_start*/
           }
         } else {
           ++stats_.packets_retransmitted;
+          EmitRetransmit();
           queue_.push_front(*a.packet);
           backoff_until_cycle_ = static_cast<std::uint32_t>(
               cycle_counter_ + BackoffPolicy::DataBackoff(config_, rng_));
@@ -410,6 +441,7 @@ std::vector<PlannedBurst> MobileSubscriber::PlanTransmissions(const ControlField
                             cycle_start + layout.DataSlot(*slot).end};
       radio_.CommitTransmit(abs);
       ++signoff_attempts_;
+      EmitContend(obs::kContendSignOff, *slot);
       ContentionAttempt attempt;
       attempt.kind = PacketKind::kDeregistration;
       attempt.slot = *slot;
@@ -439,6 +471,7 @@ std::vector<PlannedBurst> MobileSubscriber::PlanTransmissions(const ControlField
       radio_.CommitTransmit(abs);
       ++registration_attempts_;
       ++stats_.registration_attempts;
+      EmitContend(obs::kContendRegistration, *slot);
       if (!registration_first_attempt_cycle_.has_value()) {
         registration_first_attempt_cycle_ = cycle_counter_;
       }
@@ -460,6 +493,7 @@ std::vector<PlannedBurst> MobileSubscriber::PlanTransmissions(const ControlField
           PickContentionSlot(cf, cycle_start, layout, planning_time);
       if (slot.has_value()) {
         bursts.push_back(MakeAckBurst(*slot, layout, cycle_start));
+        EmitContend(obs::kContendForwardAck, *slot);
         const std::size_t covered = acks_in_flight_.back().entries.size();
         pending_fwd_acks_.erase(pending_fwd_acks_.begin(),
                                 pending_fwd_acks_.begin() +
@@ -527,6 +561,9 @@ std::optional<PlannedBurst> MobileSubscriber::TryContendData(const ControlFields
     ++stats_.reservation_packets_sent;
   }
   radio_.CommitTransmit(abs);
+  EmitContend(attempt.kind == PacketKind::kData ? obs::kContendData
+                                                : obs::kContendReservation,
+              *slot);
   contention_attempt_ = attempt;
   if (attempt.in_last_slot) listen_second_next_ = true;
   return burst;

@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/time.h"
+#include "obs/event.h"
 #include "mac/config.h"
 #include "mac/contention.h"
 #include "mac/control_fields.h"
@@ -154,6 +155,10 @@ class MobileSubscriber {
   int queued_packets() const { return static_cast<int>(queue_.size()); }
   std::optional<int> gps_slot() const { return gps_slot_; }
 
+  /// Streams subscriber-side events (missed control fields, contention
+  /// attempts, retransmissions) to `sink` (null detaches).
+  void SetEventSink(obs::EventSink* sink) { sink_ = sink; }
+
  private:
   struct PendingPacket {
     std::uint32_t message_id = 0;
@@ -191,6 +196,15 @@ class MobileSubscriber {
     return config_.dynamic_gps_slots ? cf.Format() : ReverseFormat::kFormat1;
   }
   DataPacket MakeDataPacket(const PendingPacket& p, int more_slots);
+  void Emit(const obs::Event& event) {
+    if (sink_ != nullptr) sink_->Record(event);
+  }
+  /// kContend event for a contention-slot attempt of the given code.
+  void EmitContend(std::int64_t code, int slot);
+  /// kRetransmit event (an unacked uplink packet returned to the queue).
+  void EmitRetransmit();
+
+  obs::EventSink* sink_ = nullptr;
 
   // Identity / configuration.
   int node_index_;

@@ -1,0 +1,101 @@
+#include "metrics/cell_metrics.h"
+
+namespace osumac::metrics {
+
+void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell) {
+  const mac::Cell* c = &cell;
+
+  // Base-station counters (one gauge per BsCounters field).
+  const auto bs_counter = [&registry, c](const std::string& name,
+                                         std::int64_t mac::BsCounters::* field) {
+    registry.RegisterGauge("bs." + name, [c, field] {
+      return static_cast<double>(c->base_station().counters().*field);
+    });
+  };
+  bs_counter("cycles", &mac::BsCounters::cycles);
+  bs_counter("data_packets_received", &mac::BsCounters::data_packets_received);
+  bs_counter("contention_data_received", &mac::BsCounters::contention_data_received);
+  bs_counter("reservation_packets_received",
+             &mac::BsCounters::reservation_packets_received);
+  bs_counter("registration_packets_received",
+             &mac::BsCounters::registration_packets_received);
+  bs_counter("gps_packets_received", &mac::BsCounters::gps_packets_received);
+  bs_counter("gps_packets_failed", &mac::BsCounters::gps_packets_failed);
+  bs_counter("collisions", &mac::BsCounters::collisions);
+  bs_counter("contention_slot_cycles", &mac::BsCounters::contention_slot_cycles);
+  bs_counter("idle_contention_slots", &mac::BsCounters::idle_contention_slots);
+  bs_counter("idle_assigned_slots", &mac::BsCounters::idle_assigned_slots);
+  bs_counter("decode_failures", &mac::BsCounters::decode_failures);
+  bs_counter("duplicate_packets", &mac::BsCounters::duplicate_packets);
+  bs_counter("payload_bytes_received", &mac::BsCounters::payload_bytes_received);
+  bs_counter("last_slot_data_packets", &mac::BsCounters::last_slot_data_packets);
+  bs_counter("registrations_approved", &mac::BsCounters::registrations_approved);
+  bs_counter("registrations_rejected", &mac::BsCounters::registrations_rejected);
+  bs_counter("forward_packets_sent", &mac::BsCounters::forward_packets_sent);
+  bs_counter("data_slots_offered", &mac::BsCounters::data_slots_offered);
+  bs_counter("data_slots_used", &mac::BsCounters::data_slots_used);
+  bs_counter("downlink_dropped", &mac::BsCounters::downlink_dropped);
+  bs_counter("deregistrations_received", &mac::BsCounters::deregistrations_received);
+  bs_counter("forward_acks_received", &mac::BsCounters::forward_acks_received);
+  bs_counter("forward_retransmissions", &mac::BsCounters::forward_retransmissions);
+  bs_counter("forward_arq_drops", &mac::BsCounters::forward_arq_drops);
+  bs_counter("messages_forwarded_local", &mac::BsCounters::messages_forwarded_local);
+  bs_counter("messages_forwarded_backbone",
+             &mac::BsCounters::messages_forwarded_backbone);
+  bs_counter("messages_buffered_for_paging",
+             &mac::BsCounters::messages_buffered_for_paging);
+  bs_counter("forward_buffer_drops", &mac::BsCounters::forward_buffer_drops);
+  bs_counter("gps_timeouts", &mac::BsCounters::gps_timeouts);
+
+  // Base-station scheduling state.
+  registry.RegisterGauge("bs.contention_slots", [c] {
+    return static_cast<double>(c->base_station().contention_slots());
+  });
+  registry.RegisterGauge("bs.active_users", [c] {
+    return static_cast<double>(c->base_station().registered_users().size());
+  });
+  registry.RegisterGauge("bs.gps_users", [c] {
+    return static_cast<double>(c->base_station().gps_manager().active_count());
+  });
+  registry.RegisterGauge("bs.format", [c] {
+    return c->base_station().current_format() == mac::ReverseFormat::kFormat1 ? 1.0
+                                                                              : 2.0;
+  });
+
+  // Cell aggregates.
+  registry.RegisterGauge("cell.cycles",
+                         [c] { return static_cast<double>(c->metrics().cycles); });
+  registry.RegisterGauge("cell.capacity_bytes", [c] {
+    return static_cast<double>(c->metrics().capacity_bytes);
+  });
+  registry.RegisterGauge("cell.unique_payload_bytes", [c] {
+    return static_cast<double>(c->metrics().unique_payload_bytes);
+  });
+  registry.RegisterGauge("cell.offered_bytes", [c] {
+    return static_cast<double>(c->metrics().offered_bytes);
+  });
+  registry.RegisterGauge("cell.uplink_messages_offered", [c] {
+    return static_cast<double>(c->metrics().uplink_messages_offered);
+  });
+  registry.RegisterGauge("cell.forward_packets_lost", [c] {
+    return static_cast<double>(c->metrics().forward_packets_lost);
+  });
+  registry.RegisterGauge("cell.utilization",
+                         [c] { return c->metrics().Utilization(); });
+  registry.RegisterGauge("cell.subscribers", [c] {
+    return static_cast<double>(c->subscriber_count());
+  });
+
+  // Simulator diagnostics.
+  registry.RegisterGauge("sim.now_ticks", [c] {
+    return static_cast<double>(c->simulator().now());
+  });
+  registry.RegisterGauge("sim.events_executed", [c] {
+    return static_cast<double>(c->simulator().events_executed());
+  });
+  registry.RegisterGauge("sim.pending_events", [c] {
+    return static_cast<double>(c->simulator().pending_events());
+  });
+}
+
+}  // namespace osumac::metrics

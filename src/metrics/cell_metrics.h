@@ -1,0 +1,20 @@
+// Bridges a running Cell into the obs::MetricsRegistry: every base-station
+// counter, cell aggregate and simulator diagnostic becomes a named pull
+// gauge ("bs.*", "cell.*", "sim.*"), sampled live at each Collect().
+//
+// This is the generic replacement for per-component counter plumbing: any
+// exporter (CSV, JSON, the CycleTracer) works from registry snapshots and
+// never needs to know the BsCounters struct.
+#pragma once
+
+#include "mac/cell.h"
+#include "obs/metrics_registry.h"
+
+namespace osumac::metrics {
+
+/// Registers gauges for every metric `cell` exposes.  The cell must outlive
+/// the registry (gauges hold a pointer to it).  Names are stable API —
+/// documented in docs/OBSERVABILITY.md.
+void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell);
+
+}  // namespace osumac::metrics

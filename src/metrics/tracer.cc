@@ -1,27 +1,37 @@
 #include "metrics/tracer.h"
 
+#include "metrics/cell_metrics.h"
+
 namespace osumac::metrics {
 
 void CycleTracer::Sample(const mac::Cell& cell) {
-  const mac::BsCounters& now = cell.base_station().counters();
+  if (bound_ != &cell) {
+    registry_ = obs::MetricsRegistry{};
+    RegisterCellMetrics(registry_, cell);
+    prev_.clear();
+    bound_ = &cell;
+  }
+  using Registry = obs::MetricsRegistry;
+  const Registry::Snapshot now = registry_.Collect();
+
   CycleSample s;
   s.cycle = cell.current_cycle();
-  s.data_packets = static_cast<int>(now.data_packets_received - last_.data_packets_received);
-  s.collisions = static_cast<int>(now.collisions - last_.collisions);
-  s.reservations = static_cast<int>(now.reservation_packets_received -
-                                    last_.reservation_packets_received);
-  s.registrations = static_cast<int>(now.registration_packets_received -
-                                     last_.registration_packets_received);
-  s.gps_reports = static_cast<int>(now.gps_packets_received - last_.gps_packets_received);
-  s.contention_slots = cell.base_station().contention_slots();
-  s.active_users = static_cast<int>(cell.base_station().registered_users().size());
-  s.gps_users = cell.base_station().gps_manager().active_count();
-  s.format = cell.base_station().current_format() == mac::ReverseFormat::kFormat1 ? 1 : 2;
-  s.payload_bytes = cell.metrics().unique_payload_bytes - last_payload_;
-  s.utilization_so_far = cell.metrics().Utilization();
+  s.data_packets = static_cast<int>(Registry::Delta(now, prev_, "bs.data_packets_received"));
+  s.collisions = static_cast<int>(Registry::Delta(now, prev_, "bs.collisions"));
+  s.reservations =
+      static_cast<int>(Registry::Delta(now, prev_, "bs.reservation_packets_received"));
+  s.registrations =
+      static_cast<int>(Registry::Delta(now, prev_, "bs.registration_packets_received"));
+  s.gps_reports = static_cast<int>(Registry::Delta(now, prev_, "bs.gps_packets_received"));
+  s.contention_slots = static_cast<int>(Registry::Value(now, "bs.contention_slots"));
+  s.active_users = static_cast<int>(Registry::Value(now, "bs.active_users"));
+  s.gps_users = static_cast<int>(Registry::Value(now, "bs.gps_users"));
+  s.format = static_cast<int>(Registry::Value(now, "bs.format"));
+  s.payload_bytes =
+      static_cast<std::int64_t>(Registry::Delta(now, prev_, "cell.unique_payload_bytes"));
+  s.utilization_so_far = Registry::Value(now, "cell.utilization");
   samples_.push_back(s);
-  last_ = now;
-  last_payload_ = cell.metrics().unique_payload_bytes;
+  prev_ = now;
 }
 
 std::string CycleTracer::CsvHeader() {

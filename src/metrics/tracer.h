@@ -1,10 +1,15 @@
 // Per-cycle time-series capture for debugging and plotting.
 //
-// A CycleTracer samples a Cell once per notification cycle (counter deltas
-// plus gauges) and can dump the series as CSV — the raw material for
-// regenerating the paper's figures with external plotting tools, and for
-// understanding transients (registration storms, queue build-up at the
-// Fig. 8 knee, contention-slot adaptation).
+// A CycleTracer samples a Cell once per notification cycle and can dump the
+// series as CSV — the raw material for regenerating the paper's figures
+// with external plotting tools, and for understanding transients
+// (registration storms, queue build-up at the Fig. 8 knee, contention-slot
+// adaptation).
+//
+// Built on the obs::MetricsRegistry: the tracer binds the cell's gauges
+// once (RegisterCellMetrics) and derives each row generically from two
+// registry snapshots, instead of hand-tracking deltas of individual
+// BsCounters fields.  The CSV schema is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "mac/cell.h"
+#include "obs/metrics_registry.h"
 
 namespace osumac::metrics {
 
@@ -38,10 +44,16 @@ struct CycleSample {
 ///   tracer.WriteCsv(std::cout);
 class CycleTracer {
  public:
-  /// Appends one sample (call after each RunCycles(1)).
+  /// Appends one sample (call after each RunCycles(1)).  The first call
+  /// binds the tracer to `cell`; passing a different cell rebinds and
+  /// restarts the delta baseline.
   void Sample(const mac::Cell& cell);
 
   const std::vector<CycleSample>& samples() const { return samples_; }
+
+  /// The registry the bound cell's metrics live in (for ad-hoc export of
+  /// the full gauge set alongside the per-cycle series).
+  const obs::MetricsRegistry& registry() const { return registry_; }
 
   /// Writes the series as CSV with a header row.
   void WriteCsv(std::ostream& out) const;
@@ -51,8 +63,9 @@ class CycleTracer {
 
  private:
   std::vector<CycleSample> samples_;
-  mac::BsCounters last_;
-  std::int64_t last_payload_ = 0;
+  obs::MetricsRegistry registry_;
+  obs::MetricsRegistry::Snapshot prev_;
+  const mac::Cell* bound_ = nullptr;
 };
 
 }  // namespace osumac::metrics

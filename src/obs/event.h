@@ -1,0 +1,118 @@
+// Structured protocol events for the observability layer.
+//
+// Every interesting thing the MAC/PHY/sim stack does — a slot grant, a
+// burst put on the air, a collision, a registration, a radio commitment —
+// is described by one fixed-size Event record.  Components emit events
+// through the EventSink interface; they never know (or care) whether the
+// sink is a ring buffer, a file writer, or nothing at all.  Emission is
+// always guarded by a null check, so an unobserved run pays one branch.
+//
+// The obs layer sits below mac/phy/sim in the dependency order (it only
+// uses common/), so event payloads are self-describing: records that have
+// airtime carry their absolute on-air interval instead of a (format, slot)
+// pair that would need the cycle-layout tables to decode.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace osumac::obs {
+
+/// What happened.  Kept in one flat enum so traces are trivially filterable
+/// and the Chrome/JSONL sinks can map kinds to names with one table.
+enum class EventKind : std::uint8_t {
+  kCycleStart,    ///< cycle planned; span = whole cycle; a0 = format (1|2),
+                  ///< a1 = data slots, a2 = contention slots, a3 = capacity bytes
+  kCfDelivered,   ///< control fields on the air; span = CF body; a0 = second set
+  kCfMissed,      ///< a subscriber failed to decode its control fields
+  kBurstTx,       ///< reverse burst on the air; span = slot airtime; a0 = is_gps
+  kSlotResolved,  ///< reverse slot outcome; span = slot airtime;
+                  ///< a0 = SlotOutcomeCode, a1 = assigned, a2 = designated
+                  ///< contention, a3 = is_gps
+  kDelivery,      ///< decoded uplink data packet; a0 = payload bytes,
+                  ///< a1 = duplicate, a2 = in contention slot
+  kReservation,   ///< reservation received; a0 = slots requested
+  kRegistration,  ///< registration processed; a0 = RegistrationCode, a1 = EIN
+  kSignOff,       ///< user released (in-band, forced, or GPS timeout); a0 = EIN
+  kGpsReport,     ///< GPS report decoded; slot = GPS slot index
+  kArqRetry,      ///< downlink ARQ retransmission queued; a0 = retry number
+  kArqDrop,       ///< downlink ARQ gave up after max retries
+  kRetransmit,    ///< subscriber requeued an unacked uplink packet
+  kContend,       ///< subscriber contention attempt; a0 = ContentionCode
+  kRadioTx,       ///< half-duplex radio transmit commitment; span = interval
+  kRadioRx,       ///< half-duplex radio receive commitment; span = interval
+  kForwardTx,     ///< forward data slot transmission; span = slot airtime
+  kForwardLoss,   ///< forward packet not received; a0 = ForwardLossCode
+};
+
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kForwardLoss) + 1;
+
+/// Stable name for a kind (used by every sink).
+const char* EventKindName(EventKind kind);
+
+/// Which physical channel an event concerns.
+enum class Channel : std::uint8_t { kNone, kForward, kReverse };
+
+/// a0 of kSlotResolved (mirrors phy::SlotOutcome without depending on phy).
+enum SlotOutcomeCode : std::int64_t {
+  kOutcomeIdle = 0,
+  kOutcomeCollision = 1,
+  kOutcomeDecodeFailure = 2,
+  kOutcomeDecoded = 3,
+};
+
+/// a0 of kRegistration.
+enum RegistrationCode : std::int64_t {
+  kRegApproved = 0,
+  kRegRegrant = 1,
+  kRegRejected = 2,
+};
+
+/// a0 of kContend.
+enum ContentionCode : std::int64_t {
+  kContendRegistration = 0,
+  kContendReservation = 1,
+  kContendData = 2,
+  kContendSignOff = 3,
+  kContendForwardAck = 4,
+};
+
+/// a0 of kForwardLoss.
+enum ForwardLossCode : std::int64_t {
+  kLossNoActiveSubscriber = 0,
+  kLossNotExpected = 1,
+  kLossRadioBusy = 2,
+  kLossDecodeFailure = 3,
+};
+
+/// One structured trace record.  Fixed-size and trivially copyable so the
+/// ring buffer is a flat array and recording is a couple of stores.
+struct Event {
+  Tick tick = 0;             ///< when recorded (stamped by the sink's clock)
+  std::int64_t cycle = -1;   ///< notification cycle (stamped by the sink)
+  EventKind kind = EventKind::kCycleStart;
+  Channel channel = Channel::kNone;
+  std::int32_t node = -1;    ///< subscriber node index, if any
+  std::int32_t uid = -1;     ///< MAC user id, if any
+  std::int32_t slot = -1;    ///< slot index within the cycle, if any
+  Interval span{0, 0};       ///< on-air / committed interval, if any
+  std::int64_t a0 = 0;       ///< kind-specific (see EventKind comments)
+  std::int64_t a1 = 0;
+  std::int64_t a2 = 0;
+  std::int64_t a3 = 0;
+};
+
+/// Where components hand their events.  Implementations must tolerate
+/// emission from any point of the cycle machinery (no reentrancy into the
+/// emitting component).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Records one event.  The sink stamps `tick` and `cycle` from its
+  /// registered clock/cycle context (emitters usually leave them defaulted).
+  virtual void Record(const Event& event) = 0;
+};
+
+}  // namespace osumac::obs

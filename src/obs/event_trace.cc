@@ -1,0 +1,73 @@
+#include "obs/event_trace.h"
+
+#include "common/check.h"
+
+namespace osumac::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCycleStart:   return "cycle_start";
+    case EventKind::kCfDelivered:  return "cf_delivered";
+    case EventKind::kCfMissed:     return "cf_missed";
+    case EventKind::kBurstTx:      return "burst_tx";
+    case EventKind::kSlotResolved: return "slot_resolved";
+    case EventKind::kDelivery:     return "delivery";
+    case EventKind::kReservation:  return "reservation";
+    case EventKind::kRegistration: return "registration";
+    case EventKind::kSignOff:      return "sign_off";
+    case EventKind::kGpsReport:    return "gps_report";
+    case EventKind::kArqRetry:     return "arq_retry";
+    case EventKind::kArqDrop:      return "arq_drop";
+    case EventKind::kRetransmit:   return "retransmit";
+    case EventKind::kContend:      return "contend";
+    case EventKind::kRadioTx:      return "radio_tx";
+    case EventKind::kRadioRx:      return "radio_rx";
+    case EventKind::kForwardTx:    return "forward_tx";
+    case EventKind::kForwardLoss:  return "forward_loss";
+  }
+  return "unknown";
+}
+
+EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
+  OSUMAC_CHECK_GE(capacity_, std::size_t{1});
+  ring_.reserve(capacity_);
+}
+
+void EventTrace::Record(const Event& event) {
+  Event stamped = event;
+  if (clock_) stamped.tick = clock_();
+  if (stamped.cycle < 0) stamped.cycle = cycle_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(stamped);
+  } else {
+    ring_[recorded_ % capacity_] = stamped;
+  }
+  ++recorded_;
+}
+
+std::size_t EventTrace::size() const { return ring_.size(); }
+
+std::uint64_t EventTrace::dropped() const {
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+const Event& EventTrace::at(std::size_t i) const {
+  OSUMAC_CHECK_LT(i, ring_.size());
+  if (recorded_ <= capacity_) return ring_[i];
+  // Full ring: the oldest retained record sits where the next write lands.
+  return ring_[(recorded_ + i) % capacity_];
+}
+
+std::vector<Event> EventTrace::Snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  ForEach([&out](const Event& e) { out.push_back(e); });
+  return out;
+}
+
+void EventTrace::Clear() {
+  ring_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace osumac::obs

@@ -1,0 +1,71 @@
+// Ring-buffered event recorder: the default EventSink.
+//
+// Recording is O(1) and allocation-free after construction: the newest
+// event overwrites the oldest once the buffer is full (the drop counter
+// says how many were lost).  A tick clock and a cycle context are stamped
+// onto every record so emitters do not need to know simulation time; the
+// Cell installs both when a trace is attached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace osumac::obs {
+
+class EventTrace : public EventSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit EventTrace(std::size_t capacity = kDefaultCapacity);
+
+  // --- recording ------------------------------------------------------------
+
+  void Record(const Event& event) override;
+
+  /// Installs the clock used to stamp `tick` on each record (null resets;
+  /// records then keep the tick the emitter provided).
+  void SetClock(std::function<Tick()> clock) { clock_ = std::move(clock); }
+
+  /// Sets the cycle stamped onto subsequent records (the Cell calls this at
+  /// every cycle start).
+  void SetCycle(std::int64_t cycle) { cycle_ = cycle; }
+
+  // --- inspection -----------------------------------------------------------
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently retained (<= capacity()).
+  std::size_t size() const;
+  /// Events recorded since construction/Clear (retained + dropped).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events overwritten because the ring wrapped.
+  std::uint64_t dropped() const;
+
+  /// The `i`-th retained event in insertion order (0 = oldest retained).
+  const Event& at(std::size_t i) const;
+
+  /// Calls `fn(event)` for every retained event, oldest first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) fn(at(i));
+  }
+
+  /// Copies the retained events into a vector, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  /// Discards all retained events and resets the drop/record counters.
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::uint64_t recorded_ = 0;  ///< total Record() calls
+  std::function<Tick()> clock_;
+  std::int64_t cycle_ = -1;
+};
+
+}  // namespace osumac::obs

@@ -1,0 +1,101 @@
+#include "obs/metrics_registry.h"
+
+#include <iomanip>
+#include <limits>
+
+namespace osumac::obs {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<double()> sample) {
+  gauges_[name] = std::move(sample);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, HistogramEntry{lo, hi, Histogram(lo, hi, bins)})
+             .first;
+  }
+  return it->second.histogram;
+}
+
+bool MetricsRegistry::Contains(const std::string& name) const {
+  return counters_.contains(name) || gauges_.contains(name) ||
+         histograms_.contains(name);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+  Snapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot[name] = static_cast<double>(counter.value());
+  }
+  for (const auto& [name, sample] : gauges_) snapshot[name] = sample();
+  return snapshot;
+}
+
+double MetricsRegistry::Delta(const Snapshot& now, const Snapshot& prev,
+                              const std::string& name) {
+  const auto n = now.find(name);
+  if (n == now.end()) return 0.0;
+  const auto p = prev.find(name);
+  return p == prev.end() ? n->second : n->second - p->second;
+}
+
+double MetricsRegistry::Value(const Snapshot& snapshot, const std::string& name) {
+  const auto it = snapshot.find(name);
+  return it == snapshot.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+/// Writes a double so that integers stay integral and everything else keeps
+/// full round-trip precision (both CSV and JSON use this form).
+void WriteNumber(std::ostream& out, double v) {
+  const auto as_int = static_cast<std::int64_t>(v);
+  if (static_cast<double>(as_int) == v) {
+    out << as_int;
+  } else {
+    out << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteCsv(std::ostream& out) const {
+  out << "metric,value\n";
+  for (const auto& [name, value] : Collect()) {
+    out << name << ',';
+    WriteNumber(out, value);
+    out << '\n';
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : Collect()) {
+    out << (first ? "" : ",") << "\n  \"" << name << "\": ";
+    WriteNumber(out, value);
+    first = false;
+  }
+  for (const auto& [name, entry] : histograms_) {
+    out << (first ? "" : ",") << "\n  \"" << name << "\": {\"lo\": ";
+    WriteNumber(out, entry.lo);
+    out << ", \"hi\": ";
+    WriteNumber(out, entry.hi);
+    out << ", \"total\": " << entry.histogram.total() << ", \"counts\": [";
+    for (std::size_t i = 0; i < entry.histogram.bins(); ++i) {
+      out << (i == 0 ? "" : ",") << entry.histogram.bin_count(i);
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n}\n";
+}
+
+}  // namespace osumac::obs

@@ -1,0 +1,91 @@
+// Named-metric registry: counters, gauges and histograms that components
+// register into, replacing per-component ad-hoc counter structs as the way
+// metrics leave the system.
+//
+// Three metric flavours:
+//   Counter    — cumulative int64, owned by the registry, bumped by the
+//                component holding a reference.
+//   gauge      — a pull callback sampled at Collect() time; the natural fit
+//                for values a component already maintains (queue depths,
+//                BsCounters fields, sim clock).  Registering a gauge is how
+//                existing counter structs join the registry without being
+//                rewritten.
+//   Histogram  — fixed-bin distribution built on common/stats.h.
+//
+// Collect() snapshots every counter and gauge into a name -> value map;
+// Delta() subtracts two snapshots, which is the generic replacement for the
+// hand-written per-field delta tracking the CycleTracer used to carry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/stats.h"
+
+namespace osumac::obs {
+
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    void Increment() { ++value_; }
+    void Add(std::int64_t delta) { value_ += delta; }
+    std::int64_t value() const { return value_; }
+    void Reset() { value_ = 0; }
+
+   private:
+    std::int64_t value_ = 0;
+  };
+
+  /// Name -> value at one Collect() instant.
+  using Snapshot = std::map<std::string, double>;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// References stay valid for the registry's lifetime (node-based storage).
+  Counter& counter(const std::string& name);
+
+  /// Registers (or replaces) a pull gauge sampled at every Collect().
+  void RegisterGauge(const std::string& name, std::function<double()> sample);
+
+  /// Returns the histogram registered under `name`, creating it with the
+  /// given shape on first use (the shape of an existing histogram wins).
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  bool Contains(const std::string& name) const;
+
+  /// Samples every counter and gauge.  Histograms are excluded (they are
+  /// exported in full by WriteJson instead of as one scalar).
+  Snapshot Collect() const;
+
+  /// now[name] - prev[name]; names absent from `prev` count as 0 (so the
+  /// first delta after binding is the delta from zero).
+  static double Delta(const Snapshot& now, const Snapshot& prev,
+                      const std::string& name);
+  /// Value lookup with a 0 default, for optional metrics.
+  static double Value(const Snapshot& snapshot, const std::string& name);
+
+  // --- export ----------------------------------------------------------------
+
+  /// "name,value" rows sorted by name, with a header.
+  void WriteCsv(std::ostream& out) const;
+
+  /// One JSON object: scalar metrics plus histograms as {lo, hi, counts[]}.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  struct HistogramEntry {
+    double lo = 0.0;
+    double hi = 1.0;
+    Histogram histogram{0.0, 1.0, 1};
+  };
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, std::function<double()>> gauges_;
+  std::map<std::string, HistogramEntry> histograms_;
+};
+
+}  // namespace osumac::obs

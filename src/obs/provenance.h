@@ -1,0 +1,29 @@
+// Run provenance: every artifact a run produces (bench output, trace
+// files, metric dumps, stdout reports) should say which build produced it
+// and with what knobs, so numbers remain comparable weeks later.
+//
+// The git describe string and build type are baked in at configure time
+// (see src/obs/CMakeLists.txt); seed/config are per-run and supplied by the
+// caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace osumac::obs {
+
+/// "<git describe>" of the source tree this binary was built from, or
+/// "unknown" outside a git checkout.
+const char* BuildVersion();
+
+/// CMake build type ("Release", "Debug", ...), or "unknown".
+const char* BuildType();
+
+/// One-line run-provenance header, e.g.
+///   # osumac <tool> version=v0-123-gabc1234 build=Release seed=42 config=...
+/// `config` is free-form "key=value ..." text describing the run's knobs;
+/// pass "" when there are none.
+std::string ProvenanceLine(const std::string& tool, std::uint64_t seed,
+                           const std::string& config = "");
+
+}  // namespace osumac::obs

@@ -1,0 +1,36 @@
+// Trace export sinks: Chrome trace-event JSON (loads in Perfetto /
+// chrome://tracing), JSONL (one event per line, exact integer ticks), and a
+// human-readable chronological timeline.
+//
+// All three consume a recorded EventTrace; none mutate it.  See
+// docs/OBSERVABILITY.md for the schemas and a Perfetto walkthrough.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/event_trace.h"
+
+namespace osumac::obs {
+
+/// Names for the enum payloads, shared by every sink.
+const char* SlotOutcomeCodeName(std::int64_t code);
+const char* RegistrationCodeName(std::int64_t code);
+const char* ContentionCodeName(std::int64_t code);
+const char* ForwardLossCodeName(std::int64_t code);
+const char* ChannelName(Channel channel);
+
+/// Chrome trace-event JSON.  Events with airtime become complete ("X")
+/// spans on per-channel tracks; the rest become instants ("i") on a
+/// base-station or per-node track.  Timestamps are microseconds of
+/// simulated time.  `provenance` lands in otherData for attribution.
+void WriteChromeTrace(std::ostream& out, const EventTrace& trace,
+                      const std::string& provenance = "");
+
+/// One JSON object per line, all times in exact integer ticks.
+void WriteJsonl(std::ostream& out, const EventTrace& trace);
+
+/// Human-readable chronological listing (one event per line).
+void WriteTimeline(std::ostream& out, const EventTrace& trace);
+
+}  // namespace osumac::obs

@@ -1,0 +1,17 @@
+#include "obs/wallclock.h"
+
+#include <iomanip>
+
+namespace osumac::obs {
+
+void WallTimerRegistry::Report(std::ostream& out) const {
+  out << "# wall-clock timers (ms)\n";
+  out << std::fixed << std::setprecision(3);
+  for (const auto& [name, stats] : timers_) {
+    out << "#   " << name << ": n=" << stats.count()
+        << " total=" << stats.sum() * 1e3 << " mean=" << stats.mean() * 1e3
+        << " max=" << stats.max() * 1e3 << '\n';
+  }
+}
+
+}  // namespace osumac::obs

@@ -7,6 +7,8 @@
 //   - osumac::mac::MobileSubscriber— the subscriber state machine
 //   - osumac::traffic::*           — Poisson workloads and the load-index math
 //   - osumac::metrics::*           — the paper's evaluation metrics
+//   - osumac::obs::*               — event tracing, metrics registry,
+//                                    timeline reconstruction, provenance
 //   - osumac::fec::ReedSolomon     — RS(64,48) / RS(32,9) codecs
 //   - osumac::phy::*               — channel and radio models, Table-1 params
 //   - osumac::baselines::*         — PRMA, D-TDMA, RAMA, DRMA, slotted ALOHA
@@ -45,8 +47,16 @@
 #include "mac/packet.h"
 #include "mac/round_robin.h"
 #include "mac/subscriber.h"
+#include "metrics/cell_metrics.h"
 #include "metrics/experiment.h"
 #include "metrics/tracer.h"
+#include "obs/event.h"
+#include "obs/event_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/provenance.h"
+#include "obs/sinks.h"
+#include "obs/timeline.h"
+#include "obs/wallclock.h"
 #include "phy/channel.h"
 #include "phy/error_model.h"
 #include "phy/phy_params.h"

@@ -15,10 +15,24 @@ bool HalfDuplexRadio::ConflictsWith(const std::deque<Interval>& set, Interval in
 void HalfDuplexRadio::CommitTransmit(Interval interval) {
   OSUMAC_CHECK(CanTransmit(interval) && "TX scheduled against an RX commitment");
   tx_.push_back(interval);
+  if (sink_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::kRadioTx;
+    e.node = node_;
+    e.span = interval;
+    sink_->Record(e);
+  }
 }
 
 void HalfDuplexRadio::CommitReceive(Interval interval) {
   rx_.push_back(interval);
+  if (sink_ != nullptr) {
+    obs::Event e;
+    e.kind = obs::EventKind::kRadioRx;
+    e.node = node_;
+    e.span = interval;
+    sink_->Record(e);
+  }
 }
 
 bool HalfDuplexRadio::CanTransmit(Interval interval) const {

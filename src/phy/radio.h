@@ -11,6 +11,7 @@
 #include <deque>
 
 #include "common/time.h"
+#include "obs/event.h"
 #include "phy/phy_params.h"
 
 namespace osumac::phy {
@@ -18,6 +19,13 @@ namespace osumac::phy {
 /// Tracks TX/RX commitments of one half-duplex transceiver.
 class HalfDuplexRadio {
  public:
+  /// Streams every commitment as a radio_tx/radio_rx event attributed to
+  /// `node` (pass null to detach).
+  void SetEventSink(obs::EventSink* sink, int node) {
+    sink_ = sink;
+    node_ = node;
+  }
+
   /// Records that the radio will transmit during `interval`.
   /// Precondition: CanTransmit(interval) (asserted in debug builds).
   void CommitTransmit(Interval interval);
@@ -49,6 +57,8 @@ class HalfDuplexRadio {
 
   std::deque<Interval> tx_;
   std::deque<Interval> rx_;
+  obs::EventSink* sink_ = nullptr;
+  int node_ = -1;
 };
 
 }  // namespace osumac::phy

@@ -41,6 +41,7 @@ bool Simulator::Step() {
 }
 
 void Simulator::RunUntil(Tick end) {
+  const obs::ScopedWallTimer timer(wall_timers_, "sim.run_until");
   QueueKey key;
   while (PeekNext(key) && key.when <= end) Step();
   if (now_ < end) now_ = end;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/wallclock.h"
 
 namespace osumac::sim {
 
@@ -66,6 +67,10 @@ class Simulator {
   /// Number of events currently pending (excluding cancelled).
   std::size_t pending_events() const { return pending_.size(); }
 
+  /// Feeds wall-clock timings ("sim.run_until" per RunUntil call) into
+  /// `timers` (null detaches).  Reporting only — never simulation logic.
+  void AttachWallTimers(obs::WallTimerRegistry* timers) { wall_timers_ = timers; }
+
  private:
   struct QueueKey {
     Tick when = 0;
@@ -84,6 +89,7 @@ class Simulator {
   /// event without removing it, or returns false if none remain.
   bool PeekNext(QueueKey& key);
 
+  obs::WallTimerRegistry* wall_timers_ = nullptr;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;

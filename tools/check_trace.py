@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by `osumac_sim --trace`.
+
+    python3 tools/check_trace.py out.json
+
+Checks (CI runs this on the trace-smoke artifact):
+  - the file is valid JSON with a non-empty `traceEvents` array;
+  - every event carries the required trace-event keys for its phase
+    (`X` complete spans need ts/dur, `i` instants need ts, `M` metadata
+    needs args.name);
+  - durations are non-negative and emission ticks (args.tick) never go
+    backwards (events are recorded in simulation order; span start times may
+    legitimately precede earlier events' ends, e.g. bursts announced at CF1
+    delivery time carry airtime later in the cycle);
+  - the ring buffer did not drop events (`otherData.dropped == 0`), since a
+    wrapped trace reconstructs only a suffix of the run;
+  - the provenance line is present, so the artifact says what produced it.
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+"""
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = instants = 0
+    last_tick = float("-inf")
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        if "name" not in e or "pid" not in e or "tid" not in e:
+            fail(f"event {i}: missing name/pid/tid")
+        if ph == "M":
+            if e.get("name") == "thread_name" and "name" not in e.get("args", {}):
+                fail(f"event {i}: thread_name metadata without args.name")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i}: missing ts")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i}: complete span with bad dur {dur!r}")
+            spans += 1
+        else:
+            instants += 1
+        tick = e.get("args", {}).get("tick")
+        if tick is not None:
+            if tick < last_tick:
+                fail(f"event {i}: emission tick went backwards "
+                     f"({tick} < {last_tick})")
+            last_tick = tick
+
+    other = doc.get("otherData", {})
+    if other.get("dropped", 0) != 0:
+        fail(f"ring buffer dropped {other['dropped']} events (trace truncated)")
+    if "provenance" not in other:
+        fail("otherData.provenance missing")
+
+    print(f"check_trace: OK: {spans} spans, {instants} instants, "
+          f"{other.get('recorded', '?')} recorded, 0 dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,13 @@ Rules (each exists because a real failure mode motivated it):
   raw-sanitize     CI must select sanitizers via -DOSUMAC_SANITIZE=...
                    instead of injecting raw -fsanitize flags, so local
                    reproduction is one documented cmake option.
+  raw-stdout       No printf/std::cout/std::cerr/puts in src/: library code
+                   reports through return values, the metrics registry, the
+                   event trace, or ostream& parameters the caller supplies.
+                   Exempt: src/obs/ (the sinks ARE the output path),
+                   src/common/logging.cc (the logging backend) and
+                   src/metrics/experiment.cc (the table printer).  Tools,
+                   benches and tests print freely.
 """
 from __future__ import annotations
 
@@ -127,6 +134,25 @@ def check_checks_always_on() -> None:
         finding(path, 1, "checks-always-on", "OSUMAC_CHECK definition not found")
 
 
+RAW_STDOUT = re.compile(
+    r"(?<![\w_.:])(?:std::)?(?:f?printf|puts|putchar)\s*\(|std::c(?:out|err)\b")
+RAW_STDOUT_EXEMPT = ("src/obs/", "src/common/logging.cc", "src/metrics/experiment.cc")
+
+
+def check_raw_stdout() -> None:
+    for path in source_files("src"):
+        rel = path.relative_to(REPO).as_posix()
+        if any(rel.startswith(e) for e in RAW_STDOUT_EXEMPT):
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = strip_comments_and_strings(raw)
+            if RAW_STDOUT.search(line):
+                finding(path, lineno, "raw-stdout",
+                        "direct stdout/stderr output in library code; report "
+                        "through the obs sinks, the metrics registry, or an "
+                        "ostream& the caller supplies")
+
+
 def check_raw_sanitize() -> None:
     path = REPO / ".github/workflows/ci.yml"
     for lineno, raw in enumerate(path.read_text().splitlines(), 1):
@@ -141,6 +167,7 @@ def main() -> int:
     check_float_tick()
     check_nondeterminism()
     check_checks_always_on()
+    check_raw_stdout()
     check_raw_sanitize()
     if findings:
         print("\n".join(findings))

@@ -31,6 +31,7 @@ std::ofstream Open(const std::filesystem::path& dir, const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::printf("%s\n", osumac::obs::ProvenanceLine("make_figures", 0).c_str());
   const std::filesystem::path dir = argc > 1 ? argv[1] : "results";
   std::filesystem::create_directories(dir);
 

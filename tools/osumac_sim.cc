@@ -6,9 +6,12 @@
 // Builds one cell with the requested population, drives the paper's
 // Poisson e-mail workload at the requested load index, and prints the full
 // Section-5 metric set.  Feature toggles expose the ablations.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "osumac/osumac.h"
@@ -33,6 +36,10 @@ struct Options {
   int fixed_size = 0;  ///< 0 = uniform 40..500
   double downlink_rho = 0.0;
   bool audit = false;
+  bool timers = false;
+  std::string trace_file;
+  std::string trace_format = "chrome";
+  std::string metrics_file;
   bool help = false;
 };
 
@@ -53,20 +60,49 @@ void PrintUsage() {
       "  --no-second-cf      ablation: disable the second control fields\n"
       "  --static-gps        ablation: disable dynamic GPS slot adjustment\n"
       "  --static-contention ablation: fixed number of contention slots\n"
-      "  --audit             run the protocol-invariant auditor alongside\n");
+      "  --audit             run the protocol-invariant auditor alongside\n"
+      "  --trace FILE        record the measured cycles as a structured event\n"
+      "                      trace and write it to FILE\n"
+      "  --trace-format F    chrome | jsonl | timeline (default chrome)\n"
+      "  --metrics FILE      dump the full metrics registry (.json for JSON,\n"
+      "                      anything else for CSV)\n"
+      "  --timers            report wall-clock timers on exit\n"
+      "Options also accept --opt=value form.\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&](double& out) {
+    std::string arg = argv[i];
+    // Accept --opt=value as well as --opt value.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.erase(eq);
+        has_inline = true;
+      }
+    }
+    auto next_string = [&](std::string& out) {
+      if (has_inline) {
+        out = inline_value;
+        return true;
+      }
       if (i + 1 >= argc) return false;
-      out = std::atof(argv[++i]);
+      out = argv[++i];
+      return true;
+    };
+    auto next_value = [&](double& out) {
+      std::string s;
+      if (!next_string(s)) return false;
+      out = std::atof(s.c_str());
       return true;
     };
     auto next_int = [&](int& out) {
-      if (i + 1 >= argc) return false;
-      out = std::atoi(argv[++i]);
+      std::string s;
+      if (!next_string(s)) return false;
+      out = std::atoi(s.c_str());
       return true;
     };
     if (arg == "--rho") {
@@ -84,8 +120,7 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       if (!next_int(s)) return false;
       opt.seed = static_cast<std::uint64_t>(s);
     } else if (arg == "--channel") {
-      if (i + 1 >= argc) return false;
-      opt.channel = argv[++i];
+      if (!next_string(opt.channel)) return false;
     } else if (arg == "--ser") {
       if (!next_value(opt.ser)) return false;
     } else if (arg == "--fixed-size") {
@@ -102,6 +137,14 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       opt.static_contention = true;
     } else if (arg == "--audit") {
       opt.audit = true;
+    } else if (arg == "--trace") {
+      if (!next_string(opt.trace_file)) return false;
+    } else if (arg == "--trace-format") {
+      if (!next_string(opt.trace_format)) return false;
+    } else if (arg == "--metrics") {
+      if (!next_string(opt.metrics_file)) return false;
+    } else if (arg == "--timers") {
+      opt.timers = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -124,6 +167,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid population\n");
     return 1;
   }
+  if (opt.trace_format != "chrome" && opt.trace_format != "jsonl" &&
+      opt.trace_format != "timeline") {
+    std::fprintf(stderr, "unknown trace format '%s'\n", opt.trace_format.c_str());
+    return 1;
+  }
+
+  char config_text[256];
+  std::snprintf(config_text, sizeof(config_text),
+                "rho=%g data-users=%d gps=%d cycles=%d warmup=%d channel=%s",
+                opt.rho, opt.data_users, opt.gps_users, opt.cycles, opt.warmup,
+                opt.channel.c_str());
+  const std::string provenance =
+      obs::ProvenanceLine("osumac_sim", opt.seed, config_text);
+  std::printf("%s\n", provenance.c_str());
 
   mac::CellConfig config;
   config.seed = opt.seed;
@@ -175,6 +232,19 @@ int main(int argc, char** argv) {
 
   cell.RunCycles(opt.warmup);
   cell.ResetStats();
+
+  // Attach the trace only for the measured cycles, so the reconstructed
+  // timeline and the figure metrics cover exactly the same window.  Size the
+  // ring generously so nothing is overwritten mid-run (a dropped event would
+  // make the occupancy reconstruction partial).
+  obs::EventTrace trace(
+      std::max<std::size_t>(obs::EventTrace::kDefaultCapacity,
+                            static_cast<std::size_t>(opt.cycles) * 512));
+  const bool tracing = !opt.trace_file.empty();
+  if (tracing) cell.AttachTrace(&trace);
+  obs::WallTimerRegistry wall_timers;
+  if (opt.timers) cell.simulator().AttachWallTimers(&wall_timers);
+
   cell.RunCycles(opt.cycles);
 
   const auto m = metrics::ComputeFigureMetrics(cell, laptops);
@@ -209,6 +279,59 @@ int main(int argc, char** argv) {
                 static_cast<long long>(cell.metrics().forward_packets_lost),
                 static_cast<long long>(bs.forward_retransmissions));
   }
+  if (tracing) {
+    std::ofstream out(opt.trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n", opt.trace_file.c_str());
+      return 1;
+    }
+    if (opt.trace_format == "chrome") {
+      obs::WriteChromeTrace(out, trace, provenance);
+    } else if (opt.trace_format == "jsonl") {
+      obs::WriteJsonl(out, trace);
+    } else {
+      obs::WriteTimeline(out, trace);
+    }
+    std::printf("trace                  %8lld events -> %s (%s)\n",
+                static_cast<long long>(trace.size()), opt.trace_file.c_str(),
+                opt.trace_format.c_str());
+    if (trace.dropped() > 0) {
+      std::printf("trace dropped          %8lld (ring wrapped; timeline partial)\n",
+                  static_cast<long long>(trace.dropped()));
+    }
+    const obs::Timeline timeline = obs::ReconstructTimeline(trace);
+    std::printf("timeline utilization   %8.6f (cell %8.6f)\n",
+                timeline.PaperUtilization(), cell.metrics().Utilization());
+    std::printf("reverse busy fraction  %8.3f, forward %8.3f\n",
+                timeline.ReverseBusyFraction(), timeline.ForwardBusyFraction());
+    const Tick guard = timeline.MinGuardObserved();
+    if (!timeline.min_tx_rx_gap.empty()) {
+      std::printf("min TX/RX switch gap   %8.1f ms (guard %.1f ms)\n",
+                  1e3 * static_cast<double>(guard) / kTicksPerSecond,
+                  1e3 * static_cast<double>(phy::kHalfDuplexSwitchTicks) /
+                      kTicksPerSecond);
+    }
+  }
+  if (!opt.metrics_file.empty()) {
+    obs::MetricsRegistry registry;
+    metrics::RegisterCellMetrics(registry, cell);
+    std::ofstream out(opt.metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                   opt.metrics_file.c_str());
+      return 1;
+    }
+    const bool json = opt.metrics_file.size() >= 5 &&
+                      opt.metrics_file.rfind(".json") == opt.metrics_file.size() - 5;
+    if (json) {
+      registry.WriteJson(out);
+    } else {
+      registry.WriteCsv(out);
+    }
+    std::printf("metrics                -> %s (%s)\n", opt.metrics_file.c_str(),
+                json ? "json" : "csv");
+  }
+  if (opt.timers) wall_timers.Report(std::cout);
   if (opt.audit) {
     std::printf("audit                  %s\n", auditor.Report().c_str());
     if (!auditor.violations().empty()) return 2;
