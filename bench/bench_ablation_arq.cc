@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <vector>
 
 #include "osumac/osumac.h"
 
@@ -19,73 +20,59 @@ using namespace osumac;
 
 namespace {
 
-struct Outcome {
-  double downlink_loss = 0;
-  double uplink_utilization = 0;
-  double uplink_delay = 0;
-  std::int64_t retransmissions = 0;
-  std::int64_t ack_packets = 0;
-};
+exp::ScenarioSpec ArqSpec(bool arq, double uplink_rho) {
+  exp::ScenarioSpec spec;
+  spec.name = std::string(arq ? "arq" : "paper") + "_rho" + std::to_string(uplink_rho);
+  spec.data_users = 8;
+  spec.gps_users = 0;
+  spec.registration_cycles = 10;
+  spec.warmup_cycles = 30;
+  spec.measure_cycles = 600;
+  spec.seed = 99;
+  spec.workload.rho = uplink_rho;
+  spec.workload.downlink_interarrival_cycles = 4;
+  spec.workload.downlink_sizes = traffic::SizeDistribution::Fixed(220);
+  spec.mac.downlink_arq = arq;
+  spec.forward.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+  spec.forward.ge.p_good_to_bad = 0.004;
+  spec.forward.ge.p_bad_to_good = 0.05;
+  spec.forward.ge.error_prob_bad = 0.4;
+  return spec;
+}
 
-Outcome Run(bool arq, double uplink_rho, std::uint64_t seed) {
-  mac::CellConfig config;
-  config.seed = seed;
-  config.mac.downlink_arq = arq;
-  config.forward.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
-  config.forward.ge.p_good_to_bad = 0.004;
-  config.forward.ge.p_bad_to_good = 0.05;
-  config.forward.ge.error_prob_bad = 0.4;
-  mac::Cell cell(config);
-  std::vector<int> nodes;
-  for (int i = 0; i < 8; ++i) {
-    nodes.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(nodes.back());
-  }
-  cell.RunCycles(10);
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  traffic::PoissonUplinkWorkload up(
-      cell, nodes, traffic::MeanInterarrivalTicks(uplink_rho, 8, 9, sizes.MeanBytes()),
-      sizes, Rng(seed + 1));
-  traffic::PoissonDownlinkWorkload down(cell, nodes, 4 * mac::kCycleTicks,
-                                        traffic::SizeDistribution::Fixed(220), Rng(seed + 2));
-  cell.RunCycles(30);
-  cell.ResetStats();
-  const auto generated_before = down.messages_generated();
-  cell.RunCycles(600);
-  const auto offered =
-      down.messages_generated() - generated_before - 2;  // allow 2 in flight
-
-  Outcome out;
-  const auto& bs = cell.base_station().counters();
-  const auto completed =
-      static_cast<std::int64_t>(cell.metrics().downlink_message_delay_cycles.size());
-  out.downlink_loss =
-      offered > 0 ? std::max(0.0, 1.0 - static_cast<double>(completed) /
-                                            static_cast<double>(offered))
-                  : 0.0;
-  out.uplink_utilization = cell.metrics().Utilization();
-  const auto m = metrics::ComputeFigureMetrics(cell, nodes);
-  out.uplink_delay = m.mean_packet_delay_cycles;
-  out.retransmissions = bs.forward_retransmissions;
-  out.ack_packets = bs.forward_acks_received;
-  return out;
+double DownlinkLoss(const exp::RunResult& r) {
+  const std::int64_t offered = r.downlink_messages_generated - 2;  // allow 2 in flight
+  return offered > 0
+             ? std::max(0.0, 1.0 - static_cast<double>(r.downlink_messages_completed) /
+                                       static_cast<double>(offered))
+             : 0.0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_ablation_arq");
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+
+  std::vector<exp::ScenarioSpec> specs;
+  for (const double rho : {0.3, 0.6, 0.9}) {
+    for (const bool arq : {false, true}) specs.push_back(ArqSpec(arq, rho));
+  }
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   std::printf("Ablation: downlink ARQ (extension) vs the paper's unacked forward channel\n");
   std::printf("Fading forward channel (Gilbert-Elliott), downlink e-mail + uplink load\n\n");
   std::printf("%8s %10s | %12s %10s %10s %8s %8s\n", "up_rho", "variant", "dl_loss",
               "rev_util", "up_delay", "retx", "acks");
-  for (double rho : {0.3, 0.6, 0.9}) {
+  std::size_t next = 0;
+  for (const double rho : {0.3, 0.6, 0.9}) {
     for (const bool arq : {false, true}) {
-      const Outcome o = Run(arq, rho, 99);
+      const exp::RunResult& r = results[next++];
       std::printf("%8.1f %10s | %12.4f %10.3f %10.2f %8lld %8lld\n", rho,
-                  arq ? "ARQ" : "paper", o.downlink_loss, o.uplink_utilization,
-                  o.uplink_delay, static_cast<long long>(o.retransmissions),
-                  static_cast<long long>(o.ack_packets));
+                  arq ? "ARQ" : "paper", DownlinkLoss(r), r.figure.utilization,
+                  r.figure.mean_packet_delay_cycles,
+                  static_cast<long long>(r.bs.forward_retransmissions),
+                  static_cast<long long>(r.bs.forward_acks_received));
     }
   }
   std::printf("\n(expected: ARQ eliminates residual downlink loss at the cost of\n"

@@ -4,6 +4,7 @@
 // base station converts data slots into extra contention slots while the
 // collision rate is high and reclaims them afterwards; the static variant
 // keeps the single configured contention slot.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -13,75 +14,50 @@
 
 using namespace osumac;
 
-namespace {
-
-struct StormOutcome {
-  double p50 = 0;
-  double p90 = 0;
-  double max = 0;
-  int registered = 0;
-  std::int64_t collisions = 0;
-};
-
-StormOutcome RunStorm(bool dynamic, std::uint64_t seed) {
-  mac::CellConfig config;
-  config.seed = seed;
-  config.mac.dynamic_contention_slots = dynamic;
-  mac::Cell cell(config);
-  std::vector<int> veterans;
-  for (int i = 0; i < 6; ++i) {
-    veterans.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(veterans.back());
-  }
-  cell.RunCycles(8);
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  // Saturated background: data demand would claim every assignable slot,
-  // so without dynamic adjustment only the single reserved contention slot
-  // remains for the storm.
-  traffic::PoissonUplinkWorkload background(
-      cell, veterans, traffic::MeanInterarrivalTicks(1.2, 6, 9, sizes.MeanBytes()), sizes,
-      Rng(seed + 1));
-  cell.RunCycles(20);
-
-  std::vector<int> crowd;
-  for (int i = 0; i < 6; ++i) {
-    crowd.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(crowd.back());
-  }
-  cell.RunCycles(60);
-
-  StormOutcome out;
-  SampleSet latency;
-  for (int node : crowd) {
-    const auto& sub = cell.subscriber(node);
-    if (sub.state() == mac::MobileSubscriber::State::kActive) ++out.registered;
-    const auto& s = sub.stats().registration_latency_cycles;
-    latency.Add(s.empty() ? 60.0 : s.samples()[0]);
-  }
-  out.p50 = latency.Median();
-  out.p90 = latency.Quantile(0.9);
-  out.max = latency.Max();
-  out.collisions = cell.base_station().counters().collisions;
-  return out;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_ablation_contention");
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+  const int repeats = 5;
+
+  // Saturated background of 6 veterans, then 6 churn arrivals all at once
+  // (gap 0): the storm.  Stats keep accumulating through the storm
+  // (reset_stats = false) and arrivals are sampled at the end of the run,
+  // with the full 60-cycle window as the straggler fallback.
+  std::vector<exp::ScenarioSpec> specs;
+  for (const bool dynamic : {true, false}) {
+    for (int rep = 0; rep < repeats; ++rep) {
+      exp::ScenarioSpec spec;
+      spec.name = std::string(dynamic ? "dynamic" : "static") + "#" + std::to_string(rep);
+      spec.data_users = 6;
+      spec.gps_users = 0;
+      spec.registration_cycles = 8;
+      spec.warmup_cycles = 20;
+      spec.measure_cycles = 60;
+      spec.reset_stats_after_warmup = false;
+      spec.workload.rho = 1.2;
+      spec.churn.arrivals = 6;
+      spec.mac.dynamic_contention_slots = dynamic;
+      spec.seed = 100 + static_cast<std::uint64_t>(rep);
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   std::printf("Ablation: dynamic contention-slot adjustment during a 6-unit storm\n");
   std::printf("%-22s %10s %10s %10s %12s %12s\n", "variant", "p50", "p90", "max",
               "registered", "collisions");
+  std::size_t next = 0;
   for (const bool dynamic : {true, false}) {
     double p50 = 0, p90 = 0, max = 0, reg = 0, coll = 0;
-    const int repeats = 5;
     for (int rep = 0; rep < repeats; ++rep) {
-      const StormOutcome o = RunStorm(dynamic, 100 + static_cast<std::uint64_t>(rep));
-      p50 += o.p50;
-      p90 += o.p90;
-      max = std::max(max, o.max);
-      reg += o.registered;
-      coll += static_cast<double>(o.collisions);
+      const exp::RunResult& r = results[next++];
+      SampleSet latency;
+      for (const double sample : r.churn_registration_latency) latency.Add(sample);
+      p50 += latency.Median();
+      p90 += latency.Quantile(0.9);
+      max = std::max(max, latency.Max());
+      reg += r.churn_registered;
+      coll += static_cast<double>(r.bs.collisions);
     }
     std::printf("%-22s %10.1f %10.1f %10.0f %12.1f %12.1f\n",
                 dynamic ? "dynamic (paper)" : "static (1 slot)", p50 / repeats,

@@ -7,6 +7,7 @@
 // RS(64,48) with one parity symbol spared for verification); very long
 // fades defeat both receivers.
 #include <cstdio>
+#include <vector>
 
 #include "osumac/osumac.h"
 
@@ -16,60 +17,56 @@ using namespace osumac;
 
 namespace {
 
-struct Outcome {
-  double gps_loss = 0;
-  std::int64_t data_failures = 0;
-};
+exp::ScenarioSpec FadeSpec(double p_bad_to_good, bool side_info) {
+  exp::ScenarioSpec spec;
+  spec.name = "fade" + std::to_string(p_bad_to_good) + (side_info ? "_ei" : "");
+  spec.data_users = 4;
+  spec.gps_users = 4;
+  spec.registration_cycles = 25;
+  spec.warmup_cycles = 0;  // stats reset right after registration
+  spec.measure_cycles = 400;
+  spec.seed = 500;
+  spec.workload.rho = 0.5;
+  spec.erasure_side_information = side_info;
+  spec.reverse.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+  spec.reverse.ge.p_good_to_bad = 0.01;
+  spec.reverse.ge.p_bad_to_good = p_bad_to_good;
+  spec.reverse.ge.error_prob_good = 1e-4;
+  spec.reverse.ge.error_prob_bad = 0.9;
+  return spec;
+}
 
-Outcome Run(double p_bad_to_good, bool side_info, std::uint64_t seed) {
-  mac::CellConfig config;
-  config.seed = seed;
-  config.erasure_side_information = side_info;
-  config.reverse.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
-  config.reverse.ge.p_good_to_bad = 0.01;
-  config.reverse.ge.p_bad_to_good = p_bad_to_good;
-  config.reverse.ge.error_prob_good = 1e-4;
-  config.reverse.ge.error_prob_bad = 0.9;
-  mac::Cell cell(config);
-  std::vector<int> nodes;
-  for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
-  for (int i = 0; i < 4; ++i) {
-    nodes.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(nodes.back());
-  }
-  cell.RunCycles(25);
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  traffic::PoissonUplinkWorkload w(
-      cell, nodes, traffic::MeanInterarrivalTicks(0.5, 4, 8, sizes.MeanBytes()), sizes,
-      Rng(seed + 1));
-  cell.ResetStats();
-  cell.RunCycles(400);
-
-  Outcome out;
-  const auto& bs = cell.base_station().counters();
-  const double gps_total =
-      static_cast<double>(bs.gps_packets_received + bs.gps_packets_failed);
-  out.gps_loss = gps_total > 0 ? static_cast<double>(bs.gps_packets_failed) / gps_total
-                               : 0.0;
-  out.data_failures = bs.decode_failures;
-  return out;
+double GpsLoss(const exp::RunResult& r) {
+  const double total =
+      static_cast<double>(r.bs.gps_packets_received + r.bs.gps_packets_failed);
+  return total > 0 ? static_cast<double>(r.bs.gps_packets_failed) / total : 0.0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_ablation_erasures");
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+
+  std::vector<exp::ScenarioSpec> specs;
+  for (const double p_recover : {0.30, 0.15, 0.08, 0.04}) {
+    specs.push_back(FadeSpec(p_recover, false));
+    specs.push_back(FadeSpec(p_recover, true));
+  }
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   std::printf("Ablation: erasure side information on Gilbert-Elliott fades\n");
   std::printf("(error rate in fades: 0.9/symbol; RS(64,48): 8-error / 15-erasure budget)\n\n");
   std::printf("%16s | %12s %12s | %12s %12s\n", "mean fade (sym)", "gps_loss",
               "gps_loss_ei", "data_fail", "data_fail_ei");
-  for (double p_recover : {0.30, 0.15, 0.08, 0.04}) {
-    const Outcome plain = Run(p_recover, false, 500);
-    const Outcome with_ei = Run(p_recover, true, 500);
+  std::size_t next = 0;
+  for (const double p_recover : {0.30, 0.15, 0.08, 0.04}) {
+    const exp::RunResult& plain = results[next++];
+    const exp::RunResult& with_ei = results[next++];
     std::printf("%16.1f | %12.4f %12.4f | %12lld %12lld\n", 1.0 / p_recover,
-                plain.gps_loss, with_ei.gps_loss,
-                static_cast<long long>(plain.data_failures),
-                static_cast<long long>(with_ei.data_failures));
+                GpsLoss(plain), GpsLoss(with_ei),
+                static_cast<long long>(plain.bs.decode_failures),
+                static_cast<long long>(with_ei.bs.decode_failures));
   }
   std::printf("\n(expected: side information wins decisively for medium fades and\n"
               " converges with the plain receiver once fades exceed the erasure\n"

@@ -5,6 +5,7 @@
 // is what the survey discusses (e.g. "PRMA suffers from low utilization in
 // medium to heavy traffic loads").
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,29 +16,44 @@
 using namespace osumac;
 using namespace osumac::baselines;
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_baselines");
-  std::vector<std::unique_ptr<BaselineProtocol>> protocols;
-  protocols.push_back(std::make_unique<SlottedAloha>());
-  protocols.push_back(std::make_unique<Prma>());
-  protocols.push_back(std::make_unique<Dtdma>());
-  protocols.push_back(std::make_unique<Fama>());
-  protocols.push_back(std::make_unique<Rqma>());
-  protocols.push_back(std::make_unique<Rama>());
-  protocols.push_back(std::make_unique<Drma>());
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+
+  // Each grid cell is independent (own protocol instance, own Rng), so the
+  // load x protocol grid runs through the generic parallel map.
+  const std::vector<std::function<std::unique_ptr<BaselineProtocol>()>> factories = {
+      [] { return std::make_unique<SlottedAloha>(); },
+      [] { return std::make_unique<Prma>(); },
+      [] { return std::make_unique<Dtdma>(); },
+      [] { return std::make_unique<Fama>(); },
+      [] { return std::make_unique<Rqma>(); },
+      [] { return std::make_unique<Rama>(); },
+      [] { return std::make_unique<Drma>(); },
+  };
+  const std::vector<double> loads = {0.05, 0.2, 0.4, 0.8, 1.6};
+
+  const int count = static_cast<int>(loads.size() * factories.size());
+  const std::vector<BaselineResult> results =
+      exp::ParallelMap(count, jobs, [&](int i) {
+        const std::size_t load_index = static_cast<std::size_t>(i) / factories.size();
+        const std::size_t protocol_index = static_cast<std::size_t>(i) % factories.size();
+        BaselineWorkload workload;
+        workload.data_stations = 20;
+        workload.packets_per_station_per_frame = loads[load_index];
+        workload.frames = 4000;
+        Rng rng(42);
+        return factories[protocol_index]()->Run(workload, rng);
+      });
 
   std::printf("Survey protocols on a 16-slot frame, 20 data stations\n");
   std::printf("%-14s %8s %11s %11s %11s %9s\n", "protocol", "offered", "throughput",
               "delay(frm)", "collisions", "dropped");
-  for (double per_station : {0.05, 0.2, 0.4, 0.8, 1.6}) {
-    BaselineWorkload workload;
-    workload.data_stations = 20;
-    workload.packets_per_station_per_frame = per_station;
-    workload.frames = 4000;
+  std::size_t next = 0;
+  for (const double per_station : loads) {
     std::printf("-- offered load %.2f packets/slot --\n", per_station * 20 / 16.0);
-    for (const auto& protocol : protocols) {
-      Rng rng(42);
-      const BaselineResult r = protocol->Run(workload, rng);
+    for (std::size_t p = 0; p < factories.size(); ++p) {
+      const BaselineResult& r = results[next++];
       std::printf("%-14s %8.3f %11.3f %11.2f %11.3f %9lld\n", r.protocol.c_str(),
                   r.offered_load, r.throughput, r.mean_delay_frames, r.collision_rate,
                   static_cast<long long>(r.dropped));

@@ -6,24 +6,28 @@
 // increases, reservation requests are usually piggybacked in the
 // reservation bit of the packets sent uplink".
 #include <cstdio>
+#include <vector>
 
-#include "sweep_common.h"
+#include "osumac/osumac.h"
 
 #include "bench_provenance.h"
 
 using namespace osumac;
-using namespace osumac::bench;
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_fig10_control_overhead");
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+
+  std::vector<exp::ScenarioSpec> specs;
+  for (const double rho : exp::LoadSweep()) specs.push_back(exp::LoadPoint(rho));
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   metrics::TablePrinter table({"rho", "ctrl_overhead", "resv_sent", "data_sent"}, 14);
   std::printf("Figure 10: control overhead (reservation packets / data packets)\n");
   table.PrintHeader();
-  for (double rho : LoadSweep()) {
-    SweepPoint point;
-    point.rho = rho;
-    const SweepResult r = RunLoadPoint(point);
-    table.PrintRow({rho, r.figure.control_overhead,
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::RunResult& r = results[i];
+    table.PrintRow({specs[i].workload.rho, r.figure.control_overhead,
                     static_cast<double>(r.bs.reservation_packets_received),
                     static_cast<double>(r.bs.data_packets_received)});
   }

@@ -10,28 +10,59 @@
 // Also runs the matching ablations (second CF disabled / dynamic slots
 // disabled) to isolate each mechanism's contribution.
 #include <cstdio>
+#include <vector>
 
-#include "sweep_common.h"
+#include "osumac/osumac.h"
 
 #include "bench_provenance.h"
 
 using namespace osumac;
-using namespace osumac::bench;
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_fig12_ablations");
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+
+  // Part (a): per rho, second control field on then off.
+  std::vector<exp::ScenarioSpec> cf_specs;
+  for (const double rho : exp::LoadSweep()) {
+    exp::ScenarioSpec with_cf2 = exp::LoadPoint(rho);
+    cf_specs.push_back(with_cf2);
+    exp::ScenarioSpec without_cf2 = with_cf2;
+    without_cf2.name += "_nocf2";
+    without_cf2.mac.use_second_control_field = false;
+    cf_specs.push_back(without_cf2);
+  }
+  // Part (b): per rho, the {1, 4} GPS x {dynamic, static} grid.  Workload
+  // interarrivals derive from the format's slot count regardless of the
+  // dynamic flag (ScenarioSpec::DataSlotsForLoad), holding the per-user
+  // offered byte rate constant across the arms; with dynamic disabled,
+  // format 2's fused 9th slot is lost — exactly the bandwidth the figure
+  // shows.
+  std::vector<exp::ScenarioSpec> slot_specs;
+  for (const double rho : exp::LoadSweep()) {
+    for (const int gps : {1, 4}) {
+      for (const bool dynamic : {true, false}) {
+        exp::ScenarioSpec point = exp::LoadPoint(rho);
+        point.name += "_gps" + std::to_string(gps) + (dynamic ? "_dyn" : "_static");
+        point.gps_users = gps;
+        point.mac.dynamic_gps_slots = dynamic;
+        slot_specs.push_back(point);
+      }
+    }
+  }
+  std::vector<exp::ScenarioSpec> specs = cf_specs;
+  specs.insert(specs.end(), slot_specs.begin(), slot_specs.end());
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   std::printf("Figure 12(a): bandwidth gain from the second set of control fields\n");
   metrics::TablePrinter ta({"rho", "cf2_gain", "last_slot_pkts", "all_pkts",
                             "util_with", "util_without"},
                            14);
   ta.PrintHeader();
-  for (double rho : LoadSweep()) {
-    SweepPoint with_cf2;
-    with_cf2.rho = rho;
-    const SweepResult on = RunLoadPoint(with_cf2);
-    SweepPoint without_cf2 = with_cf2;
-    without_cf2.mac.use_second_control_field = false;
-    const SweepResult off = RunLoadPoint(without_cf2);
+  std::size_t next = 0;
+  for (const double rho : exp::LoadSweep()) {
+    const exp::RunResult& on = results[next++];
+    const exp::RunResult& off = results[next++];
     ta.PrintRow({rho, on.figure.second_cf_gain,
                  static_cast<double>(on.bs.last_slot_data_packets),
                  static_cast<double>(on.bs.data_packets_received), on.figure.utilization,
@@ -44,22 +75,10 @@ int main() {
                             "gps4_static"},
                            14);
   tb.PrintHeader();
-  for (double rho : LoadSweep()) {
+  for (const double rho : exp::LoadSweep()) {
     std::vector<double> row = {rho};
-    for (int gps : {1, 4}) {
-      for (bool dynamic : {true, false}) {
-        SweepPoint point;
-        point.rho = rho;
-        point.gps_users = gps;
-        point.mac.dynamic_gps_slots = dynamic;
-        // Hold the per-user offered byte rate constant across the arms by
-        // computing the interarrival for the dynamic format's slot count
-        // (RunLoadPoint already derives d from the format; with dynamic
-        // disabled, format 1's 8 slots make the same traffic a heavier
-        // relative load — exactly the bandwidth loss the figure shows).
-        const SweepResult r = RunLoadPoint(point);
-        row.push_back(r.figure.avg_data_slots_used);
-      }
+    for (int arm = 0; arm < 4; ++arm) {
+      row.push_back(results[next++].figure.avg_data_slots_used);
     }
     tb.PrintRow(row);
   }

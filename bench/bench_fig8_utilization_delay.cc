@@ -8,48 +8,68 @@
 // load crosses the usable capacity (the reserved contention slot and
 // in-band headers put that crossover near rho ~ 0.8 in this
 // implementation; see EXPERIMENTS.md).
+//
+// All points run through exp::SweepRunner; pass --jobs N to parallelize.
 #include <cstdio>
+#include <vector>
 
-#include "sweep_common.h"
+#include "osumac/osumac.h"
 
 #include "bench_provenance.h"
 
 using namespace osumac;
-using namespace osumac::bench;
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_fig8_utilization_delay");
-  // Variable-length messages (uniform 40-500 B), averaged over 3 seeds.
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+  constexpr int kReplications = 3;
+
+  // Variable-length points (3 seed replications each), then the paper's
+  // second workload: fixed 120-byte messages ("the results are found to be
+  // quite robust" across both) — one flat spec list, one sweep.
+  std::vector<exp::ScenarioSpec> specs;
+  for (const double rho : exp::LoadSweep()) {
+    const std::vector<exp::ScenarioSpec> reps =
+        exp::ExpandReplications(exp::LoadPoint(rho), kReplications);
+    specs.insert(specs.end(), reps.begin(), reps.end());
+  }
+  for (const double rho : exp::LoadSweep()) {
+    exp::ScenarioSpec point = exp::LoadPoint(rho);
+    point.name += "_fixed120";
+    point.workload.sizes = traffic::SizeDistribution::Fixed(120);
+    specs.push_back(point);
+  }
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   metrics::TablePrinter table({"rho", "offered", "util", "util_sd", "pkt_delay",
                                "delay_sd", "msg_delay", "drop_rate"},
                               11);
   std::printf("Figure 8: utilization and packet delay vs load index\n");
-  std::printf("-- variable-length messages, uniform 40-500 bytes (3 seeds) --\n");
+  std::printf("-- variable-length messages, uniform 40-500 bytes (%d seeds) --\n",
+              kReplications);
   table.PrintHeader();
-  for (double rho : LoadSweep()) {
-    SweepPoint point;
-    point.rho = rho;
-    const auto rep = RunReplicated(point, 3, [rho](const SweepResult& r) {
-      return std::vector<double>{r.offered_load, r.figure.utilization,
-                                 r.figure.mean_packet_delay_cycles,
-                                 r.figure.mean_message_delay_cycles,
-                                 r.figure.message_drop_rate};
-    });
-    table.PrintRow({rho, rep[0].mean, rep[1].mean, rep[1].stddev, rep[2].mean,
-                    rep[2].stddev, rep[3].mean, rep[4].mean});
+  std::size_t next = 0;
+  for (const double rho : exp::LoadSweep()) {
+    RunningStats offered, util, pkt_delay, msg_delay, drop;
+    for (int r = 0; r < kReplications; ++r) {
+      const exp::RunResult& run = results[next++];
+      offered.Add(run.offered_load);
+      util.Add(run.figure.utilization);
+      pkt_delay.Add(run.figure.mean_packet_delay_cycles);
+      msg_delay.Add(run.figure.mean_message_delay_cycles);
+      drop.Add(run.figure.message_drop_rate);
+    }
+    table.PrintRow({rho, offered.mean(), util.mean(), util.stddev(),
+                    pkt_delay.mean(), pkt_delay.stddev(), msg_delay.mean(),
+                    drop.mean()});
   }
 
-  // The paper's second workload: fixed 120-byte messages ("the results are
-  // found to be quite robust" across both).
   std::printf("\n-- fixed-length messages, 120 bytes --\n");
   metrics::TablePrinter fixed_table({"rho", "offered", "util", "pkt_delay", "drop_rate"},
                                     11);
   fixed_table.PrintHeader();
-  for (double rho : LoadSweep()) {
-    SweepPoint point;
-    point.rho = rho;
-    point.sizes = traffic::SizeDistribution::Fixed(120);
-    const SweepResult r = RunLoadPoint(point);
+  for (const double rho : exp::LoadSweep()) {
+    const exp::RunResult& r = results[next++];
     fixed_table.PrintRow({rho, r.offered_load, r.figure.utilization,
                           r.figure.mean_packet_delay_cycles, r.figure.message_drop_rate});
   }

@@ -6,28 +6,33 @@
 // because at high load reservation requests ride piggybacked in the
 // headers of scheduled data packets instead of contending.
 #include <cstdio>
+#include <vector>
 
-#include "sweep_common.h"
+#include "osumac/osumac.h"
 
 #include "bench_provenance.h"
 
 using namespace osumac;
-using namespace osumac::bench;
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_fig9_collision_reservation");
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+
+  std::vector<exp::ScenarioSpec> specs;
+  for (const double rho : exp::LoadSweep()) specs.push_back(exp::LoadPoint(rho));
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   metrics::TablePrinter table(
       {"rho", "coll_prob", "resv_latency", "collisions", "resv_pkts", "piggybacked"}, 13);
   std::printf("Figure 9: contention-slot collision probability and reservation latency\n");
   table.PrintHeader();
-  for (double rho : LoadSweep()) {
-    SweepPoint point;
-    point.rho = rho;
-    const SweepResult r = RunLoadPoint(point);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::RunResult& r = results[i];
     // Piggybacked demand updates = data packets carrying a non-zero
     // more_slots field; approximate with decoded data packets minus
     // contention data (every scheduled packet may carry the field).
-    table.PrintRow({rho, r.figure.collision_probability, r.figure.mean_reservation_latency,
+    table.PrintRow({specs[i].workload.rho, r.figure.collision_probability,
+                    r.figure.mean_reservation_latency,
                     static_cast<double>(r.bs.collisions),
                     static_cast<double>(r.bs.reservation_packets_received),
                     static_cast<double>(r.bs.data_packets_received -

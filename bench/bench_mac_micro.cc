@@ -118,26 +118,31 @@ void BM_BaseStationPlanCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_BaseStationPlanCycle);
 
+/// The loaded-cell fixture both end-to-end microbenches step through: 10
+/// data users + 4 buses at rho = 0.8, built and warmed by the scenario
+/// engine (workloads keep generating while the timing loop steps cycles).
+exp::ScenarioSpec LoadedCellSpec() {
+  exp::ScenarioSpec spec;
+  spec.name = "mac_micro";
+  spec.data_users = 10;
+  spec.gps_users = 4;
+  spec.registration_cycles = 10;
+  spec.warmup_cycles = 0;
+  spec.reset_stats_after_warmup = false;
+  spec.seed = 1;
+  spec.workload.rho = 0.8;
+  return spec;
+}
+
 void BM_FullNotificationCycle(benchmark::State& state) {
   // One whole simulated cycle of a loaded cell, including every RS
   // encode/decode on the air.  This is the simulator's end-to-end unit of
   // work (~4 simulated seconds per iteration).
-  CellConfig config;
-  config.seed = 1;
-  Cell cell(config);
-  std::vector<int> nodes;
-  for (int i = 0; i < 10; ++i) {
-    nodes.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(nodes.back());
-  }
-  for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
-  cell.RunCycles(10);
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  traffic::PoissonUplinkWorkload w(
-      cell, nodes, traffic::MeanInterarrivalTicks(0.8, 10, 8, sizes.MeanBytes()), sizes,
-      Rng(2));
+  exp::ScenarioRun run(LoadedCellSpec());
+  run.BuildPopulation();
+  run.StartWorkloads();
   for (auto _ : state) {
-    cell.RunCycles(1);
+    run.cell().RunCycles(1);
   }
   state.SetLabel("one 3.98 s notification cycle per iteration");
 }
@@ -148,24 +153,13 @@ void BM_FullNotificationCycleTraced(benchmark::State& state) {
   // two bounds the tracer's overhead.  (With no trace attached every
   // emission site is a single null-pointer check, so the untraced variant
   // above also measures the disabled-path cost.)
-  CellConfig config;
-  config.seed = 1;
-  Cell cell(config);
-  std::vector<int> nodes;
-  for (int i = 0; i < 10; ++i) {
-    nodes.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(nodes.back());
-  }
-  for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
-  cell.RunCycles(10);
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  traffic::PoissonUplinkWorkload w(
-      cell, nodes, traffic::MeanInterarrivalTicks(0.8, 10, 8, sizes.MeanBytes()), sizes,
-      Rng(2));
+  exp::ScenarioRun run(LoadedCellSpec());
+  run.BuildPopulation();
+  run.StartWorkloads();
   obs::EventTrace trace;
-  cell.AttachTrace(&trace);
+  run.cell().AttachTrace(&trace);
   for (auto _ : state) {
-    cell.RunCycles(1);
+    run.cell().RunCycles(1);
   }
   state.counters["events_per_cycle"] = benchmark::Counter(
       static_cast<double>(trace.recorded()),

@@ -5,6 +5,7 @@
 // Two conditions: isolated arrivals against a quiet cell (the design
 // point) and arrivals against a busy cell with background data traffic.
 #include <cstdio>
+#include <vector>
 
 #include "osumac/osumac.h"
 
@@ -14,52 +15,34 @@ using namespace osumac;
 
 namespace {
 
-SampleSet MeasureLatency(double background_rho, int arrivals, std::uint64_t seed) {
-  mac::CellConfig config;
-  config.seed = seed;
-  mac::Cell cell(config);
-  std::vector<int> veterans;
-  for (int i = 0; i < 8; ++i) {
-    veterans.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(veterans.back());
-  }
-  cell.RunCycles(10);
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  std::unique_ptr<traffic::PoissonUplinkWorkload> workload;
-  if (background_rho > 0) {
-    workload = std::make_unique<traffic::PoissonUplinkWorkload>(
-        cell, veterans,
-        traffic::MeanInterarrivalTicks(background_rho, 8, 9, sizes.MeanBytes()), sizes,
-        Rng(seed + 1));
-    cell.RunCycles(30);
-  }
+exp::ScenarioSpec TrickleSpec(const char* name, double background_rho,
+                              std::uint64_t seed) {
+  exp::ScenarioSpec spec;
+  spec.name = name;
+  spec.data_users = 8;
+  spec.gps_users = 0;
+  spec.registration_cycles = 10;
+  spec.warmup_cycles = background_rho > 0 ? 30 : 0;
+  spec.measure_cycles = 0;  // the churn loop itself drives the cycles
+  spec.reset_stats_after_warmup = false;
+  spec.seed = seed;
+  spec.workload.rho = background_rho;
+  spec.churn.arrivals = 60;
+  // Registrations trickle in a few cycles apart (the design point), each
+  // sampled inline with a bounded straggler wait.  The measured unit
+  // leaves again (commuter churn); otherwise 60 arrivals would exhaust
+  // the 6-bit user-ID space and later arrivals would be rejected for
+  // capacity rather than contention reasons.
+  spec.churn.gap_lo_cycles = 2;
+  spec.churn.gap_hi_cycles = 5;
+  spec.churn.max_extra_wait_cycles = 40;
+  spec.churn.sign_off_after_sample = true;
+  return spec;
+}
 
+SampleSet ToSampleSet(const exp::RunResult& r) {
   SampleSet latency;
-  Rng rng(seed + 2);
-  for (int i = 0; i < arrivals; ++i) {
-    const int node = cell.AddSubscriber(false);
-    cell.PowerOn(node);
-    // Registrations trickle in a few cycles apart (the design point).
-    cell.RunCycles(static_cast<int>(rng.UniformInt(2, 5)));
-    const auto& s = cell.subscriber(node).stats().registration_latency_cycles;
-    if (!s.empty()) {
-      latency.Add(s.samples()[0]);
-    } else {
-      // Still unregistered after the window; keep waiting so the sample
-      // is counted honestly rather than dropped.
-      int extra = 0;
-      while (cell.subscriber(node).state() != mac::MobileSubscriber::State::kActive &&
-             extra++ < 40) {
-        cell.RunCycles(1);
-      }
-      const auto& s2 = cell.subscriber(node).stats().registration_latency_cycles;
-      latency.Add(s2.empty() ? 40.0 : s2.samples()[0]);
-    }
-    // The measured unit leaves again (commuter churn); otherwise 60
-    // arrivals would exhaust the 6-bit user-ID space and later arrivals
-    // would be rejected for capacity rather than contention reasons.
-    cell.SignOff(node);
-  }
+  for (const double sample : r.churn_registration_latency) latency.Add(sample);
   return latency;
 }
 
@@ -71,13 +54,19 @@ void Report(const char* label, SampleSet& latency) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   osumac::bench::PrintProvenance("bench_registration_latency");
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
+
+  const std::vector<exp::ScenarioSpec> specs = {TrickleSpec("quiet", 0.0, 11),
+                                                TrickleSpec("busy", 0.8, 13)};
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+
   std::printf("Registration latency in notification cycles (Section 2.1 targets:\n"
               "80%% within 2 cycles, 99%% within 10 cycles)\n\n");
-  auto quiet = MeasureLatency(0.0, 60, 11);
+  SampleSet quiet = ToSampleSet(results[0]);
   Report("quiet cell:", quiet);
-  auto busy = MeasureLatency(0.8, 60, 13);
+  SampleSet busy = ToSampleSet(results[1]);
   Report("busy cell (rho = 0.8):", busy);
 
   const bool p80 = quiet.Quantile(0.80) <= 2.0;

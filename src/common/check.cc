@@ -8,9 +8,12 @@
 namespace osumac::check {
 namespace {
 
-// Single-threaded simulator: plain globals, innermost scope wins.
-std::function<Tick()> g_sim_clock;          // NOLINT(cert-err58-cpp)
-std::function<std::string()> g_state_dump;  // NOLINT(cert-err58-cpp)
+// Each simulated cell is single-threaded, but the sweep runner
+// (src/exp/runner.cc) drives independent cells on parallel workers — the
+// hooks are therefore thread-local: innermost scope on THIS thread wins,
+// and a check failing on one worker reports that worker's cell.
+thread_local std::function<Tick()> g_sim_clock;          // NOLINT(cert-err58-cpp)
+thread_local std::function<std::string()> g_state_dump;  // NOLINT(cert-err58-cpp)
 
 }  // namespace
 

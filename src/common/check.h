@@ -18,9 +18,9 @@
 // current simulation tick (if a sim clock is registered) and every
 // registered state dump, through the logging sink, then calls std::abort().
 //
-// The registration hooks are process-global and deliberately not
-// thread-safe: the simulator is single-threaded by design (see
-// common/logging.h).
+// The registration hooks are thread-local: each simulated cell is
+// single-threaded, but the sweep runner (src/exp) drives independent cells
+// on parallel workers, and a failure must report the failing worker's cell.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,39 @@
+// Sweep-result emitters: CSV rows for spreadsheets, a machine-readable
+// JSON document (the BENCH_sweeps.json format) carrying per-point metrics
+// plus a provenance header, and a canonical full-precision signature used
+// by the determinism tests to compare results bit-for-bit.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/scenario.h"
+
+namespace osumac::exp {
+
+/// Header + one row per (spec, result) pair of the headline metrics.
+/// Columns: name, seed, rho, data_users, gps_users, cycles, offered,
+/// utilization, packet_delay, p95_delay, message_delay, collision_prob,
+/// resv_latency, control_overhead, fairness, cf2_gain, slots_used,
+/// drop_rate, gps_max_s.
+void WriteSweepCsv(std::ostream& out, const std::vector<ScenarioSpec>& specs,
+                   const std::vector<RunResult>& results);
+
+/// One JSON document:
+///   {"provenance": {tool, version, build, jobs, wall_seconds, points},
+///    "points": [{"name", "seed", "spec": {...}, "metrics": {...},
+///                "counters": {...}}, ...]}
+/// Metric values are printed with %.17g so the file round-trips doubles
+/// exactly — it doubles as the cross-PR perf/accuracy trajectory record.
+void WriteSweepJson(std::ostream& out, const std::string& tool, int jobs,
+                    double wall_seconds, const std::vector<ScenarioSpec>& specs,
+                    const std::vector<RunResult>& results);
+
+/// Canonical full-precision serialization of one result.  Two runs of the
+/// same spec are bit-identical iff their signatures compare equal — the
+/// determinism tests compare these across job counts.
+std::string ResultSignature(const RunResult& result);
+
+}  // namespace osumac::exp

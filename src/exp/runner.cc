@@ -1,0 +1,254 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "exp/seed.h"
+#include "mac/cycle_layout.h"
+#include "metrics/cell_metrics.h"
+
+namespace osumac::exp {
+
+ScenarioRun::ScenarioRun(const ScenarioSpec& spec)
+    : spec_(spec), cell_(std::make_unique<mac::Cell>(spec.BuildCellConfig())) {
+  OSUMAC_CHECK_GE(spec_.data_users, 0);
+  OSUMAC_CHECK_GE(spec_.gps_users, 0);
+  OSUMAC_CHECK_LE(spec_.gps_users, spec_.mac.max_gps_users);
+}
+
+ScenarioRun::~ScenarioRun() {
+  // Workloads hold a reference to the cell; stop them before it dies.
+  if (uplink_ != nullptr) uplink_->Stop();
+  if (downlink_ != nullptr) downlink_->Stop();
+}
+
+void ScenarioRun::BuildPopulation() {
+  for (int i = 0; i < spec_.data_users; ++i) {
+    data_nodes_.push_back(cell_->AddSubscriber(false));
+    cell_->PowerOn(data_nodes_.back());
+  }
+  for (int i = 0; i < spec_.gps_users; ++i) {
+    gps_nodes_.push_back(cell_->AddSubscriber(true));
+    cell_->PowerOn(gps_nodes_.back());
+  }
+  cell_->RunCycles(spec_.registration_cycles);
+}
+
+void ScenarioRun::StartWorkloads() {
+  const WorkloadSpec& w = spec_.workload;
+  if (w.rho > 0 && !data_nodes_.empty()) {
+    const Tick interarrival = traffic::MeanInterarrivalTicks(
+        w.rho, spec_.data_users, spec_.DataSlotsForLoad(), w.sizes.MeanBytes());
+    uplink_ = std::make_unique<traffic::PoissonUplinkWorkload>(
+        *cell_, data_nodes_, interarrival, w.sizes,
+        Rng(DeriveSeed(spec_.seed, SeedStream::kUplink)));
+  }
+  Tick downlink_interarrival = 0;
+  if (w.downlink_interarrival_cycles > 0) {
+    downlink_interarrival = static_cast<Tick>(w.downlink_interarrival_cycles *
+                                              static_cast<double>(mac::kCycleTicks));
+  } else if (w.downlink_rho > 0) {
+    downlink_interarrival =
+        traffic::MeanInterarrivalTicks(w.downlink_rho, spec_.data_users,
+                                       mac::kForwardDataSlots,
+                                       w.downlink_sizes.MeanBytes());
+  }
+  if (downlink_interarrival > 0 && !data_nodes_.empty()) {
+    downlink_ = std::make_unique<traffic::PoissonDownlinkWorkload>(
+        *cell_, data_nodes_, downlink_interarrival, w.downlink_sizes,
+        Rng(DeriveSeed(spec_.seed, SeedStream::kDownlink)));
+  }
+}
+
+void ScenarioRun::Warmup() {
+  cell_->RunCycles(spec_.warmup_cycles);
+  if (spec_.reset_stats_after_warmup) cell_->ResetStats();
+  downlink_generated_at_reset_ =
+      downlink_ != nullptr ? downlink_->messages_generated() : 0;
+}
+
+void ScenarioRun::Measure() {
+  const ChurnSpec& churn = spec_.churn;
+  if (churn.arrivals > 0) {
+    Rng churn_rng(DeriveSeed(spec_.seed, SeedStream::kChurn));
+    for (int i = 0; i < churn.arrivals; ++i) {
+      const int node = cell_->AddSubscriber(churn.gps);
+      churn_nodes_.push_back(node);
+      cell_->PowerOn(node);
+      if (churn.gap_hi_cycles > 0) {
+        cell_->RunCycles(static_cast<int>(
+            churn_rng.UniformInt(churn.gap_lo_cycles, churn.gap_hi_cycles)));
+      }
+      if (churn.max_extra_wait_cycles > 0) {
+        // Sample this arrival inline: give a straggler a bounded chance to
+        // finish registering, then record its latency (or the bound).
+        int extra = 0;
+        while (cell_->subscriber(node).state() !=
+                   mac::MobileSubscriber::State::kActive &&
+               extra++ < churn.max_extra_wait_cycles) {
+          cell_->RunCycles(1);
+        }
+        const auto& samples =
+            cell_->subscriber(node).stats().registration_latency_cycles;
+        churn_latency_.push_back(
+            samples.empty() ? static_cast<double>(churn.max_extra_wait_cycles)
+                            : samples.samples()[0]);
+        if (churn.sign_off_after_sample) cell_->SignOff(node);
+      }
+    }
+  }
+  cell_->RunCycles(spec_.measure_cycles);
+}
+
+RunResult ScenarioRun::Finish() {
+  RunResult result;
+  result.name = spec_.name;
+  result.seed = spec_.seed;
+  result.figure = metrics::ComputeFigureMetrics(*cell_, data_nodes_);
+  result.bs = cell_->base_station().counters();
+
+  const mac::CellMetrics& cm = cell_->metrics();
+  result.offered_load =
+      cm.capacity_bytes > 0 ? static_cast<double>(cm.offered_bytes) /
+                                  static_cast<double>(cm.capacity_bytes)
+                            : 0.0;
+  result.measured_cycles = cm.cycles;
+  result.capacity_bytes = cm.capacity_bytes;
+  result.offered_bytes = cm.offered_bytes;
+  result.unique_payload_bytes = cm.unique_payload_bytes;
+  result.uplink_messages_offered = cm.uplink_messages_offered;
+  result.forward_packets_lost = cm.forward_packets_lost;
+
+  if (downlink_ != nullptr) {
+    result.downlink_messages_generated =
+        downlink_->messages_generated() - downlink_generated_at_reset_;
+  }
+  result.downlink_messages_completed =
+      static_cast<std::int64_t>(cm.downlink_message_delay_cycles.size());
+  result.downlink_mean_delay_cycles = cm.downlink_message_delay_cycles.empty()
+                                          ? 0.0
+                                          : cm.downlink_message_delay_cycles.Mean();
+
+  if (spec_.churn.arrivals > 0) {
+    // Arrivals sampled inline already carry their latency; the rest (storm
+    // mode) are sampled here, after the measured cycles gave them time to
+    // register.  Unregistered stragglers count the full wait, not nothing.
+    if (churn_latency_.empty()) {
+      for (const int node : churn_nodes_) {
+        const auto& samples =
+            cell_->subscriber(node).stats().registration_latency_cycles;
+        churn_latency_.push_back(samples.empty()
+                                     ? static_cast<double>(spec_.measure_cycles)
+                                     : samples.samples()[0]);
+      }
+    }
+    result.churn_registration_latency = churn_latency_;
+    for (const int node : churn_nodes_) {
+      if (cell_->subscriber(node).state() == mac::MobileSubscriber::State::kActive) {
+        ++result.churn_registered;
+      }
+    }
+  }
+
+  if (spec_.collect_registry) {
+    obs::MetricsRegistry registry;
+    metrics::RegisterCellMetrics(registry, *cell_);
+    result.registry = registry.Collect();
+  }
+  return result;
+}
+
+RunResult ScenarioRun::Execute() {
+  BuildPopulation();
+  StartWorkloads();
+  Warmup();
+  Measure();
+  return Finish();
+}
+
+RunResult RunScenario(const ScenarioSpec& spec, const RunHooks& hooks) {
+  ScenarioRun run(spec);
+  if (hooks.after_build) hooks.after_build(run.cell());
+  run.BuildPopulation();
+  run.StartWorkloads();
+  run.Warmup();
+  if (hooks.after_warmup) hooks.after_warmup(run.cell());
+  run.Measure();
+  if (hooks.before_finish) hooks.before_finish(run.cell());
+  return run.Finish();
+}
+
+int ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+int JobsFromArgs(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) return std::atoi(arg + 7);
+    if ((std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) &&
+        i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+void ParallelForIndex(int count, int jobs, const std::function<void(int)>& fn) {
+  jobs = std::min(ResolveJobs(jobs), count);
+  if (jobs <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&]() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(ResolveJobs(jobs)) {}
+
+std::vector<RunResult> SweepRunner::Run(
+    const std::vector<ScenarioSpec>& specs,
+    const std::function<void(int, int)>& progress) const {
+  std::vector<RunResult> results(specs.size());
+  const int total = static_cast<int>(specs.size());
+  std::mutex progress_mutex;
+  int completed = 0;
+  ParallelForIndex(total, jobs_, [&](int i) {
+    results[static_cast<std::size_t>(i)] =
+        RunScenario(specs[static_cast<std::size_t>(i)]);
+    if (progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(++completed, total);
+    }
+  });
+  return results;
+}
+
+}  // namespace osumac::exp

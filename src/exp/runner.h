@@ -1,0 +1,154 @@
+// Scenario execution: one declarative ScenarioSpec in, one RunResult out —
+// serially via RunScenario / ScenarioRun, or fanned out over a worker-
+// thread pool via SweepRunner.
+//
+// Parallelism model: every spec builds its own Cell (simulator, channels,
+// RNGs) on the worker that claims it, so workers share no mutable state;
+// the per-spec seed derivation (exp/seed.h) makes each run a pure function
+// of its spec.  Results come back in input order and are bit-identical at
+// any job count — `SweepRunner(1)` and `SweepRunner(64)` agree to the last
+// bit, which tests/exp_test.cc pins.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "metrics/cell_metrics.h"
+#include "metrics/experiment.h"
+#include "obs/metrics_registry.h"
+
+namespace osumac::exp {
+
+/// Everything one run produces: the paper's figure metrics, the raw
+/// base-station counters, cell-level aggregates, churn measurements and
+/// (optionally) a metrics-registry snapshot.
+struct RunResult {
+  std::string name;
+  std::uint64_t seed = 0;
+
+  metrics::FigureMetrics figure;
+  mac::BsCounters bs;
+
+  /// Realized offered load (sanity check against the spec's rho).
+  double offered_load = 0.0;
+  std::int64_t measured_cycles = 0;
+  std::int64_t capacity_bytes = 0;
+  std::int64_t offered_bytes = 0;
+  std::int64_t unique_payload_bytes = 0;
+  std::int64_t uplink_messages_offered = 0;
+  std::int64_t forward_packets_lost = 0;
+
+  // --- downlink (when the spec drives one) ---------------------------------
+  std::int64_t downlink_messages_generated = 0;  ///< in the measured window
+  std::int64_t downlink_messages_completed = 0;
+  double downlink_mean_delay_cycles = 0.0;
+
+  // --- churn (when the spec stages arrivals) -------------------------------
+  /// Per-arrival registration latency in cycles, in arrival order.
+  std::vector<double> churn_registration_latency;
+  int churn_registered = 0;
+
+  /// Full registry snapshot (empty unless spec.collect_registry).
+  obs::MetricsRegistry::Snapshot registry;
+};
+
+/// Optional callbacks into a run's phases, for callers that attach
+/// observers, traces or timers to the live Cell (tools/osumac_sim).  Only
+/// the serial entry points honor hooks; SweepRunner runs hook-free.
+struct RunHooks {
+  std::function<void(mac::Cell&)> after_build;    ///< before any cycle runs
+  std::function<void(mac::Cell&)> after_warmup;   ///< stats just reset
+  std::function<void(mac::Cell&)> before_finish;  ///< measured cycles done
+};
+
+/// One scenario run with its phases exposed, for callers that need the
+/// live Cell between phases (tests poke invariants mid-run; osumac_sim
+/// attaches the auditor and event trace).  Typical use is just Execute().
+class ScenarioRun {
+ public:
+  explicit ScenarioRun(const ScenarioSpec& spec);
+  ~ScenarioRun();
+  ScenarioRun(const ScenarioRun&) = delete;
+  ScenarioRun& operator=(const ScenarioRun&) = delete;
+
+  mac::Cell& cell() { return *cell_; }
+  const ScenarioSpec& spec() const { return spec_; }
+  const std::vector<int>& data_nodes() const { return data_nodes_; }
+  const std::vector<int>& gps_nodes() const { return gps_nodes_; }
+
+  /// Adds and powers the population, then runs the registration cycles.
+  void BuildPopulation();
+  /// Starts the spec's uplink/downlink workloads (they generate until the
+  /// run is destroyed).
+  void StartWorkloads();
+  /// Runs the warm-up cycles and (per the spec) resets statistics.
+  void Warmup();
+  /// Stages churn arrivals and runs the measured cycles.
+  void Measure();
+  /// Assembles the RunResult from the finished cell.
+  RunResult Finish();
+
+  /// All phases in order.
+  RunResult Execute();
+
+ private:
+  ScenarioSpec spec_;
+  std::unique_ptr<mac::Cell> cell_;
+  std::vector<int> data_nodes_;
+  std::vector<int> gps_nodes_;
+  std::vector<int> churn_nodes_;
+  std::vector<double> churn_latency_;
+  std::unique_ptr<traffic::PoissonUplinkWorkload> uplink_;
+  std::unique_ptr<traffic::PoissonDownlinkWorkload> downlink_;
+  std::int64_t downlink_generated_at_reset_ = 0;
+};
+
+/// Runs one spec start to finish (the serial path; what each SweepRunner
+/// worker executes per claimed spec).
+RunResult RunScenario(const ScenarioSpec& spec, const RunHooks& hooks = {});
+
+/// Executes a vector of specs on `jobs` worker threads (0 = one per
+/// hardware core), returning results in input order.
+class SweepRunner {
+ public:
+  explicit SweepRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs every spec; `progress` (if set) is invoked after each completed
+  /// run with (completed, total), serialized, from worker threads.
+  std::vector<RunResult> Run(
+      const std::vector<ScenarioSpec>& specs,
+      const std::function<void(int, int)>& progress = {}) const;
+
+ private:
+  int jobs_;
+};
+
+/// Worker count for `jobs` requested (0 → hardware concurrency, min 1).
+int ResolveJobs(int jobs);
+
+/// Scans argv for "--jobs N" / "--jobs=N" / "-j N" and returns it (or
+/// `fallback`); the flag every migrated bench supports.
+int JobsFromArgs(int argc, char** argv, int fallback = 0);
+
+/// Runs `fn(i)` for every i in [0, count) across `jobs` workers.
+void ParallelForIndex(int count, int jobs, const std::function<void(int)>& fn);
+
+/// Generic ordered parallel map over [0, count) on `jobs` workers: the
+/// non-Cell harnesses (the baseline-protocol grid) parallelize through
+/// this.  `fn(i)` must not touch shared mutable state.
+template <typename Fn>
+auto ParallelMap(int count, int jobs, Fn&& fn)
+    -> std::vector<decltype(fn(0))> {
+  std::vector<decltype(fn(0))> results(static_cast<std::size_t>(count));
+  ParallelForIndex(count, jobs,
+                   [&](int i) { results[static_cast<std::size_t>(i)] = fn(i); });
+  return results;
+}
+
+}  // namespace osumac::exp

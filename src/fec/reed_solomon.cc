@@ -24,6 +24,11 @@ const ReedSolomon& ReedSolomon::Osu6448() {
   return code;
 }
 
+const ReedSolomon& ReedSolomon::Osu329() {
+  static const ReedSolomon code(32, 9);
+  return code;
+}
+
 std::vector<GfElem> ReedSolomon::Encode(std::span<const GfElem> data) const {
   OSUMAC_CHECK_EQ(static_cast<int>(data.size()), k_);
   const int parity_len = n_ - k_;

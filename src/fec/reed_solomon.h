@@ -43,8 +43,13 @@ class ReedSolomon {
   /// alpha^fcr .. alpha^{fcr+n-k-1}; 1 is the conventional default.
   ReedSolomon(int n, int k, int first_consecutive_root = 1);
 
-  /// The paper's RS(64,48) code.
+  /// The paper's RS(64,48) code (data packets and control fields).
   static const ReedSolomon& Osu6448();
+
+  /// The paper's RS(32,9) code (GPS report packets).  Shared immutable
+  /// instance, like Osu6448(), so multi-cell Networks and parallel sweeps
+  /// don't rebuild the generator polynomial per cell.
+  static const ReedSolomon& Osu329();
 
   int n() const { return n_; }
   int k() const { return k_; }

@@ -24,7 +24,7 @@ Cell::Cell(const CellConfig& config)
       rng_(config.seed),
       bs_(config.mac),
       data_code_(fec::ReedSolomon::Osu6448()),
-      gps_code_(32, 9),
+      gps_code_(fec::ReedSolomon::Osu329()),
       check_clock_([this] { return sim_.now(); }),
       check_dump_([this] { return DumpState(); }) {
   OSUMAC_CHECK(config_.mac.min_contention_slots >= 1 &&

@@ -181,7 +181,7 @@ class Cell {
 
   phy::ReverseChannel reverse_channel_;
   const fec::ReedSolomon& data_code_;  ///< RS(64,48)
-  fec::ReedSolomon gps_code_;          ///< RS(32,9)
+  const fec::ReedSolomon& gps_code_;   ///< RS(32,9)
 
   std::int64_t next_cycle_ = 0;
   std::int64_t target_cycle_ = 0;

@@ -6,6 +6,8 @@
 //   - osumac::mac::BaseStation     — scheduling / registration / ACK logic
 //   - osumac::mac::MobileSubscriber— the subscriber state machine
 //   - osumac::traffic::*           — Poisson workloads and the load-index math
+//   - osumac::exp::*               — declarative scenario specs and the
+//                                    parallel sweep runner
 //   - osumac::metrics::*           — the paper's evaluation metrics
 //   - osumac::obs::*               — event tracing, metrics registry,
 //                                    timeline reconstruction, provenance
@@ -31,6 +33,11 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/time.h"
+#include "exp/emit.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/scenario_io.h"
+#include "exp/seed.h"
 #include "fec/gf256.h"
 #include "fec/reed_solomon.h"
 #include "mac/base_station.h"

@@ -5,16 +5,15 @@
 // tests cannot.
 #include <gtest/gtest.h>
 
+#include "exp/runner.h"
+#include "exp/scenario.h"
 #include "mac/cell.h"
-#include "traffic/workload.h"
 
 namespace osumac {
 namespace {
 
 using mac::Cell;
-using mac::CellConfig;
 using mac::ChannelModelConfig;
-using mac::MobileSubscriber;
 
 struct ConfigCase {
   bool second_cf;
@@ -41,50 +40,48 @@ class ConfigMatrixTest : public ::testing::TestWithParam<ConfigCase> {};
 
 TEST_P(ConfigMatrixTest, InvariantsHoldUnderEveryToggleCombination) {
   const ConfigCase& c = GetParam();
-  CellConfig config;
-  config.seed = 701;
-  config.mac.use_second_control_field = c.second_cf;
-  config.mac.dynamic_gps_slots = c.dynamic_gps;
-  config.mac.dynamic_contention_slots = c.dynamic_contention;
-  config.mac.downlink_arq = c.arq;
-  config.erasure_side_information = c.erasures;
-  if (c.noisy) {
-    config.reverse.kind = ChannelModelConfig::Kind::kGilbertElliott;
-    config.reverse.ge.p_good_to_bad = 0.004;
-    config.reverse.ge.p_bad_to_good = 0.12;
-    config.reverse.ge.error_prob_bad = 0.6;
-    config.forward.kind = ChannelModelConfig::Kind::kUniform;
-    config.forward.symbol_error_prob = 0.02;
-  }
-
-  Cell cell(config);
-  std::vector<int> nodes;
-  for (int i = 0; i < 6; ++i) {
-    nodes.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(nodes.back());
-  }
-  std::vector<int> buses;
-  for (int i = 0; i < 2; ++i) {
-    buses.push_back(cell.AddSubscriber(true));
-    cell.PowerOn(buses.back());
-  }
-  cell.RunCycles(15);
-
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  traffic::PoissonUplinkWorkload up(
-      cell, nodes, traffic::MeanInterarrivalTicks(0.6, 6, 9, sizes.MeanBytes()), sizes,
-      Rng(11));
+  exp::ScenarioSpec spec;
+  spec.name = "config_matrix";
+  spec.data_users = 6;
+  spec.gps_users = 2;
+  spec.registration_cycles = 15;
+  // The 40 pre-churn cycles ride in the warm-up phase; stats accumulate
+  // from the start (no reset) exactly as the original scenario ran.
+  spec.warmup_cycles = 40;
+  spec.measure_cycles = 60;
+  spec.reset_stats_after_warmup = false;
+  spec.seed = 701;
+  spec.workload.rho = 0.6;
   // Downlink modest enough that even the weakest arm (no second CF +
   // static GPS slots: six reverse slots) can carry the ARQ ack traffic —
   // overload behaviour is studied separately in bench_ablation_arq.
-  traffic::PoissonDownlinkWorkload down(cell, nodes, 14 * mac::kCycleTicks, sizes,
-                                        Rng(12));
+  spec.workload.downlink_interarrival_cycles = 14;
+  spec.mac.use_second_control_field = c.second_cf;
+  spec.mac.dynamic_gps_slots = c.dynamic_gps;
+  spec.mac.dynamic_contention_slots = c.dynamic_contention;
+  spec.mac.downlink_arq = c.arq;
+  spec.erasure_side_information = c.erasures;
+  if (c.noisy) {
+    spec.reverse.kind = ChannelModelConfig::Kind::kGilbertElliott;
+    spec.reverse.ge.p_good_to_bad = 0.004;
+    spec.reverse.ge.p_bad_to_good = 0.12;
+    spec.reverse.ge.error_prob_bad = 0.6;
+    spec.forward.kind = ChannelModelConfig::Kind::kUniform;
+    spec.forward.symbol_error_prob = 0.02;
+  }
+
+  exp::ScenarioRun run(spec);
+  Cell& cell = run.cell();
+  run.BuildPopulation();
+  run.StartWorkloads();
+  run.Warmup();
+
   // Mid-run churn: a bus leaves, another joins.
-  cell.RunCycles(40);
+  const std::vector<int>& buses = run.gps_nodes();
   cell.RequestSignOff(buses[0]);
   const int newcomer = cell.AddSubscriber(true);
   cell.PowerOn(newcomer);
-  cell.RunCycles(60);
+  run.Measure();
 
   // --- invariants, independent of configuration -----------------------------
   const auto& bs = cell.base_station().counters();

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "audit_util.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
 #include "mac/cell.h"
 #include "mac/network.h"
 #include "traffic/workload.h"
@@ -18,28 +20,26 @@ using mac::Network;
 
 TEST(SoakTest, SingleCellThousandsOfCycles) {
   // ~5.5 simulated hours of a loaded, noisy cell.
-  CellConfig config;
-  config.seed = 801;
-  config.reverse.kind = ChannelModelConfig::Kind::kGilbertElliott;
-  config.reverse.ge.p_good_to_bad = 0.002;
-  config.reverse.ge.p_bad_to_good = 0.1;
-  config.reverse.ge.error_prob_bad = 0.5;
-  Cell cell(config);
+  exp::ScenarioSpec spec;
+  spec.name = "soak";
+  spec.data_users = 12;
+  spec.gps_users = 4;
+  spec.registration_cycles = 15;
+  spec.warmup_cycles = 0;
+  spec.measure_cycles = 5000;
+  spec.reset_stats_after_warmup = false;
+  spec.seed = 801;
+  spec.workload.rho = 0.75;
+  spec.workload.downlink_interarrival_cycles = 10;
+  spec.reverse.kind = ChannelModelConfig::Kind::kGilbertElliott;
+  spec.reverse.ge.p_good_to_bad = 0.002;
+  spec.reverse.ge.p_bad_to_good = 0.1;
+  spec.reverse.ge.error_prob_bad = 0.5;
+
+  exp::ScenarioRun run(spec);
+  Cell& cell = run.cell();
   test::ScopedAudit audit(cell);
-  std::vector<int> nodes;
-  for (int i = 0; i < 12; ++i) {
-    nodes.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(nodes.back());
-  }
-  for (int i = 0; i < 4; ++i) cell.PowerOn(cell.AddSubscriber(true));
-  cell.RunCycles(15);
-  const auto sizes = traffic::SizeDistribution::Uniform(40, 500);
-  traffic::PoissonUplinkWorkload up(
-      cell, nodes, traffic::MeanInterarrivalTicks(0.75, 12, 8, sizes.MeanBytes()),
-      sizes, Rng(1));
-  traffic::PoissonDownlinkWorkload down(cell, nodes, 10 * mac::kCycleTicks, sizes,
-                                        Rng(2));
-  cell.RunCycles(5000);
+  run.Execute();
 
   const auto& bs = cell.base_station().counters();
   EXPECT_EQ(bs.cycles, 5015);
@@ -50,7 +50,7 @@ TEST(SoakTest, SingleCellThousandsOfCycles) {
   // cycle; only the next cycle's skeleton plus workload arrivals pend).
   EXPECT_LT(cell.simulator().pending_events(), 200u);
   // Every bus held its QoS across the whole run.
-  for (int n = 12; n < 16; ++n) {
+  for (const int n : run.gps_nodes()) {
     EXPECT_LT(cell.subscriber(n).stats().gps_access_delay_seconds.Max(), 4.0);
   }
 }

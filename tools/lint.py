@@ -33,6 +33,13 @@ Rules (each exists because a real failure mode motivated it):
                    src/common/logging.cc (the logging backend) and
                    src/metrics/experiment.cc (the table printer).  Tools,
                    benches and tests print freely.
+  bench-direct-cell No direct mac::Cell / mac::Network construction in
+                   bench/: benches build populations through the scenario
+                   engine (exp::ScenarioSpec + SweepRunner / ScenarioRun) so
+                   every benchmark point is declarative, seed-derived and
+                   sweep-parallel.  Multi-cell/extension harnesses the
+                   engine does not model (e.g. MultiChannelCell) are not
+                   affected.
 """
 from __future__ import annotations
 
@@ -153,6 +160,25 @@ def check_raw_stdout() -> None:
                         "ostream& the caller supplies")
 
 
+# A Cell/Network object built directly: stack declaration, make_unique, or
+# new-expression.  \b keeps MultiChannelCell/CellConfig out of scope.
+DIRECT_CELL = re.compile(
+    r"(?:^|[^\w:])(?:mac::)?\b(Cell|Network)\s+[A-Za-z_]\w*\s*[({]"
+    r"|make_unique<\s*(?:mac::)?(Cell|Network)\s*>"
+    r"|new\s+(?:mac::)?(Cell|Network)\s*[({]")
+
+
+def check_bench_direct_cell() -> None:
+    for path in source_files("bench"):
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = strip_comments_and_strings(raw)
+            if DIRECT_CELL.search(line):
+                finding(path, lineno, "bench-direct-cell",
+                        "benches must drive Cell/Network through the scenario "
+                        "engine (exp::ScenarioSpec + SweepRunner/ScenarioRun), "
+                        "not construct them directly")
+
+
 def check_raw_sanitize() -> None:
     path = REPO / ".github/workflows/ci.yml"
     for lineno, raw in enumerate(path.read_text().splitlines(), 1):
@@ -169,6 +195,7 @@ def main() -> int:
     check_checks_always_on()
     check_raw_stdout()
     check_raw_sanitize()
+    check_bench_direct_cell()
     if findings:
         print("\n".join(findings))
         print(f"\nlint: {len(findings)} finding(s)", file=sys.stderr)

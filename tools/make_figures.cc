@@ -1,21 +1,24 @@
 // make_figures — regenerates every evaluation figure as CSV files.
 //
-//   $ ./make_figures [output_dir]     (default: results/)
+//   $ ./make_figures [output_dir] [--jobs N]     (default: results/, serial)
 //
-// Runs the Section-5 load sweep once and writes one CSV per figure
+// Builds the full Section-5 spec list up front, executes it on the sweep
+// runner (bit-identical at any --jobs), and writes one CSV per figure
 // (fig8_utilization_delay.csv, fig9_collision_reservation.csv,
 // fig10_control_overhead.csv, fig11_fairness.csv, fig12a_cf2_gain.csv,
-// fig12b_slot_usage.csv) plus the robustness grid.  Plot them with
+// fig12b_slot_usage.csv) plus the robustness grid and the machine-readable
+// BENCH_sweeps.json record of every point.  Plot the CSVs with
 // tools/plot_figures.py (matplotlib) or any spreadsheet.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
-#include "../bench/sweep_common.h"
+#include "osumac/osumac.h"
 
 using namespace osumac;
-using namespace osumac::bench;
 
 namespace {
 
@@ -32,10 +35,53 @@ std::ofstream Open(const std::filesystem::path& dir, const std::string& name) {
 
 int main(int argc, char** argv) {
   std::printf("%s\n", osumac::obs::ProvenanceLine("make_figures", 0).c_str());
-  const std::filesystem::path dir = argc > 1 ? argv[1] : "results";
+  const std::filesystem::path dir =
+      argc > 1 && argv[1][0] != '-' ? argv[1] : "results";
+  const int jobs = exp::JobsFromArgs(argc, argv, 1);
   std::filesystem::create_directories(dir);
 
-  // One pass over the load sweep feeds figures 8-12(a).
+  // The full figure workload as one flat spec list: the load sweep with and
+  // without CF2 (figs 8-12a), the fig 12(b) arms, and the robustness grid.
+  std::vector<exp::ScenarioSpec> specs;
+  for (const double rho : exp::LoadSweep()) {
+    exp::ScenarioSpec point = exp::LoadPoint(rho);
+    specs.push_back(point);
+    exp::ScenarioSpec no_cf2 = point;
+    no_cf2.name += "_nocf2";
+    no_cf2.mac.use_second_control_field = false;
+    specs.push_back(no_cf2);
+  }
+  const std::size_t fig12b_begin = specs.size();
+  for (const double rho : exp::LoadSweep()) {
+    for (const int gps : {1, 4}) {
+      for (const bool dynamic : {true, false}) {
+        exp::ScenarioSpec point = exp::LoadPoint(rho);
+        point.name += "_gps" + std::to_string(gps) + (dynamic ? "_dyn" : "_static");
+        point.gps_users = gps;
+        point.mac.dynamic_gps_slots = dynamic;
+        specs.push_back(point);
+      }
+    }
+  }
+  const std::size_t grid_begin = specs.size();
+  for (const int data_users : {5, 8, 11, 14}) {
+    for (const int gps_users : {1, 3, 4, 8}) {
+      exp::ScenarioSpec point = exp::LoadPoint(0.7);
+      point.name =
+          "grid_d" + std::to_string(data_users) + "_g" + std::to_string(gps_users);
+      point.data_users = data_users;
+      point.gps_users = gps_users;
+      point.measure_cycles = 500;
+      specs.push_back(point);
+    }
+  }
+
+  std::printf("running %zu scenario points (jobs=%d)...\n", specs.size(), jobs);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
   auto fig8 = Open(dir, "fig8_utilization_delay.csv");
   fig8 << "rho,offered,utilization,packet_delay_cycles,message_delay_cycles,"
           "p95_delay,drop_rate\n";
@@ -48,14 +94,10 @@ int main(int argc, char** argv) {
   auto fig12a = Open(dir, "fig12a_cf2_gain.csv");
   fig12a << "rho,cf2_gain,utilization_with_cf2,utilization_without_cf2\n";
 
-  std::printf("load sweep (figs 8-12a)...\n");
-  for (double rho : LoadSweep()) {
-    SweepPoint point;
-    point.rho = rho;
-    const SweepResult r = RunLoadPoint(point);
-    SweepPoint no_cf2 = point;
-    no_cf2.mac.use_second_control_field = false;
-    const SweepResult r_no = RunLoadPoint(no_cf2);
+  std::size_t next = 0;
+  for (const double rho : exp::LoadSweep()) {
+    const exp::RunResult& r = results[next++];
+    const exp::RunResult& r_no = results[next++];
 
     fig8 << rho << ',' << r.offered_load << ',' << r.figure.utilization << ','
          << r.figure.mean_packet_delay_cycles << ','
@@ -72,41 +114,36 @@ int main(int argc, char** argv) {
            << ',' << r_no.figure.utilization << '\n';
   }
 
-  std::printf("figure 12(b) arms...\n");
   auto fig12b = Open(dir, "fig12b_slot_usage.csv");
   fig12b << "rho,gps_users,dynamic,avg_data_slots_used\n";
-  for (double rho : LoadSweep()) {
-    for (int gps : {1, 4}) {
-      for (bool dynamic : {true, false}) {
-        SweepPoint point;
-        point.rho = rho;
-        point.gps_users = gps;
-        point.mac.dynamic_gps_slots = dynamic;
-        const SweepResult r = RunLoadPoint(point);
+  next = fig12b_begin;
+  for (const double rho : exp::LoadSweep()) {
+    for (const int gps : {1, 4}) {
+      for (const bool dynamic : {true, false}) {
         fig12b << rho << ',' << gps << ',' << (dynamic ? 1 : 0) << ','
-               << r.figure.avg_data_slots_used << '\n';
+               << results[next++].figure.avg_data_slots_used << '\n';
       }
     }
   }
 
-  std::printf("robustness grid...\n");
   auto grid = Open(dir, "robustness_grid.csv");
   grid << "data_users,gps_users,utilization,packet_delay_cycles,fairness,"
           "gps_max_access_s\n";
-  for (int data_users : {5, 8, 11, 14}) {
-    for (int gps_users : {1, 3, 4, 8}) {
-      SweepPoint point;
-      point.rho = 0.7;
-      point.data_users = data_users;
-      point.gps_users = gps_users;
-      point.measure_cycles = 500;
-      const SweepResult r = RunLoadPoint(point);
+  next = grid_begin;
+  for (const int data_users : {5, 8, 11, 14}) {
+    for (const int gps_users : {1, 3, 4, 8}) {
+      const exp::RunResult& r = results[next++];
       grid << data_users << ',' << gps_users << ',' << r.figure.utilization << ','
            << r.figure.mean_packet_delay_cycles << ',' << r.figure.fairness_index
            << ',' << r.figure.gps_access_delay_max_s << '\n';
     }
   }
 
-  std::printf("wrote CSVs to %s — plot with tools/plot_figures.py\n", dir.c_str());
+  auto sweeps = Open(dir, "BENCH_sweeps.json");
+  exp::WriteSweepJson(sweeps, "make_figures", jobs, wall_seconds, specs, results);
+
+  std::printf("wrote CSVs + BENCH_sweeps.json to %s (%.1f s) — plot with "
+              "tools/plot_figures.py\n",
+              dir.c_str(), wall_seconds);
   return 0;
 }

@@ -2,11 +2,17 @@
 //
 //   $ osumac_sim --rho 0.8 --data-users 12 --gps 4 --cycles 1000
 //                --channel uniform --ser 0.02 --seed 7
+//   $ osumac_sim --scenario sweeps.scn --jobs 8 --out sweeps.json
 //
-// Builds one cell with the requested population, drives the paper's
-// Poisson e-mail workload at the requested load index, and prints the full
-// Section-5 metric set.  Feature toggles expose the ablations.
+// Single-run mode builds one declarative scenario (src/exp) from the
+// flags, drives it through the engine's phases, and prints the full
+// Section-5 metric set; --audit/--trace/--metrics/--timers attach their
+// instrumentation to the live cell between phases.  Scenario mode
+// (--scenario FILE) parses a scenario file, executes every spec on the
+// sweep runner (--jobs N workers, bit-identical at any N), and emits the
+// results as CSV (default) or the BENCH_sweeps.json format (--out *.json).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +46,9 @@ struct Options {
   std::string trace_file;
   std::string trace_format = "chrome";
   std::string metrics_file;
+  std::string scenario_file;
+  std::string out_file;
+  int jobs = 1;
   bool help = false;
 };
 
@@ -67,6 +76,13 @@ void PrintUsage() {
       "  --metrics FILE      dump the full metrics registry (.json for JSON,\n"
       "                      anything else for CSV)\n"
       "  --timers            report wall-clock timers on exit\n"
+      "  --scenario FILE     sweep mode: run every scenario in FILE (see\n"
+      "                      docs/SCENARIOS.md for the format)\n"
+      "  --jobs N            sweep worker threads (0 = all cores, default 1;\n"
+      "                      results are bit-identical at any N)\n"
+      "  --out FILE          sweep results to FILE: .json for the\n"
+      "                      BENCH_sweeps.json format, else CSV (default:\n"
+      "                      CSV on stdout)\n"
       "Options also accept --opt=value form.\n");
 }
 
@@ -145,6 +161,12 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       if (!next_string(opt.metrics_file)) return false;
     } else if (arg == "--timers") {
       opt.timers = true;
+    } else if (arg == "--scenario") {
+      if (!next_string(opt.scenario_file)) return false;
+    } else if (arg == "--out") {
+      if (!next_string(opt.out_file)) return false;
+    } else if (arg == "--jobs" || arg == "-j") {
+      if (!next_int(opt.jobs)) return false;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -155,6 +177,85 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
   return true;
 }
 
+/// The single-run scenario implied by the command-line flags.
+exp::ScenarioSpec SpecFromOptions(const Options& opt, std::string* error) {
+  exp::ScenarioSpec spec;
+  spec.name = "osumac_sim";
+  spec.data_users = opt.data_users;
+  spec.gps_users = opt.gps_users;
+  spec.registration_cycles = 12;
+  spec.warmup_cycles = opt.warmup;
+  spec.measure_cycles = opt.cycles;
+  spec.seed = opt.seed;
+  spec.workload.rho = opt.rho;
+  spec.workload.sizes = opt.fixed_size > 0
+                            ? traffic::SizeDistribution::Fixed(opt.fixed_size)
+                            : traffic::SizeDistribution::Uniform(40, 500);
+  spec.workload.downlink_rho = opt.downlink_rho;
+  spec.workload.downlink_sizes = spec.workload.sizes;
+  spec.mac.downlink_arq = opt.arq;
+  spec.mac.use_second_control_field = !opt.no_second_cf;
+  spec.mac.dynamic_gps_slots = !opt.static_gps;
+  spec.mac.dynamic_contention_slots = !opt.static_contention;
+  if (opt.channel == "uniform") {
+    spec.forward.kind = mac::ChannelModelConfig::Kind::kUniform;
+    spec.forward.symbol_error_prob = opt.ser / 2;  // stronger BS transmitter
+    spec.reverse.kind = mac::ChannelModelConfig::Kind::kUniform;
+    spec.reverse.symbol_error_prob = opt.ser;
+  } else if (opt.channel == "ge") {
+    spec.forward.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+    spec.reverse.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
+  } else if (opt.channel != "perfect") {
+    *error = "unknown channel kind '" + opt.channel + "'";
+  }
+  return spec;
+}
+
+/// Sweep mode: parse the scenario file, run it, emit CSV or JSON.
+int RunSweep(const Options& opt) {
+  std::ifstream in(opt.scenario_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open scenario file '%s'\n",
+                 opt.scenario_file.c_str());
+    return 1;
+  }
+  std::string error;
+  const std::vector<exp::ScenarioSpec> specs = exp::ParseScenarios(in, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", opt.scenario_file.c_str(), error.c_str());
+    return 1;
+  }
+  const exp::SweepRunner runner(opt.jobs);
+  std::fprintf(stderr, "running %zu scenarios on %d workers...\n", specs.size(),
+               runner.jobs());
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<exp::RunResult> results = runner.Run(specs);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const bool json = opt.out_file.size() >= 5 &&
+                    opt.out_file.rfind(".json") == opt.out_file.size() - 5;
+  if (opt.out_file.empty()) {
+    exp::WriteSweepCsv(std::cout, specs, results);
+  } else {
+    std::ofstream out(opt.out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open output file '%s'\n", opt.out_file.c_str());
+      return 1;
+    }
+    if (json) {
+      exp::WriteSweepJson(out, "osumac_sim", runner.jobs(), wall_seconds, specs,
+                          results);
+    } else {
+      exp::WriteSweepCsv(out, specs, results);
+    }
+    std::fprintf(stderr, "wrote %zu points -> %s (%s, %.1f s)\n", results.size(),
+                 opt.out_file.c_str(), json ? "json" : "csv", wall_seconds);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +264,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return opt.help ? 0 : 1;
   }
+  if (!opt.scenario_file.empty()) return RunSweep(opt);
   if (opt.gps_users < 0 || opt.gps_users > 8 || opt.data_users < 1) {
     std::fprintf(stderr, "invalid population\n");
     return 1;
@@ -182,56 +284,21 @@ int main(int argc, char** argv) {
       obs::ProvenanceLine("osumac_sim", opt.seed, config_text);
   std::printf("%s\n", provenance.c_str());
 
-  mac::CellConfig config;
-  config.seed = opt.seed;
-  config.mac.downlink_arq = opt.arq;
-  config.mac.use_second_control_field = !opt.no_second_cf;
-  config.mac.dynamic_gps_slots = !opt.static_gps;
-  config.mac.dynamic_contention_slots = !opt.static_contention;
-  if (opt.channel == "uniform") {
-    config.forward.kind = mac::ChannelModelConfig::Kind::kUniform;
-    config.forward.symbol_error_prob = opt.ser / 2;  // stronger BS transmitter
-    config.reverse.kind = mac::ChannelModelConfig::Kind::kUniform;
-    config.reverse.symbol_error_prob = opt.ser;
-  } else if (opt.channel == "ge") {
-    config.forward.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
-    config.reverse.kind = mac::ChannelModelConfig::Kind::kGilbertElliott;
-  } else if (opt.channel != "perfect") {
-    std::fprintf(stderr, "unknown channel kind '%s'\n", opt.channel.c_str());
+  std::string spec_error;
+  const exp::ScenarioSpec spec = SpecFromOptions(opt, &spec_error);
+  if (!spec_error.empty()) {
+    std::fprintf(stderr, "%s\n", spec_error.c_str());
     return 1;
   }
 
-  mac::Cell cell(config);
+  exp::ScenarioRun run(spec);
+  mac::Cell& cell = run.cell();
   analysis::ProtocolAuditor auditor;
   if (opt.audit) cell.SetObserver(&auditor);
-  std::vector<int> laptops;
-  for (int i = 0; i < opt.data_users; ++i) {
-    laptops.push_back(cell.AddSubscriber(false));
-    cell.PowerOn(laptops.back());
-  }
-  for (int i = 0; i < opt.gps_users; ++i) cell.PowerOn(cell.AddSubscriber(true));
-  cell.RunCycles(12);
 
-  const auto sizes = opt.fixed_size > 0
-                         ? traffic::SizeDistribution::Fixed(opt.fixed_size)
-                         : traffic::SizeDistribution::Uniform(40, 500);
-  const int d = mac::ReverseCycleLayout(cell.base_station().current_format())
-                    .data_slot_count();
-  traffic::PoissonUplinkWorkload uplink(
-      cell, laptops,
-      traffic::MeanInterarrivalTicks(opt.rho, opt.data_users, d, sizes.MeanBytes()),
-      sizes, Rng(opt.seed + 101));
-  std::unique_ptr<traffic::PoissonDownlinkWorkload> downlink;
-  if (opt.downlink_rho > 0) {
-    downlink = std::make_unique<traffic::PoissonDownlinkWorkload>(
-        cell, laptops,
-        traffic::MeanInterarrivalTicks(opt.downlink_rho, opt.data_users,
-                                       mac::kForwardDataSlots, sizes.MeanBytes()),
-        sizes, Rng(opt.seed + 202));
-  }
-
-  cell.RunCycles(opt.warmup);
-  cell.ResetStats();
+  run.BuildPopulation();
+  run.StartWorkloads();
+  run.Warmup();
 
   // Attach the trace only for the measured cycles, so the reconstructed
   // timeline and the figure metrics cover exactly the same window.  Size the
@@ -245,10 +312,11 @@ int main(int argc, char** argv) {
   obs::WallTimerRegistry wall_timers;
   if (opt.timers) cell.simulator().AttachWallTimers(&wall_timers);
 
-  cell.RunCycles(opt.cycles);
+  run.Measure();
+  const exp::RunResult result = run.Finish();
 
-  const auto m = metrics::ComputeFigureMetrics(cell, laptops);
-  const auto& bs = cell.base_station().counters();
+  const metrics::FigureMetrics& m = result.figure;
+  const mac::BsCounters& bs = result.bs;
   std::printf("==== osumac_sim: rho=%.2f users=%d gps=%d cycles=%d channel=%s ====\n",
               opt.rho, opt.data_users, opt.gps_users, opt.cycles, opt.channel.c_str());
   std::printf("utilization            %8.3f\n", m.utilization);
@@ -273,10 +341,8 @@ int main(int argc, char** argv) {
   }
   if (opt.downlink_rho > 0) {
     std::printf("downlink msg delay     %8.2f cycles, lost packets %lld, retx %lld\n",
-                cell.metrics().downlink_message_delay_cycles.empty()
-                    ? 0.0
-                    : cell.metrics().downlink_message_delay_cycles.Mean(),
-                static_cast<long long>(cell.metrics().forward_packets_lost),
+                result.downlink_mean_delay_cycles,
+                static_cast<long long>(result.forward_packets_lost),
                 static_cast<long long>(bs.forward_retransmissions));
   }
   if (tracing) {
