@@ -1,0 +1,55 @@
+#include "analysis/flight_observer.h"
+
+#include "common/logging.h"
+#include "mac/cell.h"
+
+namespace osumac::analysis {
+
+void FlightRecorderObserver::OnCyclePlanned(const mac::Cell& cell,
+                                            const mac::ControlFields& cf1,
+                                            std::int64_t cycle, Tick now) {
+  (void)cf1;
+  (void)now;
+  recorder_->OnCycle(cycle);
+  // Everything the previous cycle resolved (slots, ACKs, SLO feeds) is
+  // visible by the time the next cycle is planned.
+  CheckTriggers(cell, cycle);
+}
+
+void FlightRecorderObserver::OnControlFieldsDelivered(const mac::Cell& cell,
+                                                      const mac::ControlFields& cf,
+                                                      bool second, Tick cycle_start,
+                                                      Tick now) {
+  (void)cf;
+  (void)second;
+  (void)now;
+  CheckTriggers(cell, cycle_start / mac::kCycleTicks);
+}
+
+void FlightRecorderObserver::CheckTriggers(const mac::Cell& cell,
+                                           std::int64_t cycle) {
+  if (recorder_->tripped()) return;
+
+  if (auditor_ != nullptr && auditor_->violations().size() > violations_seen_) {
+    const AuditViolation& v = auditor_->violations()[violations_seen_];
+    violations_seen_ = auditor_->violations().size();
+    recorder_->Trip("audit: " + v.invariant + " (" + v.detail + ")", cycle);
+    DumpIfConfigured();
+    return;
+  }
+
+  if (cell.slo().BudgetBreached()) {
+    recorder_->Trip("slo: " + cell.slo().BreachSummary(), cycle);
+    DumpIfConfigured();
+  }
+}
+
+void FlightRecorderObserver::DumpIfConfigured() {
+  if (dump_dir_.empty() || dumped_) return;
+  dumped_ = true;
+  if (!recorder_->Dump(dump_dir_, &dump_error_)) {
+    LogAlways(0, "flight", "flight dump failed: " + dump_error_);
+  }
+}
+
+}  // namespace osumac::analysis

@@ -1,0 +1,57 @@
+// Trigger policy for the flight recorder (obs/flight_recorder.h).
+//
+// The recorder itself is passive; this CellObserver decides when to trip
+// it.  Attached to a Cell alongside a ProtocolAuditor, it checks once per
+// planned cycle, in order:
+//
+//   1. the auditor's violation count grew      -> trip "audit: <invariant>"
+//   2. the cell's SloMonitor recorded a miss   -> trip "slo: <breach summary>"
+//
+// The first trip latches (the recorder ignores later ones) and — when a
+// dump directory is configured — writes the dump immediately, so the
+// retained event/metrics window still brackets the failure instead of
+// having scrolled past it by run end.
+#pragma once
+
+#include <string>
+
+#include "analysis/protocol_auditor.h"
+#include "mac/cell_observer.h"
+#include "obs/flight_recorder.h"
+
+namespace osumac::analysis {
+
+class FlightRecorderObserver : public mac::CellObserver {
+ public:
+  /// `recorder` is required; `auditor` may be null (SLO-only triggering).
+  /// Both must outlive the observer.
+  FlightRecorderObserver(obs::FlightRecorder* recorder,
+                         const ProtocolAuditor* auditor)
+      : recorder_(recorder), auditor_(auditor) {}
+
+  /// When set, a trip writes the dump directory immediately.
+  void SetDumpDir(std::string dir) { dump_dir_ = std::move(dir); }
+
+  bool dumped() const { return dumped_; }
+  const std::string& dump_error() const { return dump_error_; }
+
+  // --- CellObserver --------------------------------------------------------
+
+  void OnCyclePlanned(const mac::Cell& cell, const mac::ControlFields& cf1,
+                      std::int64_t cycle, Tick now) override;
+  void OnControlFieldsDelivered(const mac::Cell& cell, const mac::ControlFields& cf,
+                                bool second, Tick cycle_start, Tick now) override;
+
+ private:
+  void CheckTriggers(const mac::Cell& cell, std::int64_t cycle);
+  void DumpIfConfigured();
+
+  obs::FlightRecorder* recorder_;
+  const ProtocolAuditor* auditor_;
+  std::string dump_dir_;
+  std::size_t violations_seen_ = 0;
+  bool dumped_ = false;
+  std::string dump_error_;
+};
+
+}  // namespace osumac::analysis

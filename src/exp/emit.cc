@@ -173,6 +173,19 @@ void WriteSweepJson(std::ostream& out, const std::string& tool, int jobs,
       out << (first ? "" : ", ") << '"' << label << "\": " << value;
       first = false;
     }
+    out << "},\n     \"slo\": {";
+    first = true;
+    for (const obs::SloClassSummary& s : r.slo) {
+      out << (first ? "" : ", ") << '"' << JsonEscape(s.name)
+          << "\": {\"budget_s\": " << FullPrecision(s.budget_seconds)
+          << ", \"count\": " << s.count << ", \"misses\": " << s.misses
+          << ", \"near_misses\": " << s.near_misses
+          << ", \"p50_s\": " << FullPrecision(s.p50)
+          << ", \"p90_s\": " << FullPrecision(s.p90)
+          << ", \"p99_s\": " << FullPrecision(s.p99)
+          << ", \"max_s\": " << FullPrecision(s.max_seconds) << '}';
+      first = false;
+    }
     out << "}}" << (i + 1 < results.size() ? "," : "") << '\n';
   }
   out << "  ]\n}\n";
@@ -203,6 +216,11 @@ std::string ResultSignature(const RunResult& result) {
   }
   for (const auto& [name, value] : result.registry) {
     sig += "|" + name + "=" + FullPrecision(value);
+  }
+  for (const obs::SloClassSummary& s : result.slo) {
+    sig += "|slo." + s.name + "=" + std::to_string(s.count) + "/" +
+           std::to_string(s.misses) + "/" + std::to_string(s.near_misses) +
+           "/" + FullPrecision(s.p99) + "/" + FullPrecision(s.max_seconds);
   }
   return sig;
 }

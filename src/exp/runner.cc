@@ -161,6 +161,8 @@ RunResult ScenarioRun::Finish() {
     metrics::RegisterCellMetrics(registry, *cell_);
     result.registry = registry.Collect();
   }
+
+  result.slo = cell_->slo().Summary();
   return result;
 }
 

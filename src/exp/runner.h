@@ -20,6 +20,7 @@
 #include "metrics/cell_metrics.h"
 #include "metrics/experiment.h"
 #include "obs/metrics_registry.h"
+#include "obs/slo.h"
 
 namespace osumac::exp {
 
@@ -54,6 +55,13 @@ struct RunResult {
 
   /// Full registry snapshot (empty unless spec.collect_registry).
   obs::MetricsRegistry::Snapshot registry;
+
+  /// Per-class QoS summary from the cell's always-on SloMonitor (access
+  /// delay, checking delay, inter-service gap vs the paper's budgets),
+  /// indexed by obs::SloClass.  Collected for every run; purely derived
+  /// from the deterministic simulation, so sweep results stay bit-identical
+  /// across job counts.
+  std::vector<obs::SloClassSummary> slo;
 };
 
 /// Optional callbacks into a run's phases, for callers that attach

@@ -393,6 +393,21 @@ void BaseStation::ProcessUplinkInfo(int slot,
         e.a2 = in_contention ? 1 : 0;
         Emit(e);
       }
+      {
+        // Lifecycle stage: the fragment reached the base station.  The id
+        // is rebuilt from the same (message_id, frag) key the reassembler
+        // uses, so it matches the subscriber's emissions.
+        obs::Event e;
+        e.kind = obs::EventKind::kLifecycle;
+        e.channel = obs::Channel::kReverse;
+        e.uid = uid;
+        e.slot = slot;
+        e.a0 = obs::kStageDelivered;
+        e.a1 = obs::DataLifecycleId(d.message_id, d.header.frag_index);
+        e.a2 = duplicate ? 1 : 0;
+        e.a3 = obs::kClassData;
+        Emit(e);
+      }
       break;
     }
     case PacketKind::kReservation: {
@@ -638,7 +653,19 @@ void BaseStation::SignOff(UserId uid) {
   }
   ein_to_uid_.erase(it->second);
   uid_to_ein_.erase(it);
-  if (gps_users_.erase(uid) > 0) gps_.Release(uid);
+  if (gps_users_.erase(uid) > 0) {
+    const std::optional<GpsSlotManager::Move> move = gps_.Release(uid);
+    if (move.has_value()) {
+      // Rule R3 consolidated the schedule: a mid-lifecycle GPS user moved.
+      obs::Event e;
+      e.kind = obs::EventKind::kGpsSlotShift;
+      e.uid = move->user;
+      e.slot = move->to_slot;
+      e.a0 = move->from_slot;
+      e.a1 = move->to_slot;
+      Emit(e);
+    }
+  }
   demand_.erase(uid);
   downlink_.erase(uid);
   seen_frags_.erase(uid);

@@ -64,6 +64,7 @@ int Cell::AddSubscriber(bool wants_gps, std::optional<Ein> ein_override) {
   forward_models_.push_back(config_.forward.Make());
   reverse_models_.push_back(config_.reverse.Make());
   gps_phase_.push_back(wants_gps ? rng_.UniformInt(0, kCycleTicks - 1) : 0);
+  subscribers_.back()->SetSloMonitor(&slo_);
   if (trace_ != nullptr) {
     subscribers_.back()->SetEventSink(trace_);
     subscribers_.back()->radio().SetEventSink(trace_, node);
@@ -115,6 +116,10 @@ void Cell::SignOff(int node) {
   MobileSubscriber& sub = subscriber(node);
   if (sub.user_id() != kNoUser) bs_.SignOff(sub.user_id());
   sub.PowerOff();
+  // The node's service history ends here: gaps spanning the off period are
+  // not SLO violations.
+  last_paging_check_.erase(node);
+  last_gps_delivery_.erase(node);
 }
 
 bool Cell::SendUplinkMessage(int node, int bytes) {
@@ -187,6 +192,12 @@ void Cell::ResetStats() {
   bs_.ResetCounters();
   for (auto& sub : subscribers_) sub->ResetStats();
   metrics_ = CellMetrics{};
+  slo_.Reset();
+  // Gap trackers restart too: a gap whose left endpoint predates the
+  // measurement window would otherwise surface as a spurious first-cycle
+  // miss (with none of its history in an attached trace).
+  last_paging_check_.clear();
+  last_gps_delivery_.clear();
 }
 
 void Cell::StartCycle(std::int64_t n) {
@@ -223,7 +234,7 @@ void Cell::StartCycle(std::int64_t n) {
     trace_->Record(e);
   }
 
-  if (observer_ != nullptr) observer_->OnCyclePlanned(*this, cf1, n, sim_.now());
+  for (CellObserver* o : observers_) o->OnCyclePlanned(*this, cf1, n, sim_.now());
 
   // CF1 delivery at its last symbol.
   sim_.ScheduleAt(T + ForwardCycleLayout::ControlFields1().end,
@@ -304,6 +315,7 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
   for (int node = 0; node < subscriber_count(); ++node) {
     MobileSubscriber& sub = subscriber(node);
     if (sub.listens_second_cf() != second) continue;
+    bool paging_check = false;
     if (!sub.IsListening()) {
       // Inactive units wake periodically to check the paging field
       // (Section 2.1's one-minute checking delay budget).
@@ -311,6 +323,11 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
           sub.state() == MobileSubscriber::State::kOff && !second &&
           (n + node) % config_.mac.inactive_listen_period_cycles == 0;
       if (!paging_window) continue;
+      paging_check = true;
+    } else {
+      // Active service interrupts the inactive-check cadence: the next
+      // off-state check must not be scored against time spent active.
+      last_paging_check_.erase(node);
     }
     if (!sub.radio().CanReceive(body)) {
       // Physically unable (still transmitting): the schedule is lost on it.
@@ -327,6 +344,17 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
     if (!parsed.has_value()) {
       sub.OnControlFieldsMissed();
       continue;
+    }
+
+    if (paging_check) {
+      // A successful paging check: the checking delay is the gap between
+      // consecutive decoded checks, so CF losses (fades) stretch it past
+      // the nominal inactive_listen_period toward a budget miss.
+      const auto [it, first_check] = last_paging_check_.emplace(node, sim_.now());
+      if (!first_check) {
+        slo_.Observe(obs::SloClass::kCheckingDelay, ToSeconds(sim_.now() - it->second));
+        it->second = sim_.now();
+      }
     }
 
     const std::vector<PlannedBurst> bursts = sub.OnControlFields(*parsed, cycle_start);
@@ -347,8 +375,8 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
     }
   }
 
-  if (observer_ != nullptr) {
-    observer_->OnControlFieldsDelivered(*this, cf, second, cycle_start, sim_.now());
+  for (CellObserver* o : observers_) {
+    o->OnControlFieldsDelivered(*this, cf, second, cycle_start, sim_.now());
   }
 }
 
@@ -362,6 +390,52 @@ void Cell::ResolveGpsSlot(int slot, Interval abs) {
   EmitSlotResolved(slot, abs, static_cast<std::int64_t>(reception.outcome),
                    /*assigned=*/bs_.gps_manager().OwnerOf(slot) != kNoUser,
                    /*designated_contention=*/false, /*is_gps=*/true);
+
+  // Terminate the GPS report's lifecycle span and feed the inter-service
+  // gap before the base station can mutate the slot schedule.  A fix is
+  // never retransmitted — the next cycle carries a fresher one — so any
+  // non-decode outcome is terminal for this report.
+  const auto emit_gps_terminal = [&](int node, std::int64_t stage, std::int64_t detail) {
+    const std::int64_t lc = subscriber(node).TakeGpsLifecycleInSlot(slot);
+    if (lc == 0) return;
+    obs::Event e;
+    e.kind = obs::EventKind::kLifecycle;
+    e.channel = obs::Channel::kReverse;
+    e.node = node;
+    e.uid = subscriber(node).user_id();
+    e.slot = slot;
+    e.span = abs;
+    e.a0 = stage;
+    e.a1 = lc;
+    e.a2 = detail;
+    e.a3 = obs::kClassGps;
+    Emit(e);
+  };
+  switch (reception.outcome) {
+    case phy::SlotOutcome::kDecoded:
+      if (reception.sender >= 0) {
+        emit_gps_terminal(reception.sender, obs::kStageDelivered, 0);
+        const auto [it, first_fix] = last_gps_delivery_.emplace(reception.sender, abs.end);
+        if (!first_fix) {
+          slo_.Observe(obs::SloClass::kGpsDeliveryGap, ToSeconds(abs.end - it->second));
+          it->second = abs.end;
+        }
+      }
+      break;
+    case phy::SlotOutcome::kDecodeFailure:
+      if (reception.sender >= 0) {
+        emit_gps_terminal(reception.sender, obs::kStageDropped, obs::kDropDecodeFailure);
+      }
+      break;
+    case phy::SlotOutcome::kCollision:
+      for (int node : reception.colliders) {
+        emit_gps_terminal(node, obs::kStageDropped, obs::kDropCollision);
+      }
+      break;
+    case phy::SlotOutcome::kIdle:
+      break;
+  }
+
   bs_.OnGpsSlotResolved(slot, reception);
   DrainDeliveries();
 }
@@ -393,6 +467,35 @@ void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
                       : slot < bs_.contention_slots_this_cycle();
   EmitSlotResolved(slot, abs, static_cast<std::int64_t>(reception.outcome), assigned,
                    designated_contention, /*is_gps=*/false);
+
+  // Erasure sub-span: the packet's lifecycle stays open (the subscriber
+  // emits kStageRetry when the missing ACK is noticed), but the span
+  // records *why* the attempt failed and which slot burned the airtime.
+  if (trace_ != nullptr && reception.outcome != phy::SlotOutcome::kDecoded &&
+      reception.outcome != phy::SlotOutcome::kIdle) {
+    const auto emit_erasure = [&](int node) {
+      const std::int64_t lc = subscriber(node).LifecycleInSlot(slot);
+      if (lc == 0) return;
+      obs::Event e;
+      e.kind = obs::EventKind::kLifecycle;
+      e.channel = obs::Channel::kReverse;
+      e.node = node;
+      e.uid = subscriber(node).user_id();
+      e.slot = slot;
+      e.span = abs;
+      e.a0 = obs::kStageErasure;
+      e.a1 = lc;
+      e.a2 = static_cast<std::int64_t>(reception.outcome);
+      e.a3 = obs::kClassData;
+      Emit(e);
+    };
+    if (reception.outcome == phy::SlotOutcome::kDecodeFailure && reception.sender >= 0) {
+      emit_erasure(reception.sender);
+    } else if (reception.outcome == phy::SlotOutcome::kCollision) {
+      for (int node : reception.colliders) emit_erasure(node);
+    }
+  }
+
   if (is_last_of_prev) {
     bs_.OnLastSlotOfPreviousCycle(reception);
   } else {

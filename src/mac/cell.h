@@ -32,6 +32,7 @@
 #include "mac/config.h"
 #include "mac/subscriber.h"
 #include "obs/event_trace.h"
+#include "obs/slo.h"
 #include "phy/channel.h"
 #include "phy/error_model.h"
 #include "sim/simulator.h"
@@ -109,10 +110,25 @@ class Cell {
   const CellConfig& config() const { return config_; }
   const phy::ReverseChannel& reverse_channel() const { return reverse_channel_; }
 
-  /// Attaches an observer notified at the per-cycle audit points (nullptr
-  /// detaches).  At most one observer; the auditor in src/analysis is the
-  /// intended client.
-  void SetObserver(CellObserver* observer) { observer_ = observer; }
+  /// Replaces the observer list with `observer` (nullptr detaches all).
+  /// Kept for the single-observer call sites; use AddObserver to stack
+  /// several (auditor + flight recorder).
+  void SetObserver(CellObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  /// Appends an observer notified at the per-cycle audit points, after any
+  /// already attached (notification order = attach order).
+  void AddObserver(CellObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  /// Always-on QoS monitor: access delay, checking delay and inter-service
+  /// gap observed against the paper's budgets.  Fed directly by the MAC
+  /// machinery (no event-trace dependency, no randomness), so it is live
+  /// even in untraced sweep runs.
+  obs::SloMonitor& slo() { return slo_; }
+  const obs::SloMonitor& slo() const { return slo_; }
 
   /// Attaches a structured event trace (nullptr detaches): the cell stamps
   /// it with the simulation clock and cycle context and fans it out to the
@@ -190,8 +206,14 @@ class Cell {
   std::map<std::uint32_t, Tick> downlink_enqueue_tick_;
 
   CellMetrics metrics_;
-  CellObserver* observer_ = nullptr;
+  std::vector<CellObserver*> observers_;
   obs::EventTrace* trace_ = nullptr;
+  obs::SloMonitor slo_;
+  /// Per-node tick of the last off-state paging check; erased whenever the
+  /// node is seen active so checking delay only spans true inactive periods.
+  std::map<int, Tick> last_paging_check_;
+  /// Per-node tick of the last decoded GPS report (inter-service gap).
+  std::map<int, Tick> last_gps_delivery_;
 
   // Declared last so the check hooks outlive nothing they reference.
   check::ScopedSimClock check_clock_;

@@ -29,6 +29,43 @@ void MobileSubscriber::EmitRetransmit() {
   Emit(e);
 }
 
+void MobileSubscriber::EmitLifecycle(std::int64_t stage, std::int64_t id,
+                                     std::int64_t detail, int slot, Interval span,
+                                     std::int64_t cls) {
+  if (sink_ == nullptr || id == 0) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kLifecycle;
+  e.channel = obs::Channel::kReverse;
+  e.node = node_index_;
+  e.uid = uid_;
+  e.slot = slot;
+  e.span = span;
+  e.a0 = stage;
+  e.a1 = id;
+  e.a2 = detail;
+  e.a3 = cls;
+  Emit(e);
+}
+
+std::int64_t MobileSubscriber::TakeGpsLifecycleInSlot(int slot) {
+  if (gps_tx_slot_ != slot || gps_tx_lifecycle_ == 0) return 0;
+  const std::int64_t id = gps_tx_lifecycle_;
+  gps_tx_lifecycle_ = 0;
+  gps_tx_slot_ = -1;
+  return id;
+}
+
+std::int64_t MobileSubscriber::LifecycleInSlot(int slot) const {
+  for (const InFlight& f : in_flight_) {
+    if (f.slot == slot) return f.pkt.lifecycle;
+  }
+  if (contention_attempt_.has_value() && contention_attempt_->slot == slot &&
+      contention_attempt_->packet.has_value()) {
+    return contention_attempt_->packet->lifecycle;
+  }
+  return 0;
+}
+
 void MobileSubscriber::PowerOn() {
   if (state_ == State::kOff || state_ == State::kGivenUp) {
     state_ = State::kSyncing;
@@ -41,6 +78,34 @@ void MobileSubscriber::PowerOn() {
 }
 
 void MobileSubscriber::PowerOff() {
+  // Lifecycle terminals first, while uid_ is still meaningful: in-flight
+  // and contention packets are discarded here (the queue survives a power
+  // cycle, so queued packets stay open).
+  for (const InFlight& f : in_flight_) {
+    EmitLifecycle(obs::kStageDropped, f.pkt.lifecycle, obs::kDropPowerOff);
+  }
+  if (contention_attempt_.has_value() && contention_attempt_->packet.has_value()) {
+    EmitLifecycle(obs::kStageDropped, contention_attempt_->packet->lifecycle,
+                  obs::kDropPowerOff);
+  }
+  if (gps_lc_current_.has_value()) {
+    EmitLifecycle(obs::kStageDropped, gps_lc_current_->id, obs::kDropPowerOff,
+                  -1, {0, 0}, obs::kClassGps);
+  }
+  if (gps_lc_prev_.has_value()) {
+    EmitLifecycle(obs::kStageDropped, gps_lc_prev_->id, obs::kDropPowerOff,
+                  -1, {0, 0}, obs::kClassGps);
+  }
+  if (gps_tx_lifecycle_ != 0) {
+    // A report on the air when the unit dies: its slot resolution will find
+    // no lifecycle to close, so close it here.
+    EmitLifecycle(obs::kStageDropped, gps_tx_lifecycle_, obs::kDropPowerOff,
+                  gps_tx_slot_, {0, 0}, obs::kClassGps);
+  }
+  gps_lc_current_.reset();
+  gps_lc_prev_.reset();
+  gps_tx_lifecycle_ = 0;
+  gps_tx_slot_ = -1;
   state_ = State::kOff;
   uid_ = kNoUser;
   gps_slot_.reset();
@@ -127,6 +192,7 @@ void MobileSubscriber::OnControlFieldsMissed() {
   for (auto it = in_flight_.rbegin(); it != in_flight_.rend(); ++it) {
     ++stats_.packets_retransmitted;
     EmitRetransmit();
+    EmitLifecycle(obs::kStageRetry, it->pkt.lifecycle, it->pkt.attempts);
     queue_.push_front(it->pkt);
   }
   in_flight_.clear();
@@ -134,6 +200,8 @@ void MobileSubscriber::OnControlFieldsMissed() {
     if (contention_attempt_->packet.has_value()) {
       ++stats_.packets_retransmitted;
       EmitRetransmit();
+      EmitLifecycle(obs::kStageRetry, contention_attempt_->packet->lifecycle,
+                    contention_attempt_->packet->attempts);
       queue_.push_front(*contention_attempt_->packet);
     }
     contention_attempt_.reset();
@@ -151,6 +219,7 @@ void MobileSubscriber::ProcessAcks(const ControlFields& cf, Tick /*cycle_start*/
     if (ack == uid_ && uid_ != kNoUser) {
       ++stats_.packets_delivered;
       stats_.payload_bytes_delivered += f.pkt.payload_bytes;
+      EmitLifecycle(obs::kStageAcked, f.pkt.lifecycle, f.pkt.attempts, f.slot);
       stats_.packet_delay_cycles.Add(ToSeconds(f.slot_end - f.pkt.arrival_tick) /
                                      ToSeconds(kCycleTicks));
       auto out = frags_outstanding_.find(f.pkt.message_id);
@@ -165,6 +234,7 @@ void MobileSubscriber::ProcessAcks(const ControlFields& cf, Tick /*cycle_start*/
     } else {
       ++stats_.packets_retransmitted;
       EmitRetransmit();
+      EmitLifecycle(obs::kStageRetry, f.pkt.lifecycle, f.pkt.attempts, f.slot);
       requeue.push_back(f.pkt);
     }
   }
@@ -230,6 +300,8 @@ void MobileSubscriber::ProcessAcks(const ControlFields& cf, Tick /*cycle_start*/
           const InFlight synthetic{a.slot, a.in_last_slot, *a.packet, 0, a.requested};
           ++stats_.packets_delivered;
           stats_.payload_bytes_delivered += synthetic.pkt.payload_bytes;
+          EmitLifecycle(obs::kStageAcked, synthetic.pkt.lifecycle,
+                        synthetic.pkt.attempts, a.slot);
           // Decode happened at the contention slot's end last cycle; the
           // slot_end was recorded when the attempt was made.
           stats_.packet_delay_cycles.Add(
@@ -253,6 +325,8 @@ void MobileSubscriber::ProcessAcks(const ControlFields& cf, Tick /*cycle_start*/
         } else {
           ++stats_.packets_retransmitted;
           EmitRetransmit();
+          EmitLifecycle(obs::kStageRetry, a.packet->lifecycle, a.packet->attempts,
+                        a.slot);
           queue_.push_front(*a.packet);
           backoff_until_cycle_ = static_cast<std::uint32_t>(
               cycle_counter_ + BackoffPolicy::DataBackoff(config_, rng_));
@@ -332,9 +406,11 @@ std::vector<PlannedBurst> MobileSubscriber::PlanTransmissions(const ControlField
     // available when the slot starts (this cycle's if it arrives in time,
     // otherwise the previous cycle's).
     std::optional<Tick> fix = gps_report_ready_;
+    bool used_prev_fix = false;
     if (fix.has_value() && *fix > slot_abs.begin) {
       if (*fix - kCycleTicks >= 0) {
         fix = *fix - kCycleTicks;
+        used_prev_fix = true;
       } else {
         fix.reset();  // no earlier fix exists yet
       }
@@ -352,8 +428,30 @@ std::vector<PlannedBurst> MobileSubscriber::PlanTransmissions(const ControlField
       bursts.push_back(std::move(burst));
       radio_.CommitTransmit(slot_abs);
       ++stats_.gps_reports_sent;
-      stats_.gps_access_delay_seconds.Add(ToSeconds(slot_abs.begin - *fix));
+      const double access_seconds = ToSeconds(slot_abs.begin - *fix);
+      stats_.gps_access_delay_seconds.Add(access_seconds);
+      if (slo_ != nullptr) {
+        slo_->Observe(obs::SloClass::kGpsAccess, access_seconds);
+      }
       gps_report_ready_.reset();
+      // Lifecycle hand-off mirrors the fix selection above.  With the
+      // previous fix on the air, this cycle's fix lives on — it is exactly
+      // what next cycle transmits.  With this cycle's fix on the air, an
+      // unsent previous fix is superseded by the fresher one.
+      std::optional<GpsLifecycle>& chosen =
+          used_prev_fix ? gps_lc_prev_ : gps_lc_current_;
+      if (chosen.has_value()) {
+        gps_tx_lifecycle_ = chosen->id;
+        gps_tx_slot_ = *gps_slot_;
+        EmitLifecycle(obs::kStageSlotTx, chosen->id, 1, *gps_slot_, slot_abs,
+                      obs::kClassGps);
+        chosen.reset();
+      }
+      if (!used_prev_fix && gps_lc_prev_.has_value()) {
+        EmitLifecycle(obs::kStageDropped, gps_lc_prev_->id, obs::kDropSuperseded,
+                      -1, {0, 0}, obs::kClassGps);
+        gps_lc_prev_.reset();
+      }
     }
   }
 
@@ -414,6 +512,12 @@ std::vector<PlannedBurst> MobileSubscriber::PlanTransmissions(const ControlField
                             cycle_start + layout.DataSlot(slot).end};
       radio_.CommitTransmit(abs);
       ++stats_.packets_sent;
+      EmitLifecycle(obs::kStageGrantRx, pkt.lifecycle, slot, slot);
+      EmitLifecycle(obs::kStageSlotTx, pkt.lifecycle, pkt.attempts, slot, abs);
+      if (slo_ != nullptr && pkt.attempts == 1) {
+        slo_->Observe(obs::SloClass::kDataAccess,
+                      ToSeconds(abs.begin - pkt.arrival_tick));
+      }
       in_flight_.push_back(InFlight{slot, slot == layout.last_data_slot(), pkt,
                                     abs.end, more});
       if (slot == layout.last_data_slot()) listen_second_next_ = true;
@@ -549,6 +653,11 @@ std::optional<PlannedBurst> MobileSubscriber::TryContendData(const ControlFields
     attempt.packet = pkt;
     burst.info = SerializeDataPacket(MakeDataPacket(pkt, more));
     ++stats_.contention_data_sent;
+    EmitLifecycle(obs::kStageSlotTx, pkt.lifecycle, pkt.attempts, *slot, abs);
+    if (slo_ != nullptr && pkt.attempts == 1) {
+      slo_->Observe(obs::SloClass::kDataAccess,
+                    ToSeconds(abs.begin - pkt.arrival_tick));
+    }
   } else {
     const int want =
         std::min<int>(static_cast<int>(queue_.size()), config_.max_slots_per_request);
@@ -559,6 +668,8 @@ std::optional<PlannedBurst> MobileSubscriber::TryContendData(const ControlFields
     res.slots_requested = static_cast<std::uint8_t>(std::min(want, 255));
     burst.info = SerializeReservationPacket(res);
     ++stats_.reservation_packets_sent;
+    // The reservation opens the queue head's path to a grant.
+    EmitLifecycle(obs::kStageReservationTx, queue_.front().lifecycle, want, *slot);
   }
   radio_.CommitTransmit(abs);
   EmitContend(attempt.kind == PacketKind::kData ? obs::kContendData
@@ -690,6 +801,12 @@ bool MobileSubscriber::EnqueueMessage(std::uint32_t message_id, int bytes, Tick 
     p.payload_bytes = static_cast<std::uint16_t>(
         i + 1 < frags ? kPacketPayloadBytes : bytes - kPacketPayloadBytes * (frags - 1));
     p.arrival_tick = now;
+    if (sink_ != nullptr) {
+      p.lifecycle = obs::DataLifecycleId(message_id, i);
+      EmitLifecycle(obs::kStageGenerated, p.lifecycle, p.payload_bytes);
+      EmitLifecycle(obs::kStageQueued, p.lifecycle,
+                    static_cast<std::int64_t>(queue_.size()) + 1);
+    }
     queue_.push_back(p);
   }
   frags_outstanding_[message_id] = frags;
@@ -700,6 +817,19 @@ bool MobileSubscriber::EnqueueMessage(std::uint32_t message_id, int bytes, Tick 
 void MobileSubscriber::QueueGpsReport(Tick ready_tick) {
   // A newer location fix supersedes an unsent one; GPS reports are never
   // retransmitted or queued up (Section 2.1).
+  if (sink_ != nullptr && wants_gps_) {
+    if (gps_lc_prev_.has_value()) {
+      // Two cycles unsent: the protocol keeps only one pending fix, so the
+      // older life ends here.
+      EmitLifecycle(obs::kStageDropped, gps_lc_prev_->id, obs::kDropSuperseded,
+                    -1, {0, 0}, obs::kClassGps);
+    }
+    gps_lc_prev_ = gps_lc_current_;
+    gps_lc_current_ =
+        GpsLifecycle{obs::GpsLifecycleId(node_index_, ++gps_lc_seq_), ready_tick};
+    EmitLifecycle(obs::kStageGenerated, gps_lc_current_->id, ready_tick, -1,
+                  {0, 0}, obs::kClassGps);
+  }
   gps_report_ready_ = ready_tick;
 }
 

@@ -29,6 +29,7 @@
 #include "common/stats.h"
 #include "common/time.h"
 #include "obs/event.h"
+#include "obs/slo.h"
 #include "mac/config.h"
 #include "mac/contention.h"
 #include "mac/control_fields.h"
@@ -156,8 +157,22 @@ class MobileSubscriber {
   std::optional<int> gps_slot() const { return gps_slot_; }
 
   /// Streams subscriber-side events (missed control fields, contention
-  /// attempts, retransmissions) to `sink` (null detaches).
+  /// attempts, retransmissions, packet-lifecycle stages) to `sink` (null
+  /// detaches).  Packets enqueued while a sink is attached carry lifecycle
+  /// ids; packets from before the attach stay untraced.
   void SetEventSink(obs::EventSink* sink) { sink_ = sink; }
+
+  /// Streams access-delay observations to `slo` (null detaches).
+  void SetSloMonitor(obs::SloMonitor* slo) { slo_ = slo; }
+
+  /// Lifecycle id of the GPS report transmitted in GPS slot `slot` this
+  /// cycle; consumed (zeroed) so the Cell emits exactly one terminal stage
+  /// when the slot resolves.  0 = nothing traced in that slot.
+  std::int64_t TakeGpsLifecycleInSlot(int slot);
+
+  /// Lifecycle id of the data packet awaiting resolution in reverse slot
+  /// `slot` (granted in-flight or contention data).  0 = none traced.
+  std::int64_t LifecycleInSlot(int slot) const;
 
  private:
   struct PendingPacket {
@@ -168,6 +183,7 @@ class MobileSubscriber {
     Ein dest_ein = 0;
     Tick arrival_tick = 0;
     int attempts = 0;
+    std::int64_t lifecycle = 0;  ///< span-tracing id; 0 = untraced
   };
   struct ContentionAttempt {
     PacketKind kind = PacketKind::kReservation;
@@ -203,8 +219,14 @@ class MobileSubscriber {
   void EmitContend(std::int64_t code, int slot);
   /// kRetransmit event (an unacked uplink packet returned to the queue).
   void EmitRetransmit();
+  /// kLifecycle stage record for packet `id`; no-op when `id` is 0 (the
+  /// packet predates the sink) or no sink is attached.
+  void EmitLifecycle(std::int64_t stage, std::int64_t id, std::int64_t detail,
+                     int slot = -1, Interval span = {0, 0},
+                     std::int64_t cls = obs::kClassData);
 
   obs::EventSink* sink_ = nullptr;
+  obs::SloMonitor* slo_ = nullptr;
 
   // Identity / configuration.
   int node_index_;
@@ -254,6 +276,18 @@ class MobileSubscriber {
   // GPS path.
   std::optional<int> gps_slot_;
   std::optional<Tick> gps_report_ready_;
+  /// Lifecycle bookkeeping mirroring gps_report_ready_: the protocol keeps
+  /// only one pending fix, but the slot-start comparison may transmit the
+  /// *previous* cycle's fix (fix - kCycleTicks), so two lives can be open.
+  struct GpsLifecycle {
+    std::int64_t id = 0;
+    Tick ready = 0;
+  };
+  std::optional<GpsLifecycle> gps_lc_current_;  ///< this cycle's fix
+  std::optional<GpsLifecycle> gps_lc_prev_;     ///< last cycle's unsent fix
+  std::int64_t gps_lc_seq_ = 0;
+  std::int64_t gps_tx_lifecycle_ = 0;  ///< id on the air awaiting resolution
+  int gps_tx_slot_ = -1;
 
   // In-band sign-off.
   bool signoff_requested_ = false;

@@ -86,6 +86,9 @@ void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell) 
     return static_cast<double>(c->subscriber_count());
   });
 
+  // QoS / SLO monitor (streaming percentiles against the paper's budgets).
+  obs::RegisterSloMetrics(registry, cell.slo());
+
   // Simulator diagnostics.
   registry.RegisterGauge("sim.now_ticks", [c] {
     return static_cast<double>(c->simulator().now());

@@ -44,9 +44,14 @@ enum class EventKind : std::uint8_t {
   kRadioRx,       ///< half-duplex radio receive commitment; span = interval
   kForwardTx,     ///< forward data slot transmission; span = slot airtime
   kForwardLoss,   ///< forward packet not received; a0 = ForwardLossCode
+  kLifecycle,     ///< packet-lifecycle stage; a0 = LifecycleStage,
+                  ///< a1 = lifecycle id, a2 = stage detail (see stage docs),
+                  ///< a3 = LifecycleClass; span = slot airtime for kStageSlotTx
+  kGpsSlotShift,  ///< GPS slot-manager shift-down (rules R1-R3); a0 = old
+                  ///< slot, a1 = new slot
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kForwardLoss) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kGpsSlotShift) + 1;
 
 /// Stable name for a kind (used by every sink).
 const char* EventKindName(EventKind kind);
@@ -85,6 +90,62 @@ enum ForwardLossCode : std::int64_t {
   kLossRadioBusy = 2,
   kLossDecodeFailure = 3,
 };
+
+/// a3 of kLifecycle: which packet population the lifecycle belongs to.
+enum LifecycleClass : std::int64_t {
+  kClassData = 0,  ///< uplink data fragment
+  kClassGps = 1,   ///< periodic GPS position report
+};
+
+/// a0 of kLifecycle.  One lifecycle is the ordered stage sequence of a
+/// single packet, keyed by the id in a1.  `a2` carries the stage detail
+/// noted per stage; terminal stages are kStageAcked / kStageDelivered /
+/// kStageDropped (see LifecycleStageTerminal).
+enum LifecycleStage : std::int64_t {
+  kStageGenerated = 0,      ///< data: a2 = fragment payload bytes;
+                            ///< gps: a2 = fix ready tick
+  kStageQueued = 1,         ///< entered the uplink queue; a2 = queue depth
+  kStageReservationTx = 2,  ///< reservation request on the air; a2 = slots wanted
+  kStageGrantRx = 3,        ///< reserved data slot granted; a2 = slot index
+  kStageSlotTx = 4,         ///< burst on the air; span = slot airtime;
+                            ///< a2 = attempt number (1 = first transmission)
+  kStageDelivered = 5,      ///< decoded at the base station; a2 = duplicate flag
+  kStageAcked = 6,          ///< positive ack consumed by the subscriber
+  kStageRetry = 7,          ///< unacked / CF-missed; requeued; a2 = attempts so far
+  kStageErasure = 8,        ///< channel erased the burst; a2 = SlotOutcomeCode
+  kStageDropped = 9,        ///< abandoned; a2 = LifecycleDropCode
+};
+
+/// a2 of kLifecycle kStageDropped.
+enum LifecycleDropCode : std::int64_t {
+  kDropSuperseded = 0,     ///< a fresher GPS fix replaced an unsent one
+  kDropDecodeFailure = 1,  ///< terminal decode failure (GPS slot: no retry)
+  kDropCollision = 2,      ///< terminal collision (GPS slot: no retry)
+  kDropPowerOff = 3,       ///< subscriber signed off / powered down
+};
+
+/// True when `stage` ends the lifecycle of class `cls`: data packets end at
+/// kStageAcked or kStageDropped, GPS reports at kStageDelivered or
+/// kStageDropped (GPS slots carry no per-packet ack).
+constexpr bool LifecycleStageTerminal(std::int64_t stage, std::int64_t cls) {
+  if (stage == kStageDropped) return true;
+  return cls == kClassGps ? stage == kStageDelivered : stage == kStageAcked;
+}
+
+/// Lifecycle id for a data fragment.  Message ids are Cell-unique, so
+/// (message_id, frag) identifies one fragment end to end — the same key the
+/// base station reassembler uses.  Fragment counts are tiny (< 256).
+constexpr std::int64_t DataLifecycleId(std::int64_t message_id,
+                                       std::int64_t frag_index) {
+  return (message_id << 8) | (frag_index & 0xff);
+}
+
+/// Lifecycle id for a GPS report: bit 62 tags the class, then the node
+/// index and a per-node sequence number.  Disjoint from data ids (message
+/// ids never reach 2^54).
+constexpr std::int64_t GpsLifecycleId(std::int64_t node, std::int64_t seq) {
+  return (std::int64_t{1} << 62) | (node << 32) | (seq & 0xffffffff);
+}
 
 /// One structured trace record.  Fixed-size and trivially copyable so the
 /// ring buffer is a flat array and recording is a couple of stores.

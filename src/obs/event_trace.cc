@@ -24,6 +24,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRadioRx:      return "radio_rx";
     case EventKind::kForwardTx:    return "forward_tx";
     case EventKind::kForwardLoss:  return "forward_loss";
+    case EventKind::kLifecycle:    return "lifecycle";
+    case EventKind::kGpsSlotShift: return "gps_slot_shift";
   }
   return "unknown";
 }

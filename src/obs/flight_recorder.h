@@ -1,0 +1,76 @@
+// Post-mortem flight recorder: a bounded ring of recent per-cycle metrics
+// snapshots riding on top of the (already bounded) EventTrace, latched by a
+// trip condition and dumped to a self-describing directory.
+//
+// The recorder itself is passive plumbing — it never decides *when* to
+// trip.  Trigger policy lives with whoever can see failures:
+// analysis::FlightRecorderObserver watches the ProtocolAuditor and
+// SloMonitor each cycle, and osumac_sim trips on --flight-dump-on-exit.
+// That split keeps obs free of mac/analysis dependencies.
+//
+// A dump directory contains (see docs/OBSERVABILITY.md):
+//   MANIFEST.txt   provenance, trip reason + cycle, file inventory
+//   events.jsonl   the retained event window (obs JSONL schema)
+//   metrics.csv    cycle,name,value rows for the retained snapshots
+//   slo_report.txt SloMonitor::WriteReport at dump time
+//   scenario.txt   the active ScenarioSpec's description
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "obs/event_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/slo.h"
+
+namespace osumac::obs {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::size_t max_cycles = 64;  ///< metrics snapshots retained
+  };
+
+  FlightRecorder() = default;
+  explicit FlightRecorder(Config config) : config_(config) {}
+
+  // All attachments are optional; absent sources simply produce no file.
+  void AttachTrace(const EventTrace* trace) { trace_ = trace; }
+  void AttachRegistry(const MetricsRegistry* registry) { registry_ = registry; }
+  void AttachSlo(const SloMonitor* slo) { slo_ = slo; }
+  void SetScenario(std::string description) { scenario_ = std::move(description); }
+  void SetProvenance(std::string line) { provenance_ = std::move(line); }
+
+  /// Snapshots the attached registry for cycle `cycle`, evicting the
+  /// oldest snapshot beyond the ring bound.  Call once per planned cycle.
+  void OnCycle(std::int64_t cycle);
+
+  /// Latches the first trip; later calls are ignored so the dump describes
+  /// the original failure, not a cascade.
+  void Trip(const std::string& reason, std::int64_t cycle);
+
+  bool tripped() const { return tripped_; }
+  const std::string& trip_reason() const { return trip_reason_; }
+  std::int64_t trip_cycle() const { return trip_cycle_; }
+  std::size_t snapshots() const { return ring_.size(); }
+
+  /// Writes the dump directory (created if needed).  Returns false and
+  /// fills `error` on filesystem failure.
+  bool Dump(const std::string& dir, std::string* error) const;
+
+ private:
+  Config config_;
+  const EventTrace* trace_ = nullptr;
+  const MetricsRegistry* registry_ = nullptr;
+  const SloMonitor* slo_ = nullptr;
+  std::string scenario_;
+  std::string provenance_;
+  std::deque<std::pair<std::int64_t, MetricsRegistry::Snapshot>> ring_;
+  bool tripped_ = false;
+  std::string trip_reason_;
+  std::int64_t trip_cycle_ = -1;
+};
+
+}  // namespace osumac::obs

@@ -46,6 +46,40 @@ const char* ForwardLossCodeName(std::int64_t code) {
   }
 }
 
+const char* LifecycleStageName(std::int64_t stage) {
+  switch (stage) {
+    case kStageGenerated:     return "generated";
+    case kStageQueued:        return "queued";
+    case kStageReservationTx: return "reservation_tx";
+    case kStageGrantRx:       return "grant_rx";
+    case kStageSlotTx:        return "slot_tx";
+    case kStageDelivered:     return "delivered";
+    case kStageAcked:         return "acked";
+    case kStageRetry:         return "retry";
+    case kStageErasure:       return "erasure";
+    case kStageDropped:       return "dropped";
+    default:                  return "unknown";
+  }
+}
+
+const char* LifecycleDropCodeName(std::int64_t code) {
+  switch (code) {
+    case kDropSuperseded:    return "superseded";
+    case kDropDecodeFailure: return "decode_failure";
+    case kDropCollision:     return "collision";
+    case kDropPowerOff:      return "power_off";
+    default:                 return "unknown";
+  }
+}
+
+const char* LifecycleClassName(std::int64_t cls) {
+  switch (cls) {
+    case kClassData: return "data";
+    case kClassGps:  return "gps";
+    default:         return "unknown";
+  }
+}
+
 const char* ChannelName(Channel channel) {
   switch (channel) {
     case Channel::kForward: return "forward";
@@ -70,7 +104,7 @@ constexpr int kTidNodeBase = 10;
 int TidFor(const Event& e) {
   if (e.kind == EventKind::kRadioTx || e.kind == EventKind::kRadioRx ||
       e.kind == EventKind::kCfMissed || e.kind == EventKind::kContend ||
-      e.kind == EventKind::kRetransmit) {
+      e.kind == EventKind::kRetransmit || e.kind == EventKind::kLifecycle) {
     return e.node >= 0 ? kTidNodeBase + e.node : kTidBaseStation;
   }
   switch (e.channel) {
@@ -108,6 +142,13 @@ std::string DisplayName(const Event& e) {
       break;
     case EventKind::kForwardLoss:
       name << ' ' << ForwardLossCodeName(e.a0);
+      break;
+    case EventKind::kLifecycle:
+      name << ' ' << LifecycleClassName(e.a3) << ' ' << LifecycleStageName(e.a0);
+      if (e.a0 == kStageDropped) name << ' ' << LifecycleDropCodeName(e.a2);
+      break;
+    case EventKind::kGpsSlotShift:
+      name << ' ' << e.a0 << "->" << e.a1;
       break;
     default:
       break;
@@ -151,6 +192,24 @@ void WriteChromeTrace(std::ostream& out, const EventTrace& trace,
   trace.ForEach([&out, &first](const Event& e) {
     if (!first) out << ",\n";
     first = false;
+    if (e.kind == EventKind::kLifecycle) {
+      // Async span: one "b"(egin) at kStageGenerated, "n" instants for
+      // intermediate stages, one "e"(nd) at the class's terminal stage.
+      // Begin/end share the name "lifecycle" (Chrome pairs b/e by
+      // cat+id+name); intermediate instants carry the stage for display.
+      const char* ph = e.a0 == kStageGenerated                ? "b"
+                       : LifecycleStageTerminal(e.a0, e.a3)   ? "e"
+                                                              : "n";
+      std::string name = "lifecycle";
+      if (*ph == 'n') name += std::string(" ") + LifecycleStageName(e.a0);
+      out << "{\"name\":\"" << name << "\",\"cat\":\"lifecycle\",\"pid\":0"
+          << ",\"tid\":" << TidFor(e) << ",\"ph\":\"" << ph << "\",\"id\":\""
+          << std::hex << e.a1 << std::dec << "\",\"ts\":"
+          << TickToMicros(e.tick) << ",\"args\":";
+      WriteArgs(out, e);
+      out << "}";
+      return;
+    }
     const bool has_span = !e.span.empty();
     out << "{\"name\":\"" << DisplayName(e) << "\",\"cat\":\""
         << ChannelName(e.channel) << "\",\"pid\":0,\"tid\":" << TidFor(e);

@@ -18,12 +18,18 @@ const char* SlotOutcomeCodeName(std::int64_t code);
 const char* RegistrationCodeName(std::int64_t code);
 const char* ContentionCodeName(std::int64_t code);
 const char* ForwardLossCodeName(std::int64_t code);
+const char* LifecycleStageName(std::int64_t stage);
+const char* LifecycleDropCodeName(std::int64_t code);
+const char* LifecycleClassName(std::int64_t cls);
 const char* ChannelName(Channel channel);
 
 /// Chrome trace-event JSON.  Events with airtime become complete ("X")
 /// spans on per-channel tracks; the rest become instants ("i") on a
-/// base-station or per-node track.  Timestamps are microseconds of
-/// simulated time.  `provenance` lands in otherData for attribution.
+/// base-station or per-node track.  kLifecycle events become async spans
+/// ("b"/"n"/"e", cat "lifecycle", id = lifecycle id) so Perfetto draws one
+/// arc per packet from generation to its terminal stage.  Timestamps are
+/// microseconds of simulated time.  `provenance` lands in otherData for
+/// attribution.
 void WriteChromeTrace(std::ostream& out, const EventTrace& trace,
                       const std::string& provenance = "");
 

@@ -1,8 +1,20 @@
 #include "obs/wallclock.h"
 
+#include <cstdio>
 #include <iomanip>
 
 namespace osumac::obs {
+
+namespace {
+
+/// %.17g — round-trip-exact doubles, matching the sweep emitters.
+std::string G17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
 
 void WallTimerRegistry::Report(std::ostream& out) const {
   out << "# wall-clock timers (ms)\n";
@@ -12,6 +24,21 @@ void WallTimerRegistry::Report(std::ostream& out) const {
         << " total=" << stats.sum() * 1e3 << " mean=" << stats.mean() * 1e3
         << " max=" << stats.max() * 1e3 << '\n';
   }
+}
+
+void WriteWallTimersJson(std::ostream& out, const WallTimerRegistry& registry,
+                         const std::string& provenance) {
+  out << "{\n  \"provenance\": \"" << provenance << "\",\n  \"phases\": [\n";
+  bool first = true;
+  for (const auto& [name, stats] : registry.timers()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"name\": \"" << name << "\", \"count\": " << stats.count()
+        << ", \"total_seconds\": " << G17(stats.sum())
+        << ", \"mean_seconds\": " << G17(stats.mean())
+        << ", \"max_seconds\": " << G17(stats.max()) << "}";
+  }
+  out << "\n  ]\n}\n";
 }
 
 }  // namespace osumac::obs

@@ -34,6 +34,13 @@ class WallTimerRegistry {
   std::map<std::string, RunningStats> timers_;
 };
 
+/// Machine-readable perf trajectory: one JSON object with a provenance
+/// header and a "phases" array (name, count, total/mean/max seconds at
+/// %.17g).  This is the BENCH_perf.json schema tools/check_perf.py
+/// validates.
+void WriteWallTimersJson(std::ostream& out, const WallTimerRegistry& registry,
+                         const std::string& provenance);
+
 /// RAII timer: measures from construction to destruction and pushes the
 /// elapsed seconds into `registry.timer(name)`.
 class ScopedWallTimer {

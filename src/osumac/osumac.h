@@ -9,16 +9,19 @@
 //   - osumac::exp::*               — declarative scenario specs and the
 //                                    parallel sweep runner
 //   - osumac::metrics::*           — the paper's evaluation metrics
-//   - osumac::obs::*               — event tracing, metrics registry,
+//   - osumac::obs::*               — event tracing, lifecycle spans, metrics
+//                                    registry, SLO monitor, flight recorder,
 //                                    timeline reconstruction, provenance
 //   - osumac::fec::ReedSolomon     — RS(64,48) / RS(32,9) codecs
 //   - osumac::phy::*               — channel and radio models, Table-1 params
 //   - osumac::baselines::*         — PRMA, D-TDMA, RAMA, DRMA, slotted ALOHA
-//   - osumac::analysis::*          — the protocol-invariant auditor
+//   - osumac::analysis::*          — the protocol-invariant auditor and the
+//                                    flight-recorder trigger policy
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once
 
+#include "analysis/flight_observer.h"
 #include "analysis/protocol_auditor.h"
 #include "baselines/common.h"
 #include "baselines/drma.h"
@@ -59,9 +62,12 @@
 #include "metrics/tracer.h"
 #include "obs/event.h"
 #include "obs/event_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/provenance.h"
 #include "obs/sinks.h"
+#include "obs/slo.h"
+#include "obs/span.h"
 #include "obs/timeline.h"
 #include "obs/wallclock.h"
 #include "phy/channel.h"

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_perf.json wall-clock trajectory file.
+
+Usage: check_perf.py [BENCH_perf.json]   (default: BENCH_perf.json)
+
+Checks the schema written by obs::WriteWallTimersJson from make_figures:
+a provenance header string, and a "phases" array where every entry has
+name/count/total_seconds/mean_seconds/max_seconds, all required phases
+are present, and the numbers are internally consistent (count >= 1,
+0 <= mean <= max <= total, %.17g round-trip exact).  CI runs this as the
+perf-smoke step against the committed repo-root BENCH_perf.json so the
+perf trajectory never silently rots.
+"""
+import json
+import sys
+
+REQUIRED_PHASES = ("spec_build", "sweep", "write_csv", "write_sweeps_json")
+REQUIRED_FIELDS = ("name", "count", "total_seconds", "mean_seconds",
+                   "max_seconds")
+
+
+def fail(msg):
+    print(f"check_perf: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_perf.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    prov = doc.get("provenance")
+    if not isinstance(prov, str) or "version=" not in prov:
+        fail("missing or malformed provenance header")
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail("missing or empty phases array")
+
+    seen = {}
+    for entry in phases:
+        for field in REQUIRED_FIELDS:
+            if field not in entry:
+                fail(f"phase entry missing field {field!r}: {entry}")
+        name = entry["name"]
+        if name in seen:
+            fail(f"duplicate phase {name!r}")
+        seen[name] = entry
+        count = entry["count"]
+        total = entry["total_seconds"]
+        mean = entry["mean_seconds"]
+        mx = entry["max_seconds"]
+        if not isinstance(count, int) or count < 1:
+            fail(f"phase {name!r}: count must be an integer >= 1, got {count}")
+        for label, v in (("total", total), ("mean", mean), ("max", mx)):
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"phase {name!r}: {label}_seconds must be >= 0, got {v}")
+        # mean*count should reproduce total, and no sample exceeds the sum.
+        if abs(mean * count - total) > 1e-9 * max(1.0, total):
+            fail(f"phase {name!r}: mean*count != total "
+                 f"({mean} * {count} != {total})")
+        if mx > total + 1e-12:
+            fail(f"phase {name!r}: max_seconds {mx} exceeds total {total}")
+
+    missing = [p for p in REQUIRED_PHASES if p not in seen]
+    if missing:
+        fail(f"required phase(s) absent: {', '.join(missing)}")
+    if seen["sweep"]["total_seconds"] <= 0:
+        fail("sweep phase recorded zero wall time — timer not running?")
+
+    total = sum(e["total_seconds"] for e in phases)
+    print(f"check_perf: OK: {path}: {len(phases)} phase(s), "
+          f"{total:.3f}s total wall time")
+    print(f"  {prov}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,27 +1,55 @@
 #!/usr/bin/env python3
-"""Validates a Chrome trace-event JSON file produced by `osumac_sim --trace`.
+"""Validates observability artifacts produced by osumac_sim.
 
-    python3 tools/check_trace.py out.json
+    python3 tools/check_trace.py out.json        # Chrome trace (--trace)
+    python3 tools/check_trace.py --flight DIR    # flight dump (--flight-dir)
 
-Checks (CI runs this on the trace-smoke artifact):
+Chrome-trace mode (CI runs this on the trace-smoke artifact) checks:
   - the file is valid JSON with a non-empty `traceEvents` array;
   - every event carries the required trace-event keys for its phase
     (`X` complete spans need ts/dur, `i` instants need ts, `M` metadata
-    needs args.name);
+    needs args.name, async lifecycle spans `b`/`n`/`e` need ts/id);
+  - per lifecycle id: at most one `b` (birth), nothing after the terminal
+    `e`, and timestamps never go backwards.  Spans whose birth predates the
+    trace attach point ("truncated-head": `n`/`e` with no `b`) and spans
+    still open at the end of the window are tolerated and counted — the
+    trace is a ring over a window, not the whole run;
   - durations are non-negative and emission ticks (args.tick) never go
-    backwards (events are recorded in simulation order; span start times may
-    legitimately precede earlier events' ends, e.g. bursts announced at CF1
-    delivery time carry airtime later in the cycle);
+    backwards globally;
   - the ring buffer did not drop events (`otherData.dropped == 0`), since a
     wrapped trace reconstructs only a suffix of the run;
   - the provenance line is present, so the artifact says what produced it.
+
+Flight mode replays DIR/events.jsonl (the obs JSONL schema), applies the
+same per-lifecycle structural rules, then reconstructs every packet
+lifecycle stage by stage.  For GPS lifecycles it recomputes the
+inter-delivery gap per node against the paper's 4 s budget and, for each
+blown gap, names the dropped report(s) inside it and the stage transition
+that failed — the post-mortem the dump exists for.
 
 Exit status 0 on success, 1 with a diagnostic on the first failure.
 """
 from __future__ import annotations
 
 import json
+import os
 import sys
+
+GPS_BUDGET_S = 4.0
+TICKS_PER_SECOND = 48000
+
+STAGE_NAMES = {
+    0: "generated", 1: "queued", 2: "reservation_tx", 3: "grant_rx",
+    4: "slot_tx", 5: "delivered", 6: "acked", 7: "retry", 8: "erasure",
+    9: "dropped",
+}
+DROP_CODES = {0: "superseded", 1: "decode_failure", 2: "collision",
+              3: "power_off"}
+CLASS_NAMES = {0: "data", 1: "gps"}
+STAGE_DROPPED = 9
+STAGE_DELIVERED = 5
+STAGE_ACKED = 6
+CLASS_GPS = 1
 
 
 def fail(message: str) -> None:
@@ -29,11 +57,49 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 1
-    path = sys.argv[1]
+def terminal(stage: int, cls: int) -> bool:
+    if stage == STAGE_DROPPED:
+        return True
+    return stage == (STAGE_DELIVERED if cls == CLASS_GPS else STAGE_ACKED)
+
+
+class SpanTracker:
+    """Per-lifecycle-id structural rules shared by both modes."""
+
+    def __init__(self) -> None:
+        self.states: dict = {}  # id -> {"born", "done", "last_ts"}
+
+    def observe(self, span_id, is_birth: bool, is_terminal: bool, ts,
+                where: str) -> None:
+        st = self.states.setdefault(
+            span_id, {"born": False, "done": False, "last_ts": None})
+        if st["done"]:
+            fail(f"{where}: lifecycle {span_id} has events after its "
+                 f"terminal stage")
+        if is_birth:
+            if st["born"]:
+                fail(f"{where}: duplicate birth for lifecycle {span_id}")
+            st["born"] = True
+        if st["last_ts"] is not None and ts < st["last_ts"]:
+            fail(f"{where}: lifecycle {span_id} timestamps went backwards "
+                 f"({ts} < {st['last_ts']})")
+        st["last_ts"] = ts
+        if is_terminal:
+            st["done"] = True
+
+    def summary(self) -> tuple:
+        complete = truncated = opened = 0
+        for st in self.states.values():
+            if st["born"] and st["done"]:
+                complete += 1
+            elif st["done"]:
+                truncated += 1  # head predates the trace window
+            else:
+                opened += 1  # still in flight at window end
+        return complete, truncated, opened
+
+
+def check_chrome_trace(path: str) -> int:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -44,11 +110,12 @@ def main() -> int:
     if not isinstance(events, list) or not events:
         fail("traceEvents missing or empty")
 
-    spans = instants = 0
+    spans = instants = async_events = 0
+    tracker = SpanTracker()
     last_tick = float("-inf")
     for i, e in enumerate(events):
         ph = e.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "b", "n", "e"):
             fail(f"event {i}: unexpected phase {ph!r}")
         if "name" not in e or "pid" not in e or "tid" not in e:
             fail(f"event {i}: missing name/pid/tid")
@@ -64,6 +131,22 @@ def main() -> int:
             if not isinstance(dur, (int, float)) or dur < 0:
                 fail(f"event {i}: complete span with bad dur {dur!r}")
             spans += 1
+        elif ph in ("b", "n", "e"):
+            span_id = e.get("id")
+            if not span_id:
+                fail(f"event {i}: async event without id")
+            args = e.get("args", {})
+            stage = args.get("a0")
+            cls = args.get("a3")
+            if stage is None or cls is None:
+                fail(f"event {i}: lifecycle event without a0/a3 args")
+            # The emitter derives the phase from the stage; both must agree.
+            expect = "b" if stage == 0 else ("e" if terminal(stage, cls) else "n")
+            if ph != expect:
+                fail(f"event {i}: stage {STAGE_NAMES.get(stage, stage)} "
+                     f"emitted as ph={ph!r}, expected {expect!r}")
+            tracker.observe(span_id, ph == "b", ph == "e", ts, f"event {i}")
+            async_events += 1
         else:
             instants += 1
         tick = e.get("args", {}).get("tick")
@@ -79,9 +162,151 @@ def main() -> int:
     if "provenance" not in other:
         fail("otherData.provenance missing")
 
+    complete, truncated, opened = tracker.summary()
     print(f"check_trace: OK: {spans} spans, {instants} instants, "
+          f"{async_events} lifecycle events "
+          f"({complete} complete / {truncated} truncated-head / {opened} open), "
           f"{other.get('recorded', '?')} recorded, 0 dropped")
     return 0
+
+
+def load_jsonl(path: str) -> list:
+    events = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: {e}")
+    except OSError as e:
+        fail(f"{path}: {e}")
+    return events
+
+
+def describe_stage(ev: dict) -> str:
+    stage = ev["a0"]
+    name = STAGE_NAMES.get(stage, f"stage{stage}")
+    if stage == STAGE_DROPPED:
+        name += f"[{DROP_CODES.get(ev['a2'], ev['a2'])}]"
+    if ev.get("slot", -1) >= 0:
+        name += f"@slot{ev['slot']}"
+    return name
+
+
+def chain_str(chain: list) -> str:
+    parts = []
+    prev_tick = None
+    for ev in chain:
+        stage = describe_stage(ev)
+        if prev_tick is None:
+            parts.append(f"{stage} t={ev['tick'] / TICKS_PER_SECOND:.4f}s")
+        else:
+            dt = (ev["tick"] - prev_tick) / TICKS_PER_SECOND
+            parts.append(f"{stage} (+{dt:.4f}s)")
+        prev_tick = ev["tick"]
+    return " -> ".join(parts)
+
+
+def check_flight_dump(dump_dir: str) -> int:
+    manifest_path = os.path.join(dump_dir, "MANIFEST.txt")
+    trip_reason = "?"
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("reason: "):
+                    trip_reason = line[len("reason: "):].strip()
+    except OSError as e:
+        fail(f"{manifest_path}: {e}")
+
+    events = load_jsonl(os.path.join(dump_dir, "events.jsonl"))
+    if not events:
+        fail("events.jsonl is empty")
+
+    # Structural pass + lifecycle reconstruction.
+    tracker = SpanTracker()
+    lifecycles: dict = {}  # id -> list of events in emission order
+    for i, ev in enumerate(events):
+        if ev.get("kind") != "lifecycle":
+            continue
+        stage, span_id, cls = ev["a0"], ev["a1"], ev["a3"]
+        tracker.observe(span_id, stage == 0, terminal(stage, cls), ev["tick"],
+                        f"events.jsonl event {i}")
+        lifecycles.setdefault(span_id, []).append(ev)
+    if not lifecycles:
+        fail("no lifecycle events in the dump window")
+    complete, truncated, opened = tracker.summary()
+
+    print(f"check_trace: flight dump {dump_dir}")
+    print(f"  trip: {trip_reason}")
+    print(f"  lifecycles: {len(lifecycles)} "
+          f"({complete} complete / {truncated} truncated-head / {opened} open)")
+
+    # Dropped lifecycles: the packets that never made it, with the stage
+    # transition that killed them.
+    dropped = [(sid, chain) for sid, chain in lifecycles.items()
+               if chain[-1]["a0"] == STAGE_DROPPED]
+    for sid, chain in dropped:
+        cls = CLASS_NAMES.get(chain[-1]["a3"], "?")
+        print(f"  dropped {cls} lifecycle 0x{sid:x} node {chain[-1]['node']}: "
+              f"{chain_str(chain)}")
+
+    # GPS budget analysis.  Two complementary reconstructions:
+    #  (a) gaps between consecutive delivered lifecycles visible in the
+    #      window (both endpoints traced);
+    #  (b) every GPS report that burned its slot and was dropped.  The GPS
+    #      cadence is one report per 3.984 s cycle — 99.6 % of the 4 s
+    #      budget — so losing any single report forces the surrounding
+    #      inter-delivery gap to >= 2 cycles = 7.97 s: a guaranteed miss
+    #      even when one gap endpoint predates the trace window.
+    deliveries: dict = {}  # node -> [(tick, id)]
+    for sid, chain in lifecycles.items():
+        last = chain[-1]
+        if last["a3"] == CLASS_GPS and last["a0"] == STAGE_DELIVERED:
+            deliveries.setdefault(last["node"], []).append((last["end"], sid))
+    blown = 0
+    for node, arrivals in sorted(deliveries.items()):
+        arrivals.sort()
+        for (t0, _), (t1, sid1) in zip(arrivals, arrivals[1:]):
+            gap_s = (t1 - t0) / TICKS_PER_SECOND
+            if gap_s <= GPS_BUDGET_S:
+                continue
+            blown += 1
+            print(f"  BLOWN BUDGET: node {node} inter-delivery gap "
+                  f"{gap_s:.4f}s > {GPS_BUDGET_S}s "
+                  f"(delivered at {t0 / TICKS_PER_SECOND:.4f}s, next at "
+                  f"{t1 / TICKS_PER_SECOND:.4f}s)")
+    for sid, chain in dropped:
+        last = chain[-1]
+        if last["a3"] != CLASS_GPS:
+            continue
+        if not any(ev["a0"] == 4 for ev in chain):  # never reached slot_tx
+            continue
+        blown += 1
+        transition = " -> ".join(describe_stage(ev) for ev in chain[-2:])
+        print(f"  BLOWN BUDGET: node {last['node']} lost the report in its "
+              f"slot — the surrounding inter-delivery gap is >= 7.97s > "
+              f"{GPS_BUDGET_S}s; stage that blew the budget: {transition} "
+              f"at t={last['tick'] / TICKS_PER_SECOND:.4f}s")
+    if "gps_delivery_gap" in trip_reason and blown == 0:
+        fail("trip reason names a gps_delivery_gap miss but no blown gap "
+             "is reconstructable from the dump window")
+    print(f"check_trace: OK: flight dump validated "
+          f"({len(events)} events, {blown} blown GPS gap(s) explained)")
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if len(args) == 2 and args[0] == "--flight":
+        return check_flight_dump(args[1])
+    if len(args) == 1 and not args[0].startswith("-"):
+        return check_chrome_trace(args[0])
+    print(__doc__, file=sys.stderr)
+    return 1
 
 
 if __name__ == "__main__":

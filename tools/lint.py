@@ -40,6 +40,14 @@ Rules (each exists because a real failure mode motivated it):
                    sweep-parallel.  Multi-cell/extension harnesses the
                    engine does not model (e.g. MultiChannelCell) are not
                    affected.
+  raw-latency      No ad-hoc latency arithmetic (+/-) on raw obs event
+                   timestamps (`.tick`, `.span.begin`, `.span.end`) in src/
+                   outside src/obs/: delay and gap measurement goes through
+                   the span reducer / SloMonitor API so every latency number
+                   shares one definition of "when".  Plain reads and
+                   assignments of those fields (e.g. the auditor stamping
+                   AuditViolation.tick) are fine; a line carrying a
+                   `lint: allow-raw-latency` waiver comment is exempt.
 """
 from __future__ import annotations
 
@@ -179,6 +187,31 @@ def check_bench_direct_cell() -> None:
                         "not construct them directly")
 
 
+# An event timestamp field with +/- arithmetic touching it on either side.
+# Requiring the operator adjacent keeps plain reads and assignments
+# (`violation.tick = ev.tick;`) out of scope.
+RAW_LATENCY = re.compile(
+    r"\.(?:tick|span\.(?:begin|end))\b\s*[-+][^-+=]"   # ev.tick - x
+    r"|[-+]\s*[\w\]\)]+(?:\.\w+)*\.(?:tick|span\.(?:begin|end))\b")  # x - ev.tick
+LATENCY_WAIVER = re.compile(r"lint:\s*allow-raw-latency")
+
+
+def check_raw_latency() -> None:
+    for path in source_files("src"):
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/obs/"):
+            continue  # the span/SLO reducers ARE the sanctioned arithmetic
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            if LATENCY_WAIVER.search(raw):
+                continue
+            line = strip_comments_and_strings(raw)
+            if RAW_LATENCY.search(line):
+                finding(path, lineno, "raw-latency",
+                        "latency arithmetic on raw event timestamps; compute "
+                        "delays through the span reducer or SloMonitor "
+                        "(src/obs) so every latency shares one definition")
+
+
 def check_raw_sanitize() -> None:
     path = REPO / ".github/workflows/ci.yml"
     for lineno, raw in enumerate(path.read_text().splitlines(), 1):
@@ -194,6 +227,7 @@ def main() -> int:
     check_nondeterminism()
     check_checks_always_on()
     check_raw_stdout()
+    check_raw_latency()
     check_raw_sanitize()
     check_bench_direct_cell()
     if findings:

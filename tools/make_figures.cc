@@ -6,9 +6,11 @@
 // runner (bit-identical at any --jobs), and writes one CSV per figure
 // (fig8_utilization_delay.csv, fig9_collision_reservation.csv,
 // fig10_control_overhead.csv, fig11_fairness.csv, fig12a_cf2_gain.csv,
-// fig12b_slot_usage.csv) plus the robustness grid and the machine-readable
-// BENCH_sweeps.json record of every point.  Plot the CSVs with
-// tools/plot_figures.py (matplotlib) or any spreadsheet.
+// fig12b_slot_usage.csv) plus the robustness grid, the machine-readable
+// BENCH_sweeps.json record of every point, and the BENCH_perf.json
+// wall-clock trajectory (per-phase timings; schema checked by
+// tools/check_perf.py).  Plot the CSVs with tools/plot_figures.py
+// (matplotlib) or any spreadsheet.
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -39,49 +41,61 @@ int main(int argc, char** argv) {
       argc > 1 && argv[1][0] != '-' ? argv[1] : "results";
   const int jobs = exp::JobsFromArgs(argc, argv, 1);
   std::filesystem::create_directories(dir);
+  obs::WallTimerRegistry wall;
 
   // The full figure workload as one flat spec list: the load sweep with and
   // without CF2 (figs 8-12a), the fig 12(b) arms, and the robustness grid.
   std::vector<exp::ScenarioSpec> specs;
-  for (const double rho : exp::LoadSweep()) {
-    exp::ScenarioSpec point = exp::LoadPoint(rho);
-    specs.push_back(point);
-    exp::ScenarioSpec no_cf2 = point;
-    no_cf2.name += "_nocf2";
-    no_cf2.mac.use_second_control_field = false;
-    specs.push_back(no_cf2);
-  }
-  const std::size_t fig12b_begin = specs.size();
-  for (const double rho : exp::LoadSweep()) {
-    for (const int gps : {1, 4}) {
-      for (const bool dynamic : {true, false}) {
-        exp::ScenarioSpec point = exp::LoadPoint(rho);
-        point.name += "_gps" + std::to_string(gps) + (dynamic ? "_dyn" : "_static");
-        point.gps_users = gps;
-        point.mac.dynamic_gps_slots = dynamic;
-        specs.push_back(point);
+  std::size_t fig12b_begin = 0;
+  std::size_t grid_begin = 0;
+  {
+    obs::ScopedWallTimer timer(wall, "spec_build");
+    for (const double rho : exp::LoadSweep()) {
+      exp::ScenarioSpec point = exp::LoadPoint(rho);
+      specs.push_back(point);
+      exp::ScenarioSpec no_cf2 = point;
+      no_cf2.name += "_nocf2";
+      no_cf2.mac.use_second_control_field = false;
+      specs.push_back(no_cf2);
+    }
+    fig12b_begin = specs.size();
+    for (const double rho : exp::LoadSweep()) {
+      for (const int gps : {1, 4}) {
+        for (const bool dynamic : {true, false}) {
+          exp::ScenarioSpec point = exp::LoadPoint(rho);
+          point.name +=
+              "_gps" + std::to_string(gps) + (dynamic ? "_dyn" : "_static");
+          point.gps_users = gps;
+          point.mac.dynamic_gps_slots = dynamic;
+          specs.push_back(point);
+        }
       }
     }
-  }
-  const std::size_t grid_begin = specs.size();
-  for (const int data_users : {5, 8, 11, 14}) {
-    for (const int gps_users : {1, 3, 4, 8}) {
-      exp::ScenarioSpec point = exp::LoadPoint(0.7);
-      point.name =
-          "grid_d" + std::to_string(data_users) + "_g" + std::to_string(gps_users);
-      point.data_users = data_users;
-      point.gps_users = gps_users;
-      point.measure_cycles = 500;
-      specs.push_back(point);
+    grid_begin = specs.size();
+    for (const int data_users : {5, 8, 11, 14}) {
+      for (const int gps_users : {1, 3, 4, 8}) {
+        exp::ScenarioSpec point = exp::LoadPoint(0.7);
+        point.name = "grid_d" + std::to_string(data_users) + "_g" +
+                     std::to_string(gps_users);
+        point.data_users = data_users;
+        point.gps_users = gps_users;
+        point.measure_cycles = 500;
+        specs.push_back(point);
+      }
     }
   }
 
   std::printf("running %zu scenario points (jobs=%d)...\n", specs.size(), jobs);
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<exp::RunResult> results = exp::SweepRunner(jobs).Run(specs);
+  std::vector<exp::RunResult> results;
+  {
+    obs::ScopedWallTimer timer(wall, "sweep");
+    results = exp::SweepRunner(jobs).Run(specs);
+  }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
+  const auto csv_start = std::chrono::steady_clock::now();
   auto fig8 = Open(dir, "fig8_utilization_delay.csv");
   fig8 << "rho,offered,utilization,packet_delay_cycles,message_delay_cycles,"
           "p95_delay,drop_rate\n";
@@ -139,11 +153,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto sweeps = Open(dir, "BENCH_sweeps.json");
-  exp::WriteSweepJson(sweeps, "make_figures", jobs, wall_seconds, specs, results);
+  wall.timer("write_csv").Add(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - csv_start)
+          .count());
 
-  std::printf("wrote CSVs + BENCH_sweeps.json to %s (%.1f s) — plot with "
-              "tools/plot_figures.py\n",
+  {
+    obs::ScopedWallTimer timer(wall, "write_sweeps_json");
+    auto sweeps = Open(dir, "BENCH_sweeps.json");
+    exp::WriteSweepJson(sweeps, "make_figures", jobs, wall_seconds, specs,
+                        results);
+  }
+
+  // The perf trajectory: one phase entry per stage above, %.17g seconds.
+  // tools/check_perf.py validates the schema and phase coverage in CI.
+  auto perf = Open(dir, "BENCH_perf.json");
+  obs::WriteWallTimersJson(
+      perf, wall,
+      obs::ProvenanceLine("make_figures", 0,
+                          "jobs=" + std::to_string(jobs) +
+                              " points=" + std::to_string(specs.size())));
+
+  std::printf("wrote CSVs + BENCH_sweeps.json + BENCH_perf.json to %s (%.1f s) "
+              "— plot with tools/plot_figures.py\n",
               dir.c_str(), wall_seconds);
   return 0;
 }

@@ -43,9 +43,15 @@ struct Options {
   double downlink_rho = 0.0;
   bool audit = false;
   bool timers = false;
+  bool slo = false;
   std::string trace_file;
+  bool trace_format_set = false;
   std::string trace_format = "chrome";
   std::string metrics_file;
+  std::string flight_dir;
+  int flight_cycles = 64;
+  bool flight_cycles_set = false;
+  bool flight_dump_on_exit = false;
   std::string scenario_file;
   std::string out_file;
   int jobs = 1;
@@ -75,6 +81,15 @@ void PrintUsage() {
       "  --trace-format F    chrome | jsonl | timeline (default chrome)\n"
       "  --metrics FILE      dump the full metrics registry (.json for JSON,\n"
       "                      anything else for CSV)\n"
+      "  --slo               print the QoS/SLO report (per-class percentiles\n"
+      "                      and budget misses) after the run\n"
+      "  --flight-dir DIR    arm the flight recorder: on an audit violation\n"
+      "                      or SLO budget miss, dump the retained event and\n"
+      "                      metrics window to DIR (see docs/OBSERVABILITY.md)\n"
+      "  --flight-cycles N   metrics snapshots the recorder retains\n"
+      "                      (default 64; requires --flight-dir)\n"
+      "  --flight-dump-on-exit  also dump at run end if nothing tripped\n"
+      "                      (requires --flight-dir)\n"
       "  --timers            report wall-clock timers on exit\n"
       "  --scenario FILE     sweep mode: run every scenario in FILE (see\n"
       "                      docs/SCENARIOS.md for the format)\n"
@@ -83,7 +98,11 @@ void PrintUsage() {
       "  --out FILE          sweep results to FILE: .json for the\n"
       "                      BENCH_sweeps.json format, else CSV (default:\n"
       "                      CSV on stdout)\n"
-      "Options also accept --opt=value form.\n");
+      "Options also accept --opt=value form.\n"
+      "Single-run instrumentation (--audit/--trace/--metrics/--timers/--slo/\n"
+      "--flight-*) attaches to one live cell and cannot be combined with\n"
+      "--scenario sweep mode; sweep results carry their SLO digests in the\n"
+      "JSON output instead.\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options& opt) {
@@ -157,8 +176,18 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       if (!next_string(opt.trace_file)) return false;
     } else if (arg == "--trace-format") {
       if (!next_string(opt.trace_format)) return false;
+      opt.trace_format_set = true;
     } else if (arg == "--metrics") {
       if (!next_string(opt.metrics_file)) return false;
+    } else if (arg == "--slo") {
+      opt.slo = true;
+    } else if (arg == "--flight-dir") {
+      if (!next_string(opt.flight_dir)) return false;
+    } else if (arg == "--flight-cycles") {
+      if (!next_int(opt.flight_cycles)) return false;
+      opt.flight_cycles_set = true;
+    } else if (arg == "--flight-dump-on-exit") {
+      opt.flight_dump_on_exit = true;
     } else if (arg == "--timers") {
       opt.timers = true;
     } else if (arg == "--scenario") {
@@ -256,6 +285,44 @@ int RunSweep(const Options& opt) {
   return 0;
 }
 
+/// Flag-composition rules, checked up front so a conflicting invocation
+/// errors out instead of silently ignoring instrumentation flags (the old
+/// behavior: sweep mode dropped --trace/--metrics/--audit on the floor).
+/// Returns an error message, or "" if the combination is valid.
+std::string ValidateFlagComposition(const Options& opt) {
+  if (!opt.scenario_file.empty()) {
+    const char* conflicting = nullptr;
+    if (!opt.trace_file.empty()) conflicting = "--trace";
+    else if (opt.trace_format_set) conflicting = "--trace-format";
+    else if (!opt.metrics_file.empty()) conflicting = "--metrics";
+    else if (opt.audit) conflicting = "--audit";
+    else if (opt.timers) conflicting = "--timers";
+    else if (opt.slo) conflicting = "--slo";
+    else if (!opt.flight_dir.empty()) conflicting = "--flight-dir";
+    else if (opt.flight_cycles_set) conflicting = "--flight-cycles";
+    else if (opt.flight_dump_on_exit) conflicting = "--flight-dump-on-exit";
+    if (conflicting != nullptr) {
+      return std::string(conflicting) +
+             " attaches to a single live cell and cannot be combined with "
+             "--scenario sweep mode (sweep JSON output carries per-point SLO "
+             "digests instead)";
+    }
+  }
+  if (opt.trace_format_set && opt.trace_file.empty()) {
+    return "--trace-format requires --trace FILE";
+  }
+  if (opt.flight_dir.empty()) {
+    if (opt.flight_cycles_set) return "--flight-cycles requires --flight-dir DIR";
+    if (opt.flight_dump_on_exit) {
+      return "--flight-dump-on-exit requires --flight-dir DIR";
+    }
+  }
+  if (opt.flight_cycles_set && opt.flight_cycles < 1) {
+    return "--flight-cycles must be >= 1";
+  }
+  return "";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,6 +330,11 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, opt) || opt.help) {
     PrintUsage();
     return opt.help ? 0 : 1;
+  }
+  if (const std::string err = ValidateFlagComposition(opt); !err.empty()) {
+    std::fprintf(stderr, "osumac_sim: %s\n\n", err.c_str());
+    PrintUsage();
+    return 1;
   }
   if (!opt.scenario_file.empty()) return RunSweep(opt);
   if (opt.gps_users < 0 || opt.gps_users > 8 || opt.data_users < 1) {
@@ -293,8 +365,11 @@ int main(int argc, char** argv) {
 
   exp::ScenarioRun run(spec);
   mac::Cell& cell = run.cell();
+  const bool flight = !opt.flight_dir.empty();
   analysis::ProtocolAuditor auditor;
-  if (opt.audit) cell.SetObserver(&auditor);
+  // The flight recorder's trigger policy watches the auditor, so arming it
+  // implies auditing even without --audit (violations just aren't printed).
+  if (opt.audit || flight) cell.AddObserver(&auditor);
 
   run.BuildPopulation();
   run.StartWorkloads();
@@ -303,14 +378,30 @@ int main(int argc, char** argv) {
   // Attach the trace only for the measured cycles, so the reconstructed
   // timeline and the figure metrics cover exactly the same window.  Size the
   // ring generously so nothing is overwritten mid-run (a dropped event would
-  // make the occupancy reconstruction partial).
+  // make the occupancy reconstruction partial).  The flight recorder rides
+  // on the same trace even when --trace wasn't requested.
   obs::EventTrace trace(
       std::max<std::size_t>(obs::EventTrace::kDefaultCapacity,
                             static_cast<std::size_t>(opt.cycles) * 512));
   const bool tracing = !opt.trace_file.empty();
-  if (tracing) cell.AttachTrace(&trace);
+  if (tracing || flight) cell.AttachTrace(&trace);
   obs::WallTimerRegistry wall_timers;
   if (opt.timers) cell.simulator().AttachWallTimers(&wall_timers);
+
+  obs::FlightRecorder recorder(
+      obs::FlightRecorder::Config{static_cast<std::size_t>(opt.flight_cycles)});
+  obs::MetricsRegistry flight_registry;
+  analysis::FlightRecorderObserver flight_observer(&recorder, &auditor);
+  if (flight) {
+    metrics::RegisterCellMetrics(flight_registry, cell);
+    recorder.AttachTrace(&trace);
+    recorder.AttachRegistry(&flight_registry);
+    recorder.AttachSlo(&cell.slo());
+    recorder.SetScenario(config_text);
+    recorder.SetProvenance(provenance);
+    flight_observer.SetDumpDir(opt.flight_dir);
+    cell.AddObserver(&flight_observer);
+  }
 
   run.Measure();
   const exp::RunResult result = run.Finish();
@@ -396,6 +487,32 @@ int main(int argc, char** argv) {
     }
     std::printf("metrics                -> %s (%s)\n", opt.metrics_file.c_str(),
                 json ? "json" : "csv");
+  }
+  if (opt.slo) cell.slo().WriteReport(std::cout);
+  if (flight) {
+    if (!recorder.tripped() && opt.flight_dump_on_exit) {
+      recorder.Trip("exit: --flight-dump-on-exit", cell.current_cycle());
+    }
+    if (recorder.tripped() && !flight_observer.dumped()) {
+      std::string err;
+      if (!recorder.Dump(opt.flight_dir, &err)) {
+        std::fprintf(stderr, "flight dump failed: %s\n", err.c_str());
+        return 1;
+      }
+    }
+    if (!flight_observer.dump_error().empty()) {
+      std::fprintf(stderr, "flight dump failed: %s\n",
+                   flight_observer.dump_error().c_str());
+      return 1;
+    }
+    if (recorder.tripped()) {
+      std::printf("flight                 -> %s (cycle %lld: %s)\n",
+                  opt.flight_dir.c_str(),
+                  static_cast<long long>(recorder.trip_cycle()),
+                  recorder.trip_reason().c_str());
+    } else {
+      std::printf("flight                 armed, never tripped (no dump)\n");
+    }
   }
   if (opt.timers) wall_timers.Report(std::cout);
   if (opt.audit) {
