@@ -9,6 +9,40 @@
 
 namespace osumac {
 
+/// SplitMix64 increment (2^64 / phi), the standard stream-splitting gamma.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// One SplitMix64 output step (Steele, Lea & Flood, OOPSLA'14).
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += kSplitMix64Gamma;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Sequential SplitMix64 generator: the k-th draw is SplitMix64(seed + k*gamma).
+/// Used by the fast channel error models, which own their stream so enabling
+/// them never perturbs the simulation's std::mt19937_64 draw order.
+class SplitMix64Rng {
+ public:
+  explicit SplitMix64Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Raw 64-bit draw.
+  std::uint64_t Next() {
+    const std::uint64_t out = SplitMix64(state_);
+    state_ += kSplitMix64Gamma;
+    return out;
+  }
+
+  /// Uniform double in the OPEN interval (0, 1) — safe as a log() argument.
+  double NextOpenDouble() {
+    return (static_cast<double>(Next() >> 12) + 0.5) * 0x1.0p-52;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// A seeded pseudo-random generator with the distribution helpers the
 /// simulator needs.  Thin wrapper over std::mt19937_64.
 class Rng {

@@ -9,18 +9,16 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
+
 namespace osumac::exp {
 
-/// SplitMix64 increment (2^64 / phi), the standard stream-splitting gamma.
-inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ULL;
-
-/// One SplitMix64 output step (Steele, Lea & Flood, OOPSLA'14).
-inline std::uint64_t SplitMix64(std::uint64_t x) {
-  x += kSplitMix64Gamma;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
+// The SplitMix64 primitives historically lived here; they moved to
+// common/rng.h so the phy fast-channel models can share them without an
+// exp dependency.  These aliases keep the exp:: spellings (and the exact
+// derivation math the goldens pin) working.
+using osumac::kSplitMix64Gamma;
+using osumac::SplitMix64;
 
 /// Independent random streams consumed by one scenario run.
 enum class SeedStream : std::uint64_t {

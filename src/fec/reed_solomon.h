@@ -12,6 +12,14 @@
 //   syndromes -> Berlekamp-Massey -> Chien search -> Forney algorithm.
 // Erasure-assisted decoding (errors + erasures) is also provided, following
 // the burst-erasure motivation of reference [2] (McAuley, SIGCOMM'90).
+//
+// Hot-path design: at the paper's error rates the overwhelmingly common
+// reception is a clean codeword, so Decode*/DecodeWithErasures* check the
+// syndromes first and return without ever touching Berlekamp-Massey, Chien
+// or Forney when all of them are zero.  The full decode path and the
+// encoder run on fixed stack buffers (n <= 255) with the doubled GF(256)
+// exp table, and the *Into entry points reuse a caller-provided
+// DecodeResult so a simulation slot costs zero heap allocations.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +46,9 @@ struct DecodeResult {
 /// Codewords are laid out data-first: c = [d_0 .. d_{k-1}, p_0 .. p_{n-k-1}].
 class ReedSolomon {
  public:
+  /// Largest supported codeword length (GF(256) minus the zero symbol).
+  static constexpr int kMaxN = 255;
+
   /// Builds an RS(n, k) code; requires 0 < k < n <= 255.
   /// `first_consecutive_root` (fcr) selects the generator roots
   /// alpha^fcr .. alpha^{fcr+n-k-1}; 1 is the conventional default.
@@ -59,25 +70,64 @@ class ReedSolomon {
   /// Encodes k information symbols into an n-symbol codeword.
   std::vector<GfElem> Encode(std::span<const GfElem> data) const;
 
+  /// Allocation-free encode into a caller buffer of exactly n symbols.
+  void EncodeInto(std::span<const GfElem> data, std::span<GfElem> out) const;
+
   /// Attempts to decode an n-symbol received word.  Returns nullopt on
   /// decoder failure (uncorrectable word).
   std::optional<DecodeResult> Decode(std::span<const GfElem> received) const;
 
   /// Decode with known erasure positions (indices into the codeword).
-  /// Corrects e errors and f erasures whenever 2e + f <= n - k.
+  /// Corrects e errors and f erasures whenever 2e + f <= n - k.  Invalid
+  /// side information — more than n-k erasures, a duplicate position, or a
+  /// position outside [0, n) — is an honest decode failure (nullopt), never
+  /// a silent mis-decode.
   std::optional<DecodeResult> DecodeWithErasures(
       std::span<const GfElem> received, std::span<const int> erasure_positions) const;
+
+  /// Allocation-free decode reusing `out`'s buffers; returns false on
+  /// decoder failure (`out` is unspecified then).  Semantics are identical
+  /// to Decode()/DecodeWithErasures().
+  bool DecodeInto(std::span<const GfElem> received, DecodeResult* out) const;
+  bool DecodeWithErasuresInto(std::span<const GfElem> received,
+                              std::span<const int> erasure_positions,
+                              DecodeResult* out) const;
+
+  /// Reference entry point that always runs the full Berlekamp-Massey /
+  /// Chien / Forney pipeline, even when every syndrome is zero.  Exists so
+  /// tests can prove the syndrome-first fast path agrees with the full
+  /// decoder; simulation code should never call it.  Note: on a clean word
+  /// with f > 0 erasure flags the full pipeline "fills" those erasures with
+  /// zero-magnitude corrections, so erasures_filled may differ from the
+  /// fast path (which reports 0); the decoded data always agrees.
+  bool DecodeWithErasuresFullInto(std::span<const GfElem> received,
+                                  std::span<const int> erasure_positions,
+                                  DecodeResult* out) const;
 
   /// True if `word` is a valid codeword (all syndromes zero).
   bool IsCodeword(std::span<const GfElem> word) const;
 
  private:
-  std::vector<GfElem> Syndromes(std::span<const GfElem> received) const;
+  /// Writes the n-k syndromes into `s`; returns the OR of them (0 iff the
+  /// word is a codeword).  `s` must hold at least n-k entries.
+  int ComputeSyndromes(std::span<const GfElem> received, GfElem* s) const;
+
+  bool DecodeImpl(std::span<const GfElem> received,
+                  std::span<const int> erasure_positions, DecodeResult* out,
+                  bool allow_syndrome_fast_path) const;
 
   int n_;
   int k_;
   int fcr_;
   std::vector<GfElem> generator_;  // degree n-k, low-to-high coefficients
+  /// log of generator_[j], or -1 where the coefficient is zero — the LFSR
+  /// encoder's inner loop works entirely in the log domain.
+  std::vector<int> generator_log_;
+  /// syndrome_pow_log_[j * (n-k) + m] = ((fcr+m) * (n-1-j)) mod 255: the
+  /// exp-table offset of symbol j's contribution to syndrome m.  Symbol-
+  /// major so the syndrome loop does one log lookup per *symbol* and can
+  /// skip zero symbols outright.
+  std::vector<int> syndrome_pow_log_;
 };
 
 }  // namespace osumac::fec

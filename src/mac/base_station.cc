@@ -42,7 +42,7 @@ ControlFields BaseStation::PlanCycle(std::uint16_t cycle) {
       }
       if (it->second.retries >= config_.arq_max_retries) {
         ++counters_.forward_arq_drops;
-        {
+        if (sink_ != nullptr) {
           obs::Event e;
           e.kind = obs::EventKind::kArqDrop;
           e.channel = obs::Channel::kForward;
@@ -60,7 +60,7 @@ ControlFields BaseStation::PlanCycle(std::uint16_t cycle) {
       auto& queue = downlink_[dest];
       queue.push_front(retx);
       ++counters_.forward_retransmissions;
-      {
+      if (sink_ != nullptr) {
         obs::Event e;
         e.kind = obs::EventKind::kArqRetry;
         e.channel = obs::Channel::kForward;
@@ -269,7 +269,7 @@ void BaseStation::OnGpsSlotResolved(int slot, const phy::SlotReception& receptio
         gps_ack_bitmap_next_ |= static_cast<std::uint8_t>(1u << slot);
         const auto it = ein_to_uid_.find(gps->ein);
         if (it != ein_to_uid_.end()) gps_receptions_.push_back(it->second);
-        {
+        if (sink_ != nullptr) {
           obs::Event e;
           e.kind = obs::EventKind::kGpsReport;
           e.channel = obs::Channel::kReverse;
@@ -382,7 +382,7 @@ void BaseStation::ProcessUplinkInfo(int slot,
       delivery.duplicate = duplicate;
       delivery.in_contention_slot = in_contention;
       deliveries_.push_back(delivery);
-      {
+      if (sink_ != nullptr) {
         obs::Event e;
         e.kind = obs::EventKind::kDelivery;
         e.channel = obs::Channel::kReverse;
@@ -393,7 +393,7 @@ void BaseStation::ProcessUplinkInfo(int slot,
         e.a2 = in_contention ? 1 : 0;
         Emit(e);
       }
-      {
+      if (sink_ != nullptr) {
         // Lifecycle stage: the fragment reached the base station.  The id
         // is rebuilt from the same (message_id, frag) key the reassembler
         // uses, so it matches the subscriber's emissions.
@@ -417,7 +417,7 @@ void BaseStation::ProcessUplinkInfo(int slot,
       const int want = std::min<int>(r.slots_requested, config_.max_slots_per_request);
       if (want > 0) demand_[r.src] = want;
       set_ack(r.src);
-      {
+      if (sink_ != nullptr) {
         obs::Event e;
         e.kind = obs::EventKind::kReservation;
         e.channel = obs::Channel::kReverse;
@@ -473,6 +473,7 @@ void BaseStation::HandleRegistration(const RegistrationPacket& reg, int /*slot*/
   grant.ein = reg.ein;
 
   const auto emit_registration = [this, &reg](std::int64_t code, UserId uid) {
+    if (sink_ == nullptr) return;  // skip even building the Event
     obs::Event e;
     e.kind = obs::EventKind::kRegistration;
     e.channel = obs::Channel::kReverse;
@@ -644,7 +645,7 @@ std::vector<BaseStation::ForwardedMessage> BaseStation::TakeForwardedMessages() 
 void BaseStation::SignOff(UserId uid) {
   const auto it = uid_to_ein_.find(uid);
   if (it == uid_to_ein_.end()) return;
-  {
+  if (sink_ != nullptr) {
     obs::Event e;
     e.kind = obs::EventKind::kSignOff;
     e.uid = uid;
@@ -655,7 +656,7 @@ void BaseStation::SignOff(UserId uid) {
   uid_to_ein_.erase(it);
   if (gps_users_.erase(uid) > 0) {
     const std::optional<GpsSlotManager::Move> move = gps_.Release(uid);
-    if (move.has_value()) {
+    if (move.has_value() && sink_ != nullptr) {
       // Rule R3 consolidated the schedule: a mid-lifecycle GPS user moved.
       obs::Event e;
       e.kind = obs::EventKind::kGpsSlotShift;

@@ -7,14 +7,16 @@
 
 namespace osumac::mac {
 
-std::unique_ptr<phy::SymbolErrorModel> ChannelModelConfig::Make() const {
+std::unique_ptr<phy::SymbolErrorModel> ChannelModelConfig::Make(std::uint64_t fast_seed) const {
   switch (kind) {
     case Kind::kPerfect:
       return phy::MakePerfectChannel();
     case Kind::kUniform:
-      return phy::MakeUniformChannel(symbol_error_prob);
+      return fast_sampling ? phy::MakeFastUniformChannel(symbol_error_prob, fast_seed)
+                           : phy::MakeUniformChannel(symbol_error_prob);
     case Kind::kGilbertElliott:
-      return phy::MakeGilbertElliottChannel(ge);
+      return fast_sampling ? phy::MakeFastGilbertElliottChannel(ge, fast_seed)
+                           : phy::MakeGilbertElliottChannel(ge);
   }
   return phy::MakePerfectChannel();
 }
@@ -61,8 +63,16 @@ int Cell::AddSubscriber(bool wants_gps, std::optional<Ein> ein_override) {
   const Ein ein = ein_override.value_or(static_cast<Ein>(1000 + node));
   subscribers_.push_back(
       std::make_unique<MobileSubscriber>(node, ein, wants_gps, config_.mac, rng_.Fork()));
-  forward_models_.push_back(config_.forward.Make());
-  reverse_models_.push_back(config_.reverse.Make());
+  // Per-node, per-direction seeds for the fast models' private SplitMix64
+  // streams.  The +100 offset keeps them clear of the exp::SeedStream
+  // derivations (which use small multipliers of the same gamma).
+  const auto fast_seed = [this, node](std::uint64_t direction) {
+    return SplitMix64(config_.seed +
+                      kSplitMix64Gamma * (100 + 2 * static_cast<std::uint64_t>(node) +
+                                          direction));
+  };
+  forward_models_.push_back(config_.forward.Make(fast_seed(0)));
+  reverse_models_.push_back(config_.reverse.Make(fast_seed(1)));
   gps_phase_.push_back(wants_gps ? rng_.UniformInt(0, kCycleTicks - 1) : 0);
   subscribers_.back()->SetSloMonitor(&slo_);
   if (trace_ != nullptr) {
@@ -86,6 +96,7 @@ void Cell::AttachTrace(obs::EventTrace* trace) {
 }
 
 void Cell::EmitBurstTx(int node, const PlannedBurst& burst, Interval on_air) {
+  if (trace_ == nullptr) return;  // skip even building the Event
   obs::Event e;
   e.kind = obs::EventKind::kBurstTx;
   e.channel = obs::Channel::kReverse;
@@ -98,6 +109,7 @@ void Cell::EmitBurstTx(int node, const PlannedBurst& burst, Interval on_air) {
 
 void Cell::EmitSlotResolved(int slot, Interval abs, std::int64_t outcome,
                             bool assigned, bool designated_contention, bool is_gps) {
+  if (trace_ == nullptr) return;  // skip even building the Event
   obs::Event e;
   e.kind = obs::EventKind::kSlotResolved;
   e.channel = obs::Channel::kReverse;
@@ -294,8 +306,11 @@ void Cell::StartCycle(std::int64_t n) {
 
 void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle_start) {
   const auto blocks = SerializeControlFields(cf);
-  const std::vector<std::vector<fec::GfElem>> codewords = {
-      data_code_.Encode(blocks[0]), data_code_.Encode(blocks[1])};
+  cf_codewords_.resize(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    cf_codewords_[i].resize(static_cast<std::size_t>(data_code_.n()));
+    data_code_.EncodeInto(blocks[i], cf_codewords_[i]);
+  }
 
   const Interval body =
       second ? Interval{cycle_start + ForwardCycleLayout::Preamble2().begin,
@@ -337,10 +352,12 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
 
     // Each mobile sees its own downlink path.
     int corrected = 0;
-    auto decoded = phy::ApplyChannel(codewords, data_code_, ForwardModelFor(node), rng_,
-                                     &corrected, config_.erasure_side_information);
     std::optional<ControlFields> parsed;
-    if (decoded.has_value()) parsed = ParseControlFields((*decoded)[0], (*decoded)[1]);
+    if (phy::ApplyChannelInto(cf_codewords_, data_code_, ForwardModelFor(node), rng_,
+                              channel_scratch_, cf_decoded_, &corrected,
+                              config_.erasure_side_information)) {
+      parsed = ParseControlFields(cf_decoded_[0], cf_decoded_[1]);
+    }
     if (!parsed.has_value()) {
       sub.OnControlFieldsMissed();
       continue;
@@ -381,12 +398,13 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
 }
 
 void Cell::ResolveGpsSlot(int slot, Interval abs) {
-  const phy::SlotReception reception = reverse_channel_.ResolveSlotPerSender(
+  reverse_channel_.ResolveSlotPerSenderInto(
       abs, gps_code_,
       [this](int sender) -> phy::SymbolErrorModel& {
         return *reverse_models_[static_cast<std::size_t>(sender)];
       },
-      rng_, config_.erasure_side_information);
+      rng_, channel_scratch_, slot_reception_, config_.erasure_side_information);
+  const phy::SlotReception& reception = slot_reception_;
   EmitSlotResolved(slot, abs, static_cast<std::int64_t>(reception.outcome),
                    /*assigned=*/bs_.gps_manager().OwnerOf(slot) != kNoUser,
                    /*designated_contention=*/false, /*is_gps=*/true);
@@ -441,12 +459,13 @@ void Cell::ResolveGpsSlot(int slot, Interval abs) {
 }
 
 void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
-  const phy::SlotReception reception = reverse_channel_.ResolveSlotPerSender(
+  reverse_channel_.ResolveSlotPerSenderInto(
       abs, data_code_,
       [this](int sender) -> phy::SymbolErrorModel& {
         return *reverse_models_[static_cast<std::size_t>(sender)];
       },
-      rng_, config_.erasure_side_information);
+      rng_, channel_scratch_, slot_reception_, config_.erasure_side_information);
+  const phy::SlotReception& reception = slot_reception_;
   if (reception.outcome == phy::SlotOutcome::kCollision &&
       GetLogLevel() >= LogLevel::kDebug) {
     std::string who;
@@ -520,6 +539,7 @@ void Cell::DeliverForwardSlot(int slot, Interval abs) {
     trace_->Record(e);
   }
   const auto emit_loss = [this, slot, &packet](std::int64_t code) {
+    if (trace_ == nullptr) return;  // skip even building the Event
     obs::Event e;
     e.kind = obs::EventKind::kForwardLoss;
     e.channel = obs::Channel::kForward;
@@ -554,13 +574,15 @@ void Cell::DeliverForwardSlot(int slot, Interval abs) {
     return;
   }
 
-  const std::vector<std::vector<fec::GfElem>> codewords = {
-      data_code_.Encode(SerializeForwardDataPacket(*packet))};
-  auto decoded = phy::ApplyChannel(codewords, data_code_,
-                                   ForwardModelFor(dest->node_index()), rng_, nullptr,
-                                   config_.erasure_side_information);
+  fwd_codewords_.resize(1);
+  fwd_codewords_[0].resize(static_cast<std::size_t>(data_code_.n()));
+  data_code_.EncodeInto(SerializeForwardDataPacket(*packet), fwd_codewords_[0]);
   std::optional<ForwardDataPacket> parsed;
-  if (decoded.has_value()) parsed = ParseForwardDataPacket(decoded->front());
+  if (phy::ApplyChannelInto(fwd_codewords_, data_code_,
+                            ForwardModelFor(dest->node_index()), rng_, channel_scratch_,
+                            fwd_decoded_, nullptr, config_.erasure_side_information)) {
+    parsed = ParseForwardDataPacket(fwd_decoded_.front());
+  }
   if (!parsed.has_value()) {
     emit_loss(obs::kLossDecodeFailure);
     ++metrics_.forward_packets_lost;

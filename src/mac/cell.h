@@ -45,8 +45,16 @@ struct ChannelModelConfig {
   Kind kind = Kind::kPerfect;
   double symbol_error_prob = 0.0;            ///< for kUniform
   phy::GilbertElliottModel::Params ge{};     ///< for kGilbertElliott
+  /// Use the geometric skip-sampling model variants (phy::Fast*).  They
+  /// consume their own SplitMix64 stream seeded with `fast_seed`, so the
+  /// shared simulation Rng's draw order is untouched — but the error
+  /// process itself differs draw-for-draw, so fast runs are goldened
+  /// separately (exp::ScenarioSpec::fast_channel).
+  bool fast_sampling = false;
 
-  std::unique_ptr<phy::SymbolErrorModel> Make() const;
+  /// `fast_seed` seeds the private stream of a fast model; ignored unless
+  /// fast_sampling is set and the kind actually draws randomness.
+  std::unique_ptr<phy::SymbolErrorModel> Make(std::uint64_t fast_seed = 0) const;
 };
 
 struct CellConfig {
@@ -198,6 +206,16 @@ class Cell {
   phy::ReverseChannel reverse_channel_;
   const fec::ReedSolomon& data_code_;  ///< RS(64,48)
   const fec::ReedSolomon& gps_code_;   ///< RS(32,9)
+
+  // Slot-resolution scratch, reused across every slot/CF delivery so the
+  // steady-state receive path performs no heap allocation (buffers reach
+  // their high-water capacity in the first cycles and stay there).
+  phy::ChannelScratch channel_scratch_;
+  phy::SlotReception slot_reception_;
+  std::vector<std::vector<fec::GfElem>> cf_codewords_;
+  std::vector<std::vector<fec::GfElem>> cf_decoded_;
+  std::vector<std::vector<fec::GfElem>> fwd_codewords_;
+  std::vector<std::vector<fec::GfElem>> fwd_decoded_;
 
   std::int64_t next_cycle_ = 0;
   std::int64_t target_cycle_ = 0;

@@ -11,6 +11,7 @@ MobileSubscriber::MobileSubscriber(int node_index, Ein ein, bool wants_gps,
       rng_(std::move(rng)) {}
 
 void MobileSubscriber::EmitContend(std::int64_t code, int slot) {
+  if (sink_ == nullptr) return;  // skip even building the Event
   obs::Event e;
   e.kind = obs::EventKind::kContend;
   e.channel = obs::Channel::kReverse;
@@ -22,6 +23,7 @@ void MobileSubscriber::EmitContend(std::int64_t code, int slot) {
 }
 
 void MobileSubscriber::EmitRetransmit() {
+  if (sink_ == nullptr) return;  // skip even building the Event
   obs::Event e;
   e.kind = obs::EventKind::kRetransmit;
   e.node = node_index_;
@@ -175,7 +177,7 @@ std::vector<PlannedBurst> MobileSubscriber::OnControlFields(const ControlFields&
 
 void MobileSubscriber::OnControlFieldsMissed() {
   ++stats_.cf_missed;
-  {
+  if (sink_ != nullptr) {
     obs::Event e;
     e.kind = obs::EventKind::kCfMissed;
     e.channel = obs::Channel::kForward;

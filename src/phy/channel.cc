@@ -5,46 +5,70 @@
 
 namespace osumac::phy {
 
+bool ApplyChannelInto(const std::vector<std::vector<fec::GfElem>>& codewords,
+                      const fec::ReedSolomon& code, SymbolErrorModel& model, Rng& rng,
+                      ChannelScratch& scratch,
+                      std::vector<std::vector<fec::GfElem>>& decoded,
+                      int* errors_corrected_out, bool use_erasure_side_info) {
+  decoded.resize(codewords.size());
+  for (std::size_t w = 0; w < codewords.size(); ++w) {
+    const auto& cw = codewords[w];
+    scratch.noisy.assign(cw.begin(), cw.end());
+    int hits = 0;
+    if (use_erasure_side_info) {
+      scratch.erasures.clear();
+      hits = model.CorruptWithSideInfo(scratch.noisy, rng, &scratch.erasures);
+    } else {
+      scratch.erasures.clear();
+      hits = model.Corrupt(scratch.noisy, rng);
+    }
+    if (hits == 0 && scratch.erasures.empty()) {
+      // Untouched word: it is the codeword we put on the air, so decoding
+      // can only succeed with zero corrections.  Skip the decoder (and
+      // even its syndrome pass) and hand back the systematic prefix.
+      decoded[w].assign(cw.begin(), cw.begin() + code.k());
+      continue;
+    }
+    bool ok = false;
+    // Filling f erasures leaves n-k-f budget for unknown errors (2e <=
+    // n-k-f).  Using all n-k flags would leave zero redundancy: ANY fill
+    // then forms a valid codeword and an unflagged error produces a
+    // *silently wrong* decode.  With one parity symbol spared (f <=
+    // n-k-1) the post-decode syndrome recheck still detects a bad fill,
+    // so long fades degrade into honest failures; beyond that the
+    // receiver falls back to errors-only decoding.
+    const std::size_t cap = static_cast<std::size_t>(code.n() - code.k() - 1);
+    if (scratch.erasures.size() <= cap) {
+      ok = code.DecodeWithErasuresInto(scratch.noisy, scratch.erasures, &scratch.decode);
+    } else {
+      ok = code.DecodeInto(scratch.noisy, &scratch.decode);
+    }
+    if (!ok) return false;
+    if (errors_corrected_out != nullptr) {
+      *errors_corrected_out += scratch.decode.errors_corrected;
+    }
+    decoded[w].assign(scratch.decode.data.begin(), scratch.decode.data.end());
+  }
+  return true;
+}
+
 std::optional<std::vector<std::vector<fec::GfElem>>> ApplyChannel(
     const std::vector<std::vector<fec::GfElem>>& codewords,
     const fec::ReedSolomon& code, SymbolErrorModel& model, Rng& rng,
     int* errors_corrected_out, bool use_erasure_side_info) {
-  std::vector<std::vector<fec::GfElem>> decoded;
-  decoded.reserve(codewords.size());
-  for (const auto& cw : codewords) {
-    std::vector<fec::GfElem> noisy = cw;
-    std::optional<fec::DecodeResult> result;
-    if (use_erasure_side_info) {
-      std::vector<int> erasures;
-      model.CorruptWithSideInfo(noisy, rng, &erasures);
-      // Filling f erasures leaves n-k-f budget for unknown errors (2e <=
-      // n-k-f).  Using all n-k flags would leave zero redundancy: ANY fill
-      // then forms a valid codeword and an unflagged error produces a
-      // *silently wrong* decode.  With one parity symbol spared (f <=
-      // n-k-1) the post-decode syndrome recheck still detects a bad fill,
-      // so long fades degrade into honest failures; beyond that the
-      // receiver falls back to errors-only decoding.
-      const std::size_t cap = static_cast<std::size_t>(code.n() - code.k() - 1);
-      if (erasures.size() <= cap) {
-        result = code.DecodeWithErasures(noisy, erasures);
-      } else {
-        result = code.Decode(noisy);
-      }
-    } else {
-      model.Corrupt(noisy, rng);
-      result = code.Decode(noisy);
-    }
-    if (!result.has_value()) return std::nullopt;
-    if (errors_corrected_out != nullptr) *errors_corrected_out += result->errors_corrected;
-    decoded.push_back(result->data);
+  ChannelScratch scratch;  // lint: allow-hot-alloc (allocating wrapper; hot paths use ApplyChannelInto)
+  std::vector<std::vector<fec::GfElem>> decoded;  // lint: allow-hot-alloc
+  if (!ApplyChannelInto(codewords, code, model, rng, scratch, decoded,
+                        errors_corrected_out, use_erasure_side_info)) {
+    return std::nullopt;
   }
   return decoded;
 }
 
 void ReverseChannel::Transmit(CodedBurst burst) { pending_.push_back(std::move(burst)); }
 
-std::vector<CodedBurst> ReverseChannel::Collect(Interval slot) {
-  std::vector<CodedBurst> hits;
+void ReverseChannel::CollectInto(Interval slot, std::vector<CodedBurst>& hits) {
+  hits.clear();
   auto it = pending_.begin();
   while (it != pending_.end()) {
     if (it->on_air.Overlaps(slot)) {
@@ -54,6 +78,11 @@ std::vector<CodedBurst> ReverseChannel::Collect(Interval slot) {
       ++it;
     }
   }
+}
+
+std::vector<CodedBurst> ReverseChannel::Collect(Interval slot) {
+  std::vector<CodedBurst> hits;  // lint: allow-hot-alloc (allocating wrapper; hot paths use CollectInto)
+  CollectInto(slot, hits);
   return hits;
 }
 
@@ -69,35 +98,46 @@ SlotReception ReverseChannel::ResolveSlotPerSender(
     Interval slot, const fec::ReedSolomon& code,
     const std::function<SymbolErrorModel&(int sender)>& model_for, Rng& rng,
     bool use_erasure_side_info) {
-  std::vector<CodedBurst> bursts = Collect(slot);
+  ChannelScratch scratch;  // lint: allow-hot-alloc (allocating wrapper; hot paths use ResolveSlotPerSenderInto)
   SlotReception reception;
-  if (bursts.empty()) {
-    reception.outcome = SlotOutcome::kIdle;
-    return reception;
-  }
-  if (bursts.size() > 1) {
+  ResolveSlotPerSenderInto(slot, code, model_for, rng, scratch, reception,
+                           use_erasure_side_info);
+  return reception;
+}
+
+void ReverseChannel::ResolveSlotPerSenderInto(
+    Interval slot, const fec::ReedSolomon& code,
+    const std::function<SymbolErrorModel&(int sender)>& model_for, Rng& rng,
+    ChannelScratch& scratch, SlotReception& out, bool use_erasure_side_info) {
+  CollectInto(slot, collected_);
+  out.outcome = SlotOutcome::kIdle;
+  out.info.clear();
+  out.sender = -1;
+  out.tag = 0;
+  out.errors_corrected = 0;
+  out.colliders.clear();
+  if (collected_.empty()) return;
+  if (collected_.size() > 1) {
     // Any mutual overlap destroys everything involved; with slot-aligned
     // transmissions all bursts in one slot overlap pairwise.
-    reception.outcome = SlotOutcome::kCollision;
-    for (const CodedBurst& b : bursts) reception.colliders.push_back(b.sender);
-    std::sort(reception.colliders.begin(), reception.colliders.end());
-    return reception;
+    out.outcome = SlotOutcome::kCollision;
+    for (const CodedBurst& b : collected_) out.colliders.push_back(b.sender);
+    std::sort(out.colliders.begin(), out.colliders.end());
+    return;
   }
 
-  const CodedBurst& burst = bursts.front();
-  reception.sender = burst.sender;
-  reception.tag = burst.tag;
+  const CodedBurst& burst = collected_.front();
+  out.sender = burst.sender;
+  out.tag = burst.tag;
   int corrected = 0;
-  auto decoded = ApplyChannel(burst.codewords, code, model_for(burst.sender), rng,
-                              &corrected, use_erasure_side_info);
-  if (!decoded.has_value()) {
-    reception.outcome = SlotOutcome::kDecodeFailure;
-    return reception;
+  if (!ApplyChannelInto(burst.codewords, code, model_for(burst.sender), rng, scratch,
+                        out.info, &corrected, use_erasure_side_info)) {
+    out.outcome = SlotOutcome::kDecodeFailure;
+    out.info.clear();  // partially decoded blocks are meaningless
+    return;
   }
-  reception.outcome = SlotOutcome::kDecoded;
-  reception.info = std::move(*decoded);
-  reception.errors_corrected = corrected;
-  return reception;
+  out.outcome = SlotOutcome::kDecoded;
+  out.errors_corrected = corrected;
 }
 
 }  // namespace osumac::phy

@@ -53,6 +53,16 @@ struct SlotReception {
   std::vector<int> colliders;
 };
 
+/// Reusable per-receiver scratch for ApplyChannelInto / ResolveSlot*.
+/// Holds the noisy codeword copy, erasure list, and decode result so
+/// steady-state slot resolution costs zero heap allocations (buffers reach
+/// their high-water capacity within the first few slots and stay there).
+struct ChannelScratch {
+  std::vector<fec::GfElem> noisy;
+  std::vector<int> erasures;
+  fec::DecodeResult decode;
+};
+
 /// Passes coded codewords through an error model and an RS decoder.
 /// Returns decoded info blocks, or nullopt if any codeword fails to decode.
 /// `errors_corrected_out`, if non-null, accumulates corrected symbol counts.
@@ -63,6 +73,20 @@ std::optional<std::vector<std::vector<fec::GfElem>>> ApplyChannel(
     const std::vector<std::vector<fec::GfElem>>& codewords,
     const fec::ReedSolomon& code, SymbolErrorModel& model, Rng& rng,
     int* errors_corrected_out = nullptr, bool use_erasure_side_info = false);
+
+/// Allocation-reusing core of ApplyChannel.  Writes the decoded info blocks
+/// into `decoded` (resized to match; inner vectors keep their capacity) and
+/// returns false if any codeword fails to decode.  Identical decode
+/// semantics to ApplyChannel.  Relies on the SymbolErrorModel contract that
+/// the returned hit count is exact: an untouched codeword (0 hits, no
+/// erasure flags) is already a valid codeword, so the RS decoder is skipped
+/// outright — by far the dominant case at paper error rates.
+bool ApplyChannelInto(const std::vector<std::vector<fec::GfElem>>& codewords,
+                      const fec::ReedSolomon& code, SymbolErrorModel& model, Rng& rng,
+                      ChannelScratch& scratch,
+                      std::vector<std::vector<fec::GfElem>>& decoded,
+                      int* errors_corrected_out = nullptr,
+                      bool use_erasure_side_info = false);
 
 /// Collision-detecting multiple-access reverse channel.
 class ReverseChannel {
@@ -84,6 +108,15 @@ class ReverseChannel {
       const std::function<SymbolErrorModel&(int sender)>& model_for, Rng& rng,
       bool use_erasure_side_info = false);
 
+  /// Allocation-reusing ResolveSlotPerSender: resolves into `out`, reusing
+  /// its vectors' capacity (the caller keeps one SlotReception alive across
+  /// slots).  Same classification and decode semantics.
+  void ResolveSlotPerSenderInto(
+      Interval slot, const fec::ReedSolomon& code,
+      const std::function<SymbolErrorModel&(int sender)>& model_for, Rng& rng,
+      ChannelScratch& scratch, SlotReception& out,
+      bool use_erasure_side_info = false);
+
   /// Number of bursts not yet resolved (should be 0 at cycle boundaries in
   /// a well-formed run; lingering bursts indicate a scheduling bug).
   std::size_t pending_bursts() const { return pending_.size(); }
@@ -93,8 +126,13 @@ class ReverseChannel {
 
  private:
   std::vector<CodedBurst> Collect(Interval slot);
+  /// Moves overlapping bursts into `hits` (cleared first, capacity reused).
+  void CollectInto(Interval slot, std::vector<CodedBurst>& hits);
 
   std::vector<CodedBurst> pending_;
+  /// Scratch for ResolveSlotPerSenderInto: reused across slots so slot
+  /// resolution does not allocate a fresh burst vector per slot.
+  std::vector<CodedBurst> collected_;
 };
 
 }  // namespace osumac::phy

@@ -90,9 +90,68 @@ class GilbertElliottModel final : public SymbolErrorModel {
   bool bad_ = false;
 };
 
+// --- fast_channel variants ---------------------------------------------
+//
+// The models above draw one Bernoulli per coded byte from the shared
+// simulation Rng, which dominates sweep wall-clock at realistic error
+// rates (almost every draw is a miss).  The Fast* variants skip directly
+// from hit to hit with geometric inter-arrival sampling, so per-symbol
+// cost vanishes when errors are rare.  They consume their OWN SplitMix64
+// stream — never the simulation Rng — so enabling them does not perturb
+// any other consumer's draw order; they are nonetheless a different
+// random process and are goldened separately (exp::ScenarioSpec::
+// fast_channel, off by default).
+
+/// Independent symbol errors with geometric skip-sampling.  Statistically
+/// matches UniformErrorModel (same per-symbol hit probability) but draws
+/// one variate per *hit*, not per symbol; the geometric gap runs across
+/// codeword boundaries like a true symbol-stream process.
+class FastUniformErrorModel final : public SymbolErrorModel {
+ public:
+  FastUniformErrorModel(double symbol_error_prob, std::uint64_t seed);
+
+  int Corrupt(std::span<fec::GfElem> codeword, Rng& rng) override;
+
+ private:
+  double p_;
+  double inv_log_q_ = 0.0;  ///< 1 / log(1 - p), for inversion sampling
+  SplitMix64Rng stream_;
+  std::uint64_t skip_ = 0;  ///< symbols until the next hit, carried across calls
+};
+
+/// Gilbert-Elliott burst channel with geometric skip-sampling in the Good
+/// state (where essentially all airtime is spent).  The Bad state is still
+/// walked per symbol: every faded symbol must be erasure-flagged anyway,
+/// so there is nothing to skip.  Same Params semantics as
+/// GilbertElliottModel; own SplitMix64 stream.
+class FastGilbertElliottModel final : public SymbolErrorModel {
+ public:
+  FastGilbertElliottModel(const GilbertElliottModel::Params& params, std::uint64_t seed);
+
+  int Corrupt(std::span<fec::GfElem> codeword, Rng& rng) override;
+  int CorruptWithSideInfo(std::span<fec::GfElem> codeword, Rng& rng,
+                          std::vector<int>* erasures) override;
+
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  /// Geometric gap (failures before first success) at probability p.
+  std::uint64_t Gap(double p);
+
+  GilbertElliottModel::Params params_;
+  SplitMix64Rng stream_;
+  bool bad_ = false;
+  std::uint64_t good_trans_skip_ = 0;  ///< Good symbols until the fade starts
+  std::uint64_t good_err_skip_ = 0;    ///< Good symbols until the next error
+};
+
 /// Factory helpers.
 std::unique_ptr<SymbolErrorModel> MakePerfectChannel();
 std::unique_ptr<SymbolErrorModel> MakeUniformChannel(double symbol_error_prob);
 std::unique_ptr<SymbolErrorModel> MakeGilbertElliottChannel(const GilbertElliottModel::Params& p);
+std::unique_ptr<SymbolErrorModel> MakeFastUniformChannel(double symbol_error_prob,
+                                                         std::uint64_t seed);
+std::unique_ptr<SymbolErrorModel> MakeFastGilbertElliottChannel(
+    const GilbertElliottModel::Params& p, std::uint64_t seed);
 
 }  // namespace osumac::phy

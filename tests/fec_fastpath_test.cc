@@ -1,0 +1,193 @@
+// The syndrome-first fast path in ReedSolomon::Decode*/DecodeWithErasures*
+// must be observationally equivalent to the full Berlekamp-Massey / Chien /
+// Forney pipeline: these tests drive both entry points over randomized
+// clean and corrupt codewords (including erasure mixes) and demand identical
+// decisions, identical data, and — on corrupt words — identical correction
+// counts.  The second half pins the edge-case hardening the hot-path bench
+// sweep exposed: invalid erasure side information is an honest nullopt,
+// never a silent mis-decode, and a wrong-length word is a contract
+// violation.
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fec/reed_solomon.h"
+
+namespace osumac::fec {
+namespace {
+
+std::vector<GfElem> RandomData(const ReedSolomon& rs, Rng& rng) {
+  std::vector<GfElem> data(static_cast<std::size_t>(rs.k()));
+  for (auto& b : data) b = static_cast<GfElem>(rng.UniformInt(0, 255));
+  return data;
+}
+
+/// Picks `count` distinct positions in [0, n).
+std::vector<int> DistinctPositions(int count, int n, Rng& rng) {
+  std::vector<int> all(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < count; ++i) {
+    std::swap(all[static_cast<std::size_t>(i)],
+              all[static_cast<std::size_t>(rng.UniformInt(i, n - 1))]);
+  }
+  all.resize(static_cast<std::size_t>(count));
+  return all;
+}
+
+/// One randomized trial: corrupt `n_errors` positions and flag `n_erasures`
+/// of a disjoint set, then require the fast-path and full-pipeline decoders
+/// to agree.  Positions flagged as erasures are zeroed (the channel's
+/// side-information contract: an erased symbol's value carries no info).
+void CheckAgreement(const ReedSolomon& rs, int n_errors, int n_erasures,
+                    Rng& rng) {
+  const auto data = RandomData(rs, rng);
+  auto word = rs.Encode(data);
+  const auto positions = DistinctPositions(n_errors + n_erasures, rs.n(), rng);
+  std::vector<int> erasures(positions.begin(),
+                            positions.begin() + n_erasures);
+  for (int i = 0; i < n_errors; ++i) {
+    auto& sym = word[static_cast<std::size_t>(positions[
+        static_cast<std::size_t>(n_erasures + i)])];
+    sym = static_cast<GfElem>(sym ^ rng.UniformInt(1, 255));
+  }
+  for (int pos : erasures) word[static_cast<std::size_t>(pos)] = 0;
+
+  DecodeResult fast;
+  DecodeResult full;
+  const bool fast_ok = rs.DecodeWithErasuresInto(word, erasures, &fast);
+  const bool full_ok = rs.DecodeWithErasuresFullInto(word, erasures, &full);
+  ASSERT_EQ(fast_ok, full_ok)
+      << "e=" << n_errors << " f=" << n_erasures;
+  const bool correctable = 2 * n_errors + n_erasures <= rs.n() - rs.k();
+  if (correctable) {
+    ASSERT_TRUE(fast_ok) << "e=" << n_errors << " f=" << n_erasures;
+  }
+  if (!fast_ok) return;
+  EXPECT_EQ(fast.data, full.data);
+  if (correctable) {
+    EXPECT_EQ(fast.data, data) << "e=" << n_errors << " f=" << n_erasures;
+  }
+  // A clean word with erasure flags is the one case where the two paths may
+  // legitimately report different erasures_filled: the full pipeline "fills"
+  // the flagged positions with zero-magnitude corrections while the fast
+  // path sees all-zero syndromes and reports 0 work (see reed_solomon.h).
+  const bool syndromes_clean = rs.IsCodeword(word);
+  if (!syndromes_clean) {
+    EXPECT_EQ(fast.errors_corrected, full.errors_corrected);
+    EXPECT_EQ(fast.erasures_filled, full.erasures_filled);
+  } else {
+    EXPECT_EQ(fast.errors_corrected, 0);
+    EXPECT_EQ(fast.erasures_filled, 0);
+  }
+}
+
+TEST(FecFastPathTest, CleanWordsTakeFastPathAndAgree) {
+  const auto& rs = ReedSolomon::Osu6448();
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    CheckAgreement(rs, /*n_errors=*/0, /*n_erasures=*/0, rng);
+  }
+}
+
+TEST(FecFastPathTest, CleanWordsWithErasureFlagsAgreeOnData) {
+  const auto& rs = ReedSolomon::Osu6448();
+  Rng rng(102);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Flagging an already-zero symbol keeps the word clean only when the
+    // encoded symbol there happens to be 0; zeroing it generally corrupts.
+    // Either way the two decoders must agree bit-for-bit on the data.
+    CheckAgreement(rs, 0, rng.UniformInt(1, rs.n() - rs.k() - 1), rng);
+  }
+}
+
+TEST(FecFastPathTest, RandomErrorErasureMixesAgree) {
+  const auto& rs = ReedSolomon::Osu6448();
+  Rng rng(103);
+  for (int trial = 0; trial < 400; ++trial) {
+    // Spans correctable and uncorrectable mixes: 2e + f up to beyond n-k.
+    const int e = rng.UniformInt(0, rs.t() + 2);
+    const int f = rng.UniformInt(0, rs.n() - rs.k() - 1);
+    CheckAgreement(rs, e, f, rng);
+  }
+}
+
+TEST(FecFastPathTest, ShortCodeMixesAgree) {
+  const auto& rs = ReedSolomon::Osu329();
+  Rng rng(104);
+  for (int trial = 0; trial < 400; ++trial) {
+    // The short code is mostly parity (n-k = 23 of n = 32), so cap e + f at
+    // n distinct positions.
+    const int f = rng.UniformInt(0, rs.n() - rs.k() - 1);
+    const int e = rng.UniformInt(0, std::min(rs.t() + 2, rs.n() - f));
+    CheckAgreement(rs, e, f, rng);
+  }
+}
+
+TEST(FecFastPathTest, FastPathReportsZeroWork) {
+  const auto& rs = ReedSolomon::Osu6448();
+  Rng rng(105);
+  const auto data = RandomData(rs, rng);
+  const auto word = rs.Encode(data);
+  const auto result = rs.Decode(word);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->data, data);
+  EXPECT_EQ(result->errors_corrected, 0);
+  EXPECT_EQ(result->erasures_filled, 0);
+}
+
+// ---- Edge-case hardening: invalid side information is an honest failure.
+
+TEST(FecFastPathTest, TooManyErasuresIsDecodeFailure) {
+  const auto& rs = ReedSolomon::Osu6448();
+  Rng rng(106);
+  const auto word = rs.Encode(RandomData(rs, rng));
+  const int nroots = rs.n() - rs.k();
+  auto erasures = DistinctPositions(nroots + 1, rs.n(), rng);
+  EXPECT_EQ(rs.DecodeWithErasures(word, erasures), std::nullopt);
+  // Exactly n-k erasures is still within the code's capability.
+  erasures.resize(static_cast<std::size_t>(nroots));
+  std::vector<GfElem> erased = word;
+  for (int pos : erasures) erased[static_cast<std::size_t>(pos)] = 0;
+  const auto ok = rs.DecodeWithErasures(erased, erasures);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(std::equal(ok->data.begin(), ok->data.end(), word.begin()));
+}
+
+TEST(FecFastPathTest, DuplicateErasurePositionIsDecodeFailure) {
+  const auto& rs = ReedSolomon::Osu6448();
+  Rng rng(107);
+  const auto word = rs.Encode(RandomData(rs, rng));
+  const std::vector<int> dup = {5, 9, 5};
+  EXPECT_EQ(rs.DecodeWithErasures(word, dup), std::nullopt);
+  DecodeResult out;
+  EXPECT_FALSE(rs.DecodeWithErasuresInto(word, dup, &out));
+  EXPECT_FALSE(rs.DecodeWithErasuresFullInto(word, dup, &out));
+}
+
+TEST(FecFastPathTest, OutOfRangeErasurePositionIsDecodeFailure) {
+  const auto& rs = ReedSolomon::Osu6448();
+  Rng rng(108);
+  const auto word = rs.Encode(RandomData(rs, rng));
+  EXPECT_EQ(rs.DecodeWithErasures(word, std::vector<int>{-1}), std::nullopt);
+  EXPECT_EQ(rs.DecodeWithErasures(word, std::vector<int>{rs.n()}),
+            std::nullopt);
+  EXPECT_EQ(rs.DecodeWithErasures(word, std::vector<int>{1000000}),
+            std::nullopt);
+}
+
+TEST(FecFastPathDeathTest, WrongLengthWordIsContractViolation) {
+  const auto& rs = ReedSolomon::Osu6448();
+  const std::vector<GfElem> empty;
+  const std::vector<GfElem> short_word(static_cast<std::size_t>(rs.n() - 1));
+  EXPECT_DEATH((void)rs.Decode(empty), "received.size");
+  EXPECT_DEATH((void)rs.Decode(short_word), "received.size");
+  DecodeResult out;
+  EXPECT_DEATH((void)rs.DecodeWithErasuresInto(empty, {}, &out),
+               "received.size");
+}
+
+}  // namespace
+}  // namespace osumac::fec

@@ -1,20 +1,47 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_perf.json wall-clock trajectory file.
+"""Validate a BENCH_perf.json wall-clock trajectory file and gate perf
+regressions.
 
-Usage: check_perf.py [BENCH_perf.json]   (default: BENCH_perf.json)
+Usage: check_perf.py [BENCH_perf.json] [options]
 
-Checks the schema written by obs::WriteWallTimersJson from make_figures:
-a provenance header string, and a "phases" array where every entry has
-name/count/total_seconds/mean_seconds/max_seconds, all required phases
-are present, and the numbers are internally consistent (count >= 1,
-0 <= mean <= max <= total, %.17g round-trip exact).  CI runs this as the
-perf-smoke step against the committed repo-root BENCH_perf.json so the
-perf trajectory never silently rots.
+Options:
+  --allow-dirty        accept provenance from a dirty working tree (local
+                       iteration only; CI and committed artifacts must be
+                       clean)
+  --require-hotpaths   also require the bench_hotpaths phases and their
+                       relative-speed invariants (the Release CI job sets
+                       this after merging bench output into the file)
+  --max-phase NAME=S   fail if phase NAME's total_seconds exceeds S
+                       (repeatable; absolute budgets for a known machine)
+
+Checks, in order:
+  1. Schema written by obs::WriteWallTimersJson: a provenance header
+     string and a "phases" array where every entry has name/count/
+     total_seconds/mean_seconds/max_seconds, counts are integers >= 1,
+     numbers are internally consistent (mean*count == total, max <= total).
+  2. Provenance hygiene: a `-dirty` git describe means the artifact was
+     generated from an uncommitted tree and is rejected (this caught
+     BENCH_perf.json being committed with version=84fe8eb-dirty).
+  3. The make_figures phases exist and the sweep recorded real wall time.
+  4. With --require-hotpaths, relative invariants that hold on any
+     machine, so CI never depends on absolute host speed:
+       - clean RS decode (syndrome fast path) beats the full
+         Berlekamp-Massey pipeline by at least 1.5x
+       - geometric skip-sampling beats the per-symbol Bernoulli loop
+       - an untraced cycle step costs no more than 1.10x a traced one
+         (zero-cost disabled observability, with 10% timer noise head).
+
+CI runs this as the perf-smoke step against the committed repo-root
+BENCH_perf.json so the perf trajectory never silently rots.
 """
 import json
 import sys
 
 REQUIRED_PHASES = ("spec_build", "sweep", "write_csv", "write_sweeps_json")
+HOTPATH_PHASES = ("hotpath_rs_encode", "hotpath_rs_decode_clean",
+                  "hotpath_rs_decode_corrupt", "hotpath_channel_uniform",
+                  "hotpath_channel_fast", "hotpath_cycle_untraced",
+                  "hotpath_cycle_traced")
 REQUIRED_FIELDS = ("name", "count", "total_seconds", "mean_seconds",
                    "max_seconds")
 
@@ -24,23 +51,83 @@ def fail(msg):
     sys.exit(1)
 
 
+def parse_args(argv):
+    path = None
+    allow_dirty = False
+    require_hotpaths = False
+    max_phase = {}
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--allow-dirty":
+            allow_dirty = True
+        elif arg == "--require-hotpaths":
+            require_hotpaths = True
+        elif arg == "--max-phase":
+            i += 1
+            if i >= len(argv) or "=" not in argv[i]:
+                fail("--max-phase needs NAME=SECONDS")
+            name, _, value = argv[i].partition("=")
+            try:
+                max_phase[name] = float(value)
+            except ValueError:
+                fail(f"--max-phase {argv[i]!r}: {value!r} is not a number")
+        elif arg.startswith("--"):
+            fail(f"unknown option {arg!r}")
+        elif path is None:
+            path = arg
+        else:
+            fail(f"unexpected argument {arg!r}")
+        i += 1
+    return path or "BENCH_perf.json", allow_dirty, require_hotpaths, max_phase
+
+
+def mean_of(seen, name):
+    """Mean seconds of a phase, guarding the zero-count division."""
+    entry = seen[name]
+    count = entry["count"]
+    if count <= 0:  # schema pass rejects this, but belt and braces
+        fail(f"phase {name!r}: cannot compute mean with count {count}")
+    return entry["total_seconds"] / count
+
+
+def check_ratio(seen, fast_name, slow_name, limit, what):
+    fast = mean_of(seen, fast_name)
+    slow = mean_of(seen, slow_name)
+    if slow <= 0.0:
+        fail(f"phase {slow_name!r} recorded zero wall time — timer broken, "
+             f"cannot gate {what}")
+    if fast > slow * limit:
+        fail(f"{what}: {fast_name} mean {fast:.6f}s exceeds "
+             f"{limit}x {slow_name} mean {slow:.6f}s")
+
+
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_perf.json"
+    path, allow_dirty, require_hotpaths, max_phase = parse_args(sys.argv[1:])
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level JSON value must be an object, "
+             f"got {type(doc).__name__}")
 
     prov = doc.get("provenance")
     if not isinstance(prov, str) or "version=" not in prov:
         fail("missing or malformed provenance header")
+    if "-dirty" in prov and not allow_dirty:
+        fail(f"provenance records a dirty working tree ({prov!r}); "
+             "regenerate the artifact from a clean checkout "
+             "(or pass --allow-dirty for local iteration)")
     phases = doc.get("phases")
     if not isinstance(phases, list) or not phases:
         fail("missing or empty phases array")
 
     seen = {}
     for entry in phases:
+        if not isinstance(entry, dict):
+            fail(f"phase entry must be an object: {entry!r}")
         for field in REQUIRED_FIELDS:
             if field not in entry:
                 fail(f"phase entry missing field {field!r}: {entry}")
@@ -52,11 +139,12 @@ def main():
         total = entry["total_seconds"]
         mean = entry["mean_seconds"]
         mx = entry["max_seconds"]
-        if not isinstance(count, int) or count < 1:
-            fail(f"phase {name!r}: count must be an integer >= 1, got {count}")
+        # bool is an int subclass; a JSON `true` count must still fail.
+        if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+            fail(f"phase {name!r}: count must be an integer >= 1, got {count!r}")
         for label, v in (("total", total), ("mean", mean), ("max", mx)):
-            if not isinstance(v, (int, float)) or v < 0:
-                fail(f"phase {name!r}: {label}_seconds must be >= 0, got {v}")
+            if isinstance(v, bool) or not isinstance(v, (int, float)) or v < 0:
+                fail(f"phase {name!r}: {label}_seconds must be >= 0, got {v!r}")
         # mean*count should reproduce total, and no sample exceeds the sum.
         if abs(mean * count - total) > 1e-9 * max(1.0, total):
             fail(f"phase {name!r}: mean*count != total "
@@ -69,6 +157,25 @@ def main():
         fail(f"required phase(s) absent: {', '.join(missing)}")
     if seen["sweep"]["total_seconds"] <= 0:
         fail("sweep phase recorded zero wall time — timer not running?")
+
+    if require_hotpaths:
+        missing = [p for p in HOTPATH_PHASES if p not in seen]
+        if missing:
+            fail(f"hotpath phase(s) absent (run bench_hotpaths --merge-into): "
+                 f"{', '.join(missing)}")
+        check_ratio(seen, "hotpath_rs_decode_clean", "hotpath_rs_decode_corrupt",
+                    1.0 / 1.5, "syndrome fast path regression")
+        check_ratio(seen, "hotpath_channel_fast", "hotpath_channel_uniform",
+                    1.0, "fast-channel skip-sampling regression")
+        check_ratio(seen, "hotpath_cycle_untraced", "hotpath_cycle_traced",
+                    1.10, "disabled-observability overhead regression")
+
+    for name, budget in max_phase.items():
+        if name not in seen:
+            fail(f"--max-phase {name}: no such phase in {path}")
+        total = seen[name]["total_seconds"]
+        if total > budget:
+            fail(f"phase {name!r}: total {total:.3f}s exceeds budget {budget}s")
 
     total = sum(e["total_seconds"] for e in phases)
     print(f"check_perf: OK: {path}: {len(phases)} phase(s), "

@@ -57,6 +57,16 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
+def need(ev: dict, key: str, where: str):
+    """Fetch a required event field, failing with a diagnostic (not a
+    KeyError traceback) when a malformed producer omitted it."""
+    if not isinstance(ev, dict):
+        fail(f"{where}: event is not an object: {ev!r}")
+    if key not in ev:
+        fail(f"{where}: event missing required field {key!r}: {ev}")
+    return ev[key]
+
+
 def terminal(stage: int, cls: int) -> bool:
     if stage == STAGE_DROPPED:
         return True
@@ -105,6 +115,9 @@ def check_chrome_trace(path: str) -> int:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level JSON value must be an object, "
+             f"got {type(doc).__name__}")
 
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -188,10 +201,11 @@ def load_jsonl(path: str) -> list:
 
 
 def describe_stage(ev: dict) -> str:
-    stage = ev["a0"]
+    stage = need(ev, "a0", "lifecycle chain")
     name = STAGE_NAMES.get(stage, f"stage{stage}")
     if stage == STAGE_DROPPED:
-        name += f"[{DROP_CODES.get(ev['a2'], ev['a2'])}]"
+        detail = need(ev, "a2", "dropped lifecycle event")
+        name += f"[{DROP_CODES.get(detail, detail)}]"
     if ev.get("slot", -1) >= 0:
         name += f"@slot{ev['slot']}"
     return name
@@ -202,12 +216,13 @@ def chain_str(chain: list) -> str:
     prev_tick = None
     for ev in chain:
         stage = describe_stage(ev)
+        tick = need(ev, "tick", "lifecycle chain")
         if prev_tick is None:
-            parts.append(f"{stage} t={ev['tick'] / TICKS_PER_SECOND:.4f}s")
+            parts.append(f"{stage} t={tick / TICKS_PER_SECOND:.4f}s")
         else:
-            dt = (ev["tick"] - prev_tick) / TICKS_PER_SECOND
+            dt = (tick - prev_tick) / TICKS_PER_SECOND
             parts.append(f"{stage} (+{dt:.4f}s)")
-        prev_tick = ev["tick"]
+        prev_tick = tick
     return " -> ".join(parts)
 
 
@@ -230,11 +245,14 @@ def check_flight_dump(dump_dir: str) -> int:
     tracker = SpanTracker()
     lifecycles: dict = {}  # id -> list of events in emission order
     for i, ev in enumerate(events):
-        if ev.get("kind") != "lifecycle":
+        if not isinstance(ev, dict) or ev.get("kind") != "lifecycle":
             continue
-        stage, span_id, cls = ev["a0"], ev["a1"], ev["a3"]
-        tracker.observe(span_id, stage == 0, terminal(stage, cls), ev["tick"],
-                        f"events.jsonl event {i}")
+        where = f"events.jsonl event {i}"
+        stage = need(ev, "a0", where)
+        span_id = need(ev, "a1", where)
+        cls = need(ev, "a3", where)
+        tracker.observe(span_id, stage == 0, terminal(stage, cls),
+                        need(ev, "tick", where), where)
         lifecycles.setdefault(span_id, []).append(ev)
     if not lifecycles:
         fail("no lifecycle events in the dump window")
@@ -251,7 +269,8 @@ def check_flight_dump(dump_dir: str) -> int:
                if chain[-1]["a0"] == STAGE_DROPPED]
     for sid, chain in dropped:
         cls = CLASS_NAMES.get(chain[-1]["a3"], "?")
-        print(f"  dropped {cls} lifecycle 0x{sid:x} node {chain[-1]['node']}: "
+        node = need(chain[-1], "node", f"dropped lifecycle 0x{sid:x}")
+        print(f"  dropped {cls} lifecycle 0x{sid:x} node {node}: "
               f"{chain_str(chain)}")
 
     # GPS budget analysis.  Two complementary reconstructions:
@@ -266,7 +285,9 @@ def check_flight_dump(dump_dir: str) -> int:
     for sid, chain in lifecycles.items():
         last = chain[-1]
         if last["a3"] == CLASS_GPS and last["a0"] == STAGE_DELIVERED:
-            deliveries.setdefault(last["node"], []).append((last["end"], sid))
+            where = f"delivered GPS lifecycle 0x{sid:x}"
+            deliveries.setdefault(need(last, "node", where), []).append(
+                (need(last, "end", where), sid))
     blown = 0
     for node, arrivals in sorted(deliveries.items()):
         arrivals.sort()
@@ -287,7 +308,7 @@ def check_flight_dump(dump_dir: str) -> int:
             continue
         blown += 1
         transition = " -> ".join(describe_stage(ev) for ev in chain[-2:])
-        print(f"  BLOWN BUDGET: node {last['node']} lost the report in its "
+        print(f"  BLOWN BUDGET: node {need(last, 'node', 'dropped GPS lifecycle')} lost the report in its "
               f"slot — the surrounding inter-delivery gap is >= 7.97s > "
               f"{GPS_BUDGET_S}s; stage that blew the budget: {transition} "
               f"at t={last['tick'] / TICKS_PER_SECOND:.4f}s")

@@ -40,6 +40,13 @@ Rules (each exists because a real failure mode motivated it):
                    sweep-parallel.  Multi-cell/extension harnesses the
                    engine does not model (e.g. MultiChannelCell) are not
                    affected.
+  hot-alloc        No std::vector construction in the per-slot hot paths
+                   (src/fec/reed_solomon.cc, src/phy/channel.cc,
+                   src/phy/error_model.cc): the sweep fast path works on
+                   caller-provided scratch (ChannelScratch, *Into APIs) so
+                   no slot allocates.  Setup-time code (constructors, the
+                   allocating convenience wrappers) carries a
+                   `lint: allow-hot-alloc` waiver comment.
   raw-latency      No ad-hoc latency arithmetic (+/-) on raw obs event
                    timestamps (`.tick`, `.span.begin`, `.span.end`) in src/
                    outside src/obs/: delay and gap measurement goes through
@@ -187,6 +194,59 @@ def check_bench_direct_cell() -> None:
                         "not construct them directly")
 
 
+# Files whose per-slot loops the sweep spends its wall-clock in; building a
+# std::vector there reintroduces the per-slot allocations the ChannelScratch /
+# *Into refactor removed.
+HOT_ALLOC_FILES = ("src/fec/reed_solomon.cc", "src/phy/channel.cc",
+                   "src/phy/error_model.cc")
+HOT_ALLOC = re.compile(r"\bstd::vector\s*<")
+HOT_ALLOC_WAIVER = re.compile(r"lint:\s*allow-hot-alloc")
+
+
+def _constructs_vector(line: str) -> bool:
+    """True if the line constructs a std::vector object (a declaration or a
+    temporary) rather than naming the type as a reference, pointer, or the
+    return type of an out-of-line qualified function definition."""
+    for m in HOT_ALLOC.finditer(line):
+        depth = 1
+        i = m.end()
+        while i < len(line) and depth > 0:
+            if line[i] == "<":
+                depth += 1
+            elif line[i] == ">":
+                depth -= 1
+            i += 1
+        if depth > 0:
+            return True  # type spans lines; assume the worst
+        rest = line[i:].lstrip()
+        if rest[:1] in ("&", "*"):
+            continue  # reference/pointer parameter: no allocation
+        if rest[:1] in (">", ","):
+            continue  # nested inside an enclosing template argument list
+        name = re.match(r"[A-Za-z_]\w*", rest)
+        if name and rest[name.end():].startswith("::"):
+            continue  # qualified return type of a function definition
+        return True
+    return False
+
+
+def check_hot_alloc() -> None:
+    for rel in HOT_ALLOC_FILES:
+        path = REPO / rel
+        if not path.exists():
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            if HOT_ALLOC_WAIVER.search(raw):
+                continue
+            line = strip_comments_and_strings(raw)
+            if _constructs_vector(line):
+                finding(path, lineno, "hot-alloc",
+                        "std::vector constructed in a phy/fec hot path; use "
+                        "the caller-provided scratch (ChannelScratch / *Into "
+                        "APIs) or add a `lint: allow-hot-alloc` waiver for "
+                        "setup-time code")
+
+
 # An event timestamp field with +/- arithmetic touching it on either side.
 # Requiring the operator adjacent keeps plain reads and assignments
 # (`violation.tick = ev.tick;`) out of scope.
@@ -230,6 +290,7 @@ def main() -> int:
     check_raw_latency()
     check_raw_sanitize()
     check_bench_direct_cell()
+    check_hot_alloc()
     if findings:
         print("\n".join(findings))
         print(f"\nlint: {len(findings)} finding(s)", file=sys.stderr)
