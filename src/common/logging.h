@@ -12,8 +12,10 @@ namespace osumac {
 
 enum class LogLevel { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
 
-/// Process-wide log threshold. Not thread-safe by design: the simulator is
-/// single-threaded and deterministic.
+/// Process-wide log threshold.  Stored atomically: SweepRunner workers log
+/// through the same backend, so the level must be readable from any thread
+/// without a data race (set it before fanning work out; a mid-sweep change
+/// is applied on each worker's next check, with no ordering guarantee).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

@@ -27,15 +27,23 @@ class SplitMix64Rng {
  public:
   explicit SplitMix64Rng(std::uint64_t seed) : state_(seed) {}
 
+  // Move-only: copying a stream forks it silently — two consumers would
+  // replay the same draws, breaking the one-stream-per-consumer discipline
+  // (exp/seed.h) that makes sweeps bit-identical at any job count.
+  SplitMix64Rng(const SplitMix64Rng&) = delete;
+  SplitMix64Rng& operator=(const SplitMix64Rng&) = delete;
+  SplitMix64Rng(SplitMix64Rng&&) = default;
+  SplitMix64Rng& operator=(SplitMix64Rng&&) = default;
+
   /// Raw 64-bit draw.
-  std::uint64_t Next() {
+  [[nodiscard]] std::uint64_t Next() {
     const std::uint64_t out = SplitMix64(state_);
     state_ += kSplitMix64Gamma;
     return out;
   }
 
   /// Uniform double in the OPEN interval (0, 1) — safe as a log() argument.
-  double NextOpenDouble() {
+  [[nodiscard]] double NextOpenDouble() {
     return (static_cast<double>(Next() >> 12) + 0.5) * 0x1.0p-52;
   }
 
@@ -49,34 +57,44 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
+  // Move-only, like SplitMix64Rng: an accidental copy is an accidental
+  // stream fork.  Components that need an independent stream take one by
+  // value (moved in) or call Fork(), which advances the parent.
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
-  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+  [[nodiscard]] std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
   }
 
   /// Uniform real in [lo, hi).
-  double UniformReal(double lo, double hi) {
+  [[nodiscard]] double UniformReal(double lo, double hi) {
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
   }
 
   /// Bernoulli trial with success probability p.
-  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+  [[nodiscard]] bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
 
   /// Exponentially distributed value with the given mean (> 0).
-  double Exponential(double mean) {
+  [[nodiscard]] double Exponential(double mean) {
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
 
   /// Geometric number of failures before first success, success prob p.
-  std::int64_t Geometric(double p) {
+  [[nodiscard]] std::int64_t Geometric(double p) {
     return std::geometric_distribution<std::int64_t>(p)(engine_);
   }
 
   /// Derives an independent child generator (e.g. one per subscriber).
-  Rng Fork() { return Rng(engine_()); }
+  [[nodiscard]] Rng Fork() { return Rng(engine_()); }
 
   /// Raw 64-bit draw.
-  std::uint64_t Next() { return engine_(); }
+  [[nodiscard]] std::uint64_t Next() { return engine_(); }
 
   std::mt19937_64& engine() { return engine_; }
 

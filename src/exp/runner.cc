@@ -5,15 +5,70 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "exp/seed.h"
 #include "mac/cycle_layout.h"
 #include "metrics/cell_metrics.h"
 
 namespace osumac::exp {
+
+namespace {
+
+/// The shared mutable state of one ParallelForIndex fan-out.  Everything
+/// here is annotated or atomic (checked by -Wthread-safety and the
+/// shared-state-annotation lint rule): the claim cursor and stop flag are
+/// atomics — a plain int cursor or bool flag here would be a data race the
+/// compiler is free to hoist out of the worker loop — and the first-error
+/// slot is mutex-guarded so exactly one exception survives the fan-out.
+class WorkerPool {
+ public:
+  WorkerPool(int count, const std::function<void(int)>& fn)
+      : count_(count), fn_(fn) {}
+
+  /// Claims and runs indices until the range is exhausted or a sibling
+  /// worker failed.  Runs on every pool thread.
+  void Work() EXCLUDES(mu_) {
+    for (;;) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      const int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count_) return;
+      try {
+        fn_(i);
+      } catch (...) {
+        // Tell the siblings to stop claiming; keep only the first error so
+        // the caller sees the original failure, not a cascade.
+        stop_.store(true, std::memory_order_relaxed);
+        const MutexLock lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        return;
+      }
+    }
+  }
+
+  /// Rethrows the first worker exception, if any.  Call after every pool
+  /// thread has joined.
+  void RethrowIfFailed() EXCLUDES(mu_) {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(mu_);
+      error = first_error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  const int count_;
+  const std::function<void(int)>& fn_;
+  std::atomic<int> next_{0};      ///< next unclaimed index
+  std::atomic<bool> stop_{false};  ///< latched by the first failing worker
+  Mutex mu_;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 ScenarioRun::ScenarioRun(const ScenarioSpec& spec)
     : spec_(spec), cell_(std::make_unique<mac::Cell>(spec.BuildCellConfig())) {
@@ -210,27 +265,12 @@ void ParallelForIndex(int count, int jobs, const std::function<void(int)>& fn) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::atomic<int> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&]() {
-    for (;;) {
-      const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
+  WorkerPool shared(count, fn);
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(jobs));
-  for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (int t = 0; t < jobs; ++t) pool.emplace_back([&shared] { shared.Work(); });
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  shared.RethrowIfFailed();
 }
 
 SweepRunner::SweepRunner(int jobs) : jobs_(ResolveJobs(jobs)) {}
@@ -238,16 +278,23 @@ SweepRunner::SweepRunner(int jobs) : jobs_(ResolveJobs(jobs)) {}
 std::vector<RunResult> SweepRunner::Run(
     const std::vector<ScenarioSpec>& specs,
     const std::function<void(int, int)>& progress) const {
+  // Result slots need no lock: workers write disjoint indices (each index
+  // is claimed exactly once), and the joins inside ParallelForIndex publish
+  // every slot to this thread before `results` is read.
   std::vector<RunResult> results(specs.size());
   const int total = static_cast<int>(specs.size());
-  std::mutex progress_mutex;
-  int completed = 0;
+  // The progress callback is documented as serialized; the counter shares
+  // its mutex so (completed, total) pairs arrive in order.
+  struct ProgressState {
+    Mutex mu;
+    int completed GUARDED_BY(mu) = 0;
+  } state;
   ParallelForIndex(total, jobs_, [&](int i) {
     results[static_cast<std::size_t>(i)] =
         RunScenario(specs[static_cast<std::size_t>(i)]);
     if (progress) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      progress(++completed, total);
+      const MutexLock lock(state.mu);
+      progress(++state.completed, total);
     }
   });
   return results;

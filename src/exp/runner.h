@@ -134,7 +134,10 @@ class SweepRunner {
       const std::function<void(int, int)>& progress = {}) const;
 
  private:
-  int jobs_;
+  // Immutable after construction; the fan-out's shared mutable state lives
+  // in the annotated WorkerPool in runner.cc, not on this object (which is
+  // why Run() can be const and the runner reusable across sweeps).
+  const int jobs_;
 };
 
 /// Worker count for `jobs` requested (0 → hardware concurrency, min 1).

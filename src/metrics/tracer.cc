@@ -6,7 +6,7 @@ namespace osumac::metrics {
 
 void CycleTracer::Sample(const mac::Cell& cell) {
   if (bound_ != &cell) {
-    registry_ = obs::MetricsRegistry{};
+    registry_.Reset();
     RegisterCellMetrics(registry_, cell);
     prev_.clear();
     bound_ = &cell;

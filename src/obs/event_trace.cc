@@ -37,6 +37,7 @@ EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
 
 void EventTrace::Record(const Event& event) {
   Event stamped = event;
+  const MutexLock lock(mu_);
   if (clock_) stamped.tick = clock_();
   if (stamped.cycle < 0) stamped.cycle = cycle_;
   if (ring_.size() < capacity_) {
@@ -47,13 +48,33 @@ void EventTrace::Record(const Event& event) {
   ++recorded_;
 }
 
-std::size_t EventTrace::size() const { return ring_.size(); }
+void EventTrace::SetClock(std::function<Tick()> clock) {
+  const MutexLock lock(mu_);
+  clock_ = std::move(clock);
+}
+
+void EventTrace::SetCycle(std::int64_t cycle) {
+  const MutexLock lock(mu_);
+  cycle_ = cycle;
+}
+
+std::size_t EventTrace::size() const {
+  const MutexLock lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t EventTrace::recorded() const {
+  const MutexLock lock(mu_);
+  return recorded_;
+}
 
 std::uint64_t EventTrace::dropped() const {
+  const MutexLock lock(mu_);
   return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
 }
 
 const Event& EventTrace::at(std::size_t i) const {
+  const MutexLock lock(mu_);
   OSUMAC_CHECK_LT(i, ring_.size());
   if (recorded_ <= capacity_) return ring_[i];
   // Full ring: the oldest retained record sits where the next write lands.
@@ -68,6 +89,7 @@ std::vector<Event> EventTrace::Snapshot() const {
 }
 
 void EventTrace::Clear() {
+  const MutexLock lock(mu_);
   ring_.clear();
   recorded_ = 0;
 }

@@ -5,6 +5,13 @@
 // says how many were lost).  A tick clock and a cycle context are stamped
 // onto every record so emitters do not need to know simulation time; the
 // Cell installs both when a trace is attached.
+//
+// Thread safety: the ring and its stamping context are guarded by an
+// internal mutex, so a trace may be shared between a recording cell and a
+// live reader (or, ahead of the parallel Network, between cells).  The
+// accessors that hand out references into the ring — at() and ForEach() —
+// are only meaningful while no writer is active; concurrent readers should
+// take Snapshot(), which copies under the lock.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/event.h"
 
 namespace osumac::obs {
@@ -24,30 +32,33 @@ class EventTrace : public EventSink {
 
   // --- recording ------------------------------------------------------------
 
-  void Record(const Event& event) override;
+  void Record(const Event& event) override EXCLUDES(mu_);
 
   /// Installs the clock used to stamp `tick` on each record (null resets;
   /// records then keep the tick the emitter provided).
-  void SetClock(std::function<Tick()> clock) { clock_ = std::move(clock); }
+  void SetClock(std::function<Tick()> clock) EXCLUDES(mu_);
 
   /// Sets the cycle stamped onto subsequent records (the Cell calls this at
   /// every cycle start).
-  void SetCycle(std::int64_t cycle) { cycle_ = cycle; }
+  void SetCycle(std::int64_t cycle) EXCLUDES(mu_);
 
   // --- inspection -----------------------------------------------------------
 
   std::size_t capacity() const { return capacity_; }
   /// Events currently retained (<= capacity()).
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
   /// Events recorded since construction/Clear (retained + dropped).
-  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t recorded() const EXCLUDES(mu_);
   /// Events overwritten because the ring wrapped.
-  std::uint64_t dropped() const;
+  std::uint64_t dropped() const EXCLUDES(mu_);
 
   /// The `i`-th retained event in insertion order (0 = oldest retained).
-  const Event& at(std::size_t i) const;
+  /// The reference outlives the internal lock: valid only while no writer
+  /// is active (use Snapshot() under concurrency).
+  const Event& at(std::size_t i) const EXCLUDES(mu_);
 
-  /// Calls `fn(event)` for every retained event, oldest first.
+  /// Calls `fn(event)` for every retained event, oldest first.  Like at(),
+  /// requires a quiescent trace.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     const std::size_t n = size();
@@ -55,17 +66,18 @@ class EventTrace : public EventSink {
   }
 
   /// Copies the retained events into a vector, oldest first.
-  std::vector<Event> Snapshot() const;
+  std::vector<Event> Snapshot() const EXCLUDES(mu_);
 
   /// Discards all retained events and resets the drop/record counters.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
-  std::size_t capacity_;
-  std::vector<Event> ring_;
-  std::uint64_t recorded_ = 0;  ///< total Record() calls
-  std::function<Tick()> clock_;
-  std::int64_t cycle_ = -1;
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<Event> ring_ GUARDED_BY(mu_);
+  std::uint64_t recorded_ GUARDED_BY(mu_) = 0;  ///< total Record() calls
+  std::function<Tick()> clock_ GUARDED_BY(mu_);
+  std::int64_t cycle_ GUARDED_BY(mu_) = -1;
 };
 
 }  // namespace osumac::obs

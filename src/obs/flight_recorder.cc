@@ -8,20 +8,70 @@
 
 namespace osumac::obs {
 
+void FlightRecorder::AttachTrace(const EventTrace* trace) {
+  const MutexLock lock(mu_);
+  trace_ = trace;
+}
+
+void FlightRecorder::AttachRegistry(const MetricsRegistry* registry) {
+  const MutexLock lock(mu_);
+  registry_ = registry;
+}
+
+void FlightRecorder::AttachSlo(const SloMonitor* slo) {
+  const MutexLock lock(mu_);
+  slo_ = slo;
+}
+
+void FlightRecorder::SetScenario(std::string description) {
+  const MutexLock lock(mu_);
+  scenario_ = std::move(description);
+}
+
+void FlightRecorder::SetProvenance(std::string line) {
+  const MutexLock lock(mu_);
+  provenance_ = std::move(line);
+}
+
 void FlightRecorder::OnCycle(std::int64_t cycle) {
+  const MutexLock lock(mu_);
+  // Nested acquisition of the registry's own mutex inside ours; safe, the
+  // registry never calls back into the recorder.
   ring_.emplace_back(cycle, registry_ ? registry_->Collect()
                                       : MetricsRegistry::Snapshot{});
   while (ring_.size() > config_.max_cycles) ring_.pop_front();
 }
 
 void FlightRecorder::Trip(const std::string& reason, std::int64_t cycle) {
+  const MutexLock lock(mu_);
   if (tripped_) return;
   tripped_ = true;
   trip_reason_ = reason;
   trip_cycle_ = cycle;
 }
 
+bool FlightRecorder::tripped() const {
+  const MutexLock lock(mu_);
+  return tripped_;
+}
+
+std::string FlightRecorder::trip_reason() const {
+  const MutexLock lock(mu_);
+  return trip_reason_;
+}
+
+std::int64_t FlightRecorder::trip_cycle() const {
+  const MutexLock lock(mu_);
+  return trip_cycle_;
+}
+
+std::size_t FlightRecorder::snapshots() const {
+  const MutexLock lock(mu_);
+  return ring_.size();
+}
+
 bool FlightRecorder::Dump(const std::string& dir, std::string* error) const {
+  const MutexLock lock(mu_);
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir, ec);

@@ -8,6 +8,12 @@
 // SloMonitor each cycle, and osumac_sim trips on --flight-dump-on-exit.
 // That split keeps obs free of mac/analysis dependencies.
 //
+// Thread safety: all state is guarded by an internal mutex, so a recorder
+// may be tripped from a thread other than the one feeding OnCycle (the
+// parallel-Network shape: worker cells snapshotting, a supervisor
+// tripping).  The attached trace/registry/slo objects synchronize
+// themselves; Dump() only reads them.
+//
 // A dump directory contains (see docs/OBSERVABILITY.md):
 //   MANIFEST.txt   provenance, trip reason + cycle, file inventory
 //   events.jsonl   the retained event window (obs JSONL schema)
@@ -21,6 +27,7 @@
 #include <string>
 #include <utility>
 
+#include "common/sync.h"
 #include "obs/event_trace.h"
 #include "obs/metrics_registry.h"
 #include "obs/slo.h"
@@ -37,40 +44,42 @@ class FlightRecorder {
   explicit FlightRecorder(Config config) : config_(config) {}
 
   // All attachments are optional; absent sources simply produce no file.
-  void AttachTrace(const EventTrace* trace) { trace_ = trace; }
-  void AttachRegistry(const MetricsRegistry* registry) { registry_ = registry; }
-  void AttachSlo(const SloMonitor* slo) { slo_ = slo; }
-  void SetScenario(std::string description) { scenario_ = std::move(description); }
-  void SetProvenance(std::string line) { provenance_ = std::move(line); }
+  void AttachTrace(const EventTrace* trace) EXCLUDES(mu_);
+  void AttachRegistry(const MetricsRegistry* registry) EXCLUDES(mu_);
+  void AttachSlo(const SloMonitor* slo) EXCLUDES(mu_);
+  void SetScenario(std::string description) EXCLUDES(mu_);
+  void SetProvenance(std::string line) EXCLUDES(mu_);
 
   /// Snapshots the attached registry for cycle `cycle`, evicting the
   /// oldest snapshot beyond the ring bound.  Call once per planned cycle.
-  void OnCycle(std::int64_t cycle);
+  void OnCycle(std::int64_t cycle) EXCLUDES(mu_);
 
   /// Latches the first trip; later calls are ignored so the dump describes
   /// the original failure, not a cascade.
-  void Trip(const std::string& reason, std::int64_t cycle);
+  void Trip(const std::string& reason, std::int64_t cycle) EXCLUDES(mu_);
 
-  bool tripped() const { return tripped_; }
-  const std::string& trip_reason() const { return trip_reason_; }
-  std::int64_t trip_cycle() const { return trip_cycle_; }
-  std::size_t snapshots() const { return ring_.size(); }
+  bool tripped() const EXCLUDES(mu_);
+  std::string trip_reason() const EXCLUDES(mu_);
+  std::int64_t trip_cycle() const EXCLUDES(mu_);
+  std::size_t snapshots() const EXCLUDES(mu_);
 
   /// Writes the dump directory (created if needed).  Returns false and
   /// fills `error` on filesystem failure.
-  bool Dump(const std::string& dir, std::string* error) const;
+  bool Dump(const std::string& dir, std::string* error) const EXCLUDES(mu_);
 
  private:
-  Config config_;
-  const EventTrace* trace_ = nullptr;
-  const MetricsRegistry* registry_ = nullptr;
-  const SloMonitor* slo_ = nullptr;
-  std::string scenario_;
-  std::string provenance_;
-  std::deque<std::pair<std::int64_t, MetricsRegistry::Snapshot>> ring_;
-  bool tripped_ = false;
-  std::string trip_reason_;
-  std::int64_t trip_cycle_ = -1;
+  const Config config_;
+  mutable Mutex mu_;
+  const EventTrace* trace_ GUARDED_BY(mu_) = nullptr;
+  const MetricsRegistry* registry_ GUARDED_BY(mu_) = nullptr;
+  const SloMonitor* slo_ GUARDED_BY(mu_) = nullptr;
+  std::string scenario_ GUARDED_BY(mu_);
+  std::string provenance_ GUARDED_BY(mu_);
+  std::deque<std::pair<std::int64_t, MetricsRegistry::Snapshot>> ring_
+      GUARDED_BY(mu_);
+  bool tripped_ GUARDED_BY(mu_) = false;
+  std::string trip_reason_ GUARDED_BY(mu_);
+  std::int64_t trip_cycle_ GUARDED_BY(mu_) = -1;
 };
 
 }  // namespace osumac::obs

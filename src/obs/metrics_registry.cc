@@ -6,16 +6,19 @@
 namespace osumac::obs {
 
 MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  const MutexLock lock(mu_);
   return counters_[name];
 }
 
 void MetricsRegistry::RegisterGauge(const std::string& name,
                                     std::function<double()> sample) {
+  const MutexLock lock(mu_);
   gauges_[name] = std::move(sample);
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                       double hi, std::size_t bins) {
+  const MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, HistogramEntry{lo, hi, Histogram(lo, hi, bins)})
@@ -25,17 +28,30 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
 }
 
 bool MetricsRegistry::Contains(const std::string& name) const {
+  const MutexLock lock(mu_);
   return counters_.contains(name) || gauges_.contains(name) ||
          histograms_.contains(name);
 }
 
-MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+void MetricsRegistry::Reset() {
+  const MutexLock lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::CollectLocked() const {
   Snapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot[name] = static_cast<double>(counter.value());
   }
   for (const auto& [name, sample] : gauges_) snapshot[name] = sample();
   return snapshot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+  const MutexLock lock(mu_);
+  return CollectLocked();
 }
 
 double MetricsRegistry::Delta(const Snapshot& now, const Snapshot& prev,
@@ -67,8 +83,9 @@ void WriteNumber(std::ostream& out, double v) {
 }  // namespace
 
 void MetricsRegistry::WriteCsv(std::ostream& out) const {
+  const MutexLock lock(mu_);
   out << "metric,value\n";
-  for (const auto& [name, value] : Collect()) {
+  for (const auto& [name, value] : CollectLocked()) {
     out << name << ',';
     WriteNumber(out, value);
     out << '\n';
@@ -76,9 +93,10 @@ void MetricsRegistry::WriteCsv(std::ostream& out) const {
 }
 
 void MetricsRegistry::WriteJson(std::ostream& out) const {
+  const MutexLock lock(mu_);
   out << "{";
   bool first = true;
-  for (const auto& [name, value] : Collect()) {
+  for (const auto& [name, value] : CollectLocked()) {
     out << (first ? "" : ",") << "\n  \"" << name << "\": ";
     WriteNumber(out, value);
     first = false;

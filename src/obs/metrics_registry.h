@@ -15,6 +15,16 @@
 // Collect() snapshots every counter and gauge into a name -> value map;
 // Delta() subtracts two snapshots, which is the generic replacement for the
 // hand-written per-field delta tracking the CycleTracer used to carry.
+//
+// Thread safety: the registry *structure* (the name -> metric maps) is
+// guarded by an internal mutex, so registration and Collect() may race from
+// different threads — e.g. a live exporter sampling while a run is still
+// wiring gauges up.  The Counter and Histogram objects handed out by
+// reference are NOT internally synchronized: each is owned by exactly one
+// component on one thread (the thread-confinement model of
+// docs/STATIC_ANALYSIS.md); a Collect() racing a Counter bump may observe
+// either side of the increment, which is acceptable for monotonic counters.
+// Gauge callbacks run under the registry mutex and must not call back in.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/sync.h"
 
 namespace osumac::obs {
 
@@ -45,21 +56,28 @@ class MetricsRegistry {
 
   /// Returns the counter registered under `name`, creating it on first use.
   /// References stay valid for the registry's lifetime (node-based storage).
-  Counter& counter(const std::string& name);
+  Counter& counter(const std::string& name) EXCLUDES(mu_);
 
   /// Registers (or replaces) a pull gauge sampled at every Collect().
-  void RegisterGauge(const std::string& name, std::function<double()> sample);
+  void RegisterGauge(const std::string& name, std::function<double()> sample)
+      EXCLUDES(mu_);
 
   /// Returns the histogram registered under `name`, creating it with the
   /// given shape on first use (the shape of an existing histogram wins).
   Histogram& histogram(const std::string& name, double lo, double hi,
-                       std::size_t bins);
+                       std::size_t bins) EXCLUDES(mu_);
 
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const EXCLUDES(mu_);
+
+  /// Drops every registered metric, returning the registry to its freshly
+  /// constructed state.  Invalidates references previously handed out by
+  /// counter()/histogram() — for rebinding to a new source (CycleTracer),
+  /// not for concurrent use.
+  void Reset() EXCLUDES(mu_);
 
   /// Samples every counter and gauge.  Histograms are excluded (they are
   /// exported in full by WriteJson instead of as one scalar).
-  Snapshot Collect() const;
+  Snapshot Collect() const EXCLUDES(mu_);
 
   /// now[name] - prev[name]; names absent from `prev` count as 0 (so the
   /// first delta after binding is the delta from zero).
@@ -71,10 +89,10 @@ class MetricsRegistry {
   // --- export ----------------------------------------------------------------
 
   /// "name,value" rows sorted by name, with a header.
-  void WriteCsv(std::ostream& out) const;
+  void WriteCsv(std::ostream& out) const EXCLUDES(mu_);
 
   /// One JSON object: scalar metrics plus histograms as {lo, hi, counts[]}.
-  void WriteJson(std::ostream& out) const;
+  void WriteJson(std::ostream& out) const EXCLUDES(mu_);
 
  private:
   struct HistogramEntry {
@@ -83,9 +101,16 @@ class MetricsRegistry {
     Histogram histogram{0.0, 1.0, 1};
   };
 
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, std::function<double()>> gauges_;
-  std::map<std::string, HistogramEntry> histograms_;
+  /// Collect() body for callers already holding mu_ (WriteCsv/WriteJson).
+  Snapshot CollectLocked() const REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  // std::map, not unordered: Collect()/WriteCsv/WriteJson iterate these, and
+  // iteration order reaches exported artifacts (deterministic by rule
+  // ordered-iteration, tools/osumac_lint).
+  std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::function<double()>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramEntry> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace osumac::obs

@@ -93,7 +93,10 @@ class Simulator {
   Tick now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
-  std::unordered_map<std::uint64_t, std::function<void()>> pending_;
+  // Lookup-only cancel index keyed by the monotonic sequence id: never
+  // iterated, so hash order cannot leak into results.
+  std::unordered_map<std::uint64_t,  // lint: allow-ordered-iteration
+                     std::function<void()>> pending_;
   std::priority_queue<QueueKey, std::vector<QueueKey>, KeyOrder> queue_;
 };
 

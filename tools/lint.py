@@ -3,301 +3,24 @@
 
 Run from the repository root (CI runs it on every push):
 
-    python3 tools/lint.py
+    python3 tools/lint.py [--json FILE] [--sarif FILE] [--list-rules]
 
-Rules (each exists because a real failure mode motivated it):
-
-  bare-assert      No assert() in src/: the default RelWithDebInfo build
-                   defines NDEBUG, which silently compiles assert() out.
-                   Use OSUMAC_CHECK* (always-on) or OSUMAC_DCHECK* (hot
-                   paths) from common/check.h.
-  float-tick       No float/double arithmetic on Tick values in the
-                   scheduling layers (src/mac, src/sim, src/phy).  All slot
-                   geometry is exact in integer ticks; one float sneaking in
-                   can perturb slot-overlap or guard comparisons.  ToSeconds()
-                   on the same line is exempt (reporting), as is a line
-                   carrying a `lint: allow-float-tick` waiver comment.
-  nondeterminism   No rand()/srand()/time() in src/: the simulator must be
-                   deterministic and seeded (use common/rng.h; pass sim time
-                   explicitly).
-  checks-always-on No NDEBUG gating around the OSUMAC_CHECK* definitions in
-                   common/check.h: the always-on macros must stay always-on
-                   (OSUMAC_DCHECK* are the sanctioned debug-only twins).
-  raw-sanitize     CI must select sanitizers via -DOSUMAC_SANITIZE=...
-                   instead of injecting raw -fsanitize flags, so local
-                   reproduction is one documented cmake option.
-  raw-stdout       No printf/std::cout/std::cerr/puts in src/: library code
-                   reports through return values, the metrics registry, the
-                   event trace, or ostream& parameters the caller supplies.
-                   Exempt: src/obs/ (the sinks ARE the output path),
-                   src/common/logging.cc (the logging backend) and
-                   src/metrics/experiment.cc (the table printer).  Tools,
-                   benches and tests print freely.
-  bench-direct-cell No direct mac::Cell / mac::Network construction in
-                   bench/: benches build populations through the scenario
-                   engine (exp::ScenarioSpec + SweepRunner / ScenarioRun) so
-                   every benchmark point is declarative, seed-derived and
-                   sweep-parallel.  Multi-cell/extension harnesses the
-                   engine does not model (e.g. MultiChannelCell) are not
-                   affected.
-  hot-alloc        No std::vector construction in the per-slot hot paths
-                   (src/fec/reed_solomon.cc, src/phy/channel.cc,
-                   src/phy/error_model.cc): the sweep fast path works on
-                   caller-provided scratch (ChannelScratch, *Into APIs) so
-                   no slot allocates.  Setup-time code (constructors, the
-                   allocating convenience wrappers) carries a
-                   `lint: allow-hot-alloc` waiver comment.
-  raw-latency      No ad-hoc latency arithmetic (+/-) on raw obs event
-                   timestamps (`.tick`, `.span.begin`, `.span.end`) in src/
-                   outside src/obs/: delay and gap measurement goes through
-                   the span reducer / SloMonitor API so every latency number
-                   shares one definition of "when".  Plain reads and
-                   assignments of those fields (e.g. the auditor stamping
-                   AuditViolation.tick) are fine; a line carrying a
-                   `lint: allow-raw-latency` waiver comment is exempt.
+This is a thin launcher for the ``tools/osumac_lint`` framework: one module
+per rule under ``tools/osumac_lint/rules/``, a shared comment/string-aware
+scanner, and a waiver ledger (``tools/osumac_lint/waivers.json``) that every
+inline ``lint: allow-<rule>`` comment must reconcile against.  The rule
+catalogue, the waiver policy, and the rest of the static-analysis stack are
+documented in docs/STATIC_ANALYSIS.md; ``--list-rules`` prints the live
+rule set.
 """
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-findings: list[str] = []
-
-
-def finding(path: Path, lineno: int, rule: str, message: str) -> None:
-    findings.append(f"{path.relative_to(REPO)}:{lineno}: [{rule}] {message}")
-
-
-def strip_comments_and_strings(line: str) -> str:
-    """Removes // comments and string literal contents (keeps the quotes)."""
-    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
-    line = re.sub(r"//.*", "", line)
-    return line
-
-
-def source_files(*roots: str, suffixes: tuple[str, ...] = (".cc", ".h")) -> list[Path]:
-    out: list[Path] = []
-    for root in roots:
-        out.extend(p for p in (REPO / root).rglob("*") if p.suffix in suffixes)
-    return sorted(out)
-
-
-BARE_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
-NONDETERMINISM = re.compile(r"(?<![\w_.:])(?:std::)?(rand|srand|time)\s*\(")
-# A floating-point ingredient: the keywords, a floating literal, or a
-# to-double cast.
-FLOAT_USE = re.compile(
-    r"\b(?:double|float)\b|(?<![\w.])\d+\.\d+|static_cast<\s*(?:double|float)\s*>")
-# A tick-typed quantity on the same line.
-TICK_USE = re.compile(r"\bTick\b|\b[A-Za-z_]*[Tt]icks?\b")
-WAIVER = re.compile(r"lint:\s*allow-float-tick")
-
-
-def check_bare_assert() -> None:
-    for path in source_files("src"):
-        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-            line = strip_comments_and_strings(raw)
-            if "static_assert" in line:
-                line = line.replace("static_assert", "")
-            if BARE_ASSERT.search(line):
-                finding(path, lineno, "bare-assert",
-                        "assert() vanishes under NDEBUG; use OSUMAC_CHECK or "
-                        "OSUMAC_DCHECK (common/check.h)")
-
-
-def check_float_tick() -> None:
-    for path in source_files("src/mac", "src/sim", "src/phy"):
-        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-            if WAIVER.search(raw):
-                continue
-            line = strip_comments_and_strings(raw)
-            if "ToSeconds(" in line:
-                continue  # the one sanctioned Tick -> float bridge
-            if FLOAT_USE.search(line) and TICK_USE.search(line):
-                finding(path, lineno, "float-tick",
-                        "float arithmetic on tick values; slot geometry must "
-                        "stay in exact integer ticks (use ToSeconds() only "
-                        "for reporting)")
-
-
-def check_nondeterminism() -> None:
-    for path in source_files("src"):
-        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-            line = strip_comments_and_strings(raw)
-            m = NONDETERMINISM.search(line)
-            if m:
-                finding(path, lineno, "nondeterminism",
-                        f"{m.group(1)}() breaks deterministic replay; use "
-                        "common/rng.h / simulation time")
-
-
-def check_checks_always_on() -> None:
-    path = REPO / "src/common/check.h"
-    depth_gated = 0  # depth of enclosing NDEBUG-conditional blocks
-    saw_check_define = False
-    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-        stripped = raw.strip()
-        if re.match(r"#\s*if(def|ndef)?\b", stripped):
-            depth_gated += 1 if "NDEBUG" in stripped or depth_gated else 0
-        elif re.match(r"#\s*endif\b", stripped) and depth_gated:
-            depth_gated -= 1
-        if re.match(r"#\s*define\s+OSUMAC_CHECK\b|#\s*define\s+OSUMAC_CHECK_", stripped):
-            saw_check_define = True
-            if depth_gated:
-                finding(path, lineno, "checks-always-on",
-                        "OSUMAC_CHECK* defined inside an NDEBUG conditional; "
-                        "the always-on macros must fire in every build type")
-        # kDChecksEnabled is the only sanctioned NDEBUG use: a constant the
-        # optimizer folds, keeping DCHECK conditions type-checked everywhere.
-    if not saw_check_define:
-        finding(path, 1, "checks-always-on", "OSUMAC_CHECK definition not found")
-
-
-RAW_STDOUT = re.compile(
-    r"(?<![\w_.:])(?:std::)?(?:f?printf|puts|putchar)\s*\(|std::c(?:out|err)\b")
-RAW_STDOUT_EXEMPT = ("src/obs/", "src/common/logging.cc", "src/metrics/experiment.cc")
-
-
-def check_raw_stdout() -> None:
-    for path in source_files("src"):
-        rel = path.relative_to(REPO).as_posix()
-        if any(rel.startswith(e) for e in RAW_STDOUT_EXEMPT):
-            continue
-        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-            line = strip_comments_and_strings(raw)
-            if RAW_STDOUT.search(line):
-                finding(path, lineno, "raw-stdout",
-                        "direct stdout/stderr output in library code; report "
-                        "through the obs sinks, the metrics registry, or an "
-                        "ostream& the caller supplies")
-
-
-# A Cell/Network object built directly: stack declaration, make_unique, or
-# new-expression.  \b keeps MultiChannelCell/CellConfig out of scope.
-DIRECT_CELL = re.compile(
-    r"(?:^|[^\w:])(?:mac::)?\b(Cell|Network)\s+[A-Za-z_]\w*\s*[({]"
-    r"|make_unique<\s*(?:mac::)?(Cell|Network)\s*>"
-    r"|new\s+(?:mac::)?(Cell|Network)\s*[({]")
-
-
-def check_bench_direct_cell() -> None:
-    for path in source_files("bench"):
-        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-            line = strip_comments_and_strings(raw)
-            if DIRECT_CELL.search(line):
-                finding(path, lineno, "bench-direct-cell",
-                        "benches must drive Cell/Network through the scenario "
-                        "engine (exp::ScenarioSpec + SweepRunner/ScenarioRun), "
-                        "not construct them directly")
-
-
-# Files whose per-slot loops the sweep spends its wall-clock in; building a
-# std::vector there reintroduces the per-slot allocations the ChannelScratch /
-# *Into refactor removed.
-HOT_ALLOC_FILES = ("src/fec/reed_solomon.cc", "src/phy/channel.cc",
-                   "src/phy/error_model.cc")
-HOT_ALLOC = re.compile(r"\bstd::vector\s*<")
-HOT_ALLOC_WAIVER = re.compile(r"lint:\s*allow-hot-alloc")
-
-
-def _constructs_vector(line: str) -> bool:
-    """True if the line constructs a std::vector object (a declaration or a
-    temporary) rather than naming the type as a reference, pointer, or the
-    return type of an out-of-line qualified function definition."""
-    for m in HOT_ALLOC.finditer(line):
-        depth = 1
-        i = m.end()
-        while i < len(line) and depth > 0:
-            if line[i] == "<":
-                depth += 1
-            elif line[i] == ">":
-                depth -= 1
-            i += 1
-        if depth > 0:
-            return True  # type spans lines; assume the worst
-        rest = line[i:].lstrip()
-        if rest[:1] in ("&", "*"):
-            continue  # reference/pointer parameter: no allocation
-        if rest[:1] in (">", ","):
-            continue  # nested inside an enclosing template argument list
-        name = re.match(r"[A-Za-z_]\w*", rest)
-        if name and rest[name.end():].startswith("::"):
-            continue  # qualified return type of a function definition
-        return True
-    return False
-
-
-def check_hot_alloc() -> None:
-    for rel in HOT_ALLOC_FILES:
-        path = REPO / rel
-        if not path.exists():
-            continue
-        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-            if HOT_ALLOC_WAIVER.search(raw):
-                continue
-            line = strip_comments_and_strings(raw)
-            if _constructs_vector(line):
-                finding(path, lineno, "hot-alloc",
-                        "std::vector constructed in a phy/fec hot path; use "
-                        "the caller-provided scratch (ChannelScratch / *Into "
-                        "APIs) or add a `lint: allow-hot-alloc` waiver for "
-                        "setup-time code")
-
-
-# An event timestamp field with +/- arithmetic touching it on either side.
-# Requiring the operator adjacent keeps plain reads and assignments
-# (`violation.tick = ev.tick;`) out of scope.
-RAW_LATENCY = re.compile(
-    r"\.(?:tick|span\.(?:begin|end))\b\s*[-+][^-+=]"   # ev.tick - x
-    r"|[-+]\s*[\w\]\)]+(?:\.\w+)*\.(?:tick|span\.(?:begin|end))\b")  # x - ev.tick
-LATENCY_WAIVER = re.compile(r"lint:\s*allow-raw-latency")
-
-
-def check_raw_latency() -> None:
-    for path in source_files("src"):
-        rel = path.relative_to(REPO).as_posix()
-        if rel.startswith("src/obs/"):
-            continue  # the span/SLO reducers ARE the sanctioned arithmetic
-        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-            if LATENCY_WAIVER.search(raw):
-                continue
-            line = strip_comments_and_strings(raw)
-            if RAW_LATENCY.search(line):
-                finding(path, lineno, "raw-latency",
-                        "latency arithmetic on raw event timestamps; compute "
-                        "delays through the span reducer or SloMonitor "
-                        "(src/obs) so every latency shares one definition")
-
-
-def check_raw_sanitize() -> None:
-    path = REPO / ".github/workflows/ci.yml"
-    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-        if "-fsanitize" in raw:
-            finding(path, lineno, "raw-sanitize",
-                    "select sanitizers with -DOSUMAC_SANITIZE=... so the CI "
-                    "configuration is reproducible locally")
-
-
-def main() -> int:
-    check_bare_assert()
-    check_float_tick()
-    check_nondeterminism()
-    check_checks_always_on()
-    check_raw_stdout()
-    check_raw_latency()
-    check_raw_sanitize()
-    check_bench_direct_cell()
-    check_hot_alloc()
-    if findings:
-        print("\n".join(findings))
-        print(f"\nlint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print("lint: clean")
-    return 0
-
+from osumac_lint.cli import main  # noqa: E402  (path setup must run first)
 
 if __name__ == "__main__":
     sys.exit(main())

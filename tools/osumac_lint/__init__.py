@@ -1,0 +1,12 @@
+"""osumac_lint: the OSU-MAC project lint framework.
+
+One module per rule under ``rules/``, a shared comment/string-aware scanner
+(``scanner.py``), a reconciled waiver ledger (``waivers.py`` +
+``waivers.json``), and text/JSON/SARIF output (``output.py``).  See
+docs/STATIC_ANALYSIS.md for the rule catalogue and the waiver policy.
+"""
+from __future__ import annotations
+
+from .cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,10 @@
+"""Enables ``python3 -m osumac_lint`` (run from the tools/ directory);
+``python3 tools/lint.py`` from the repository root is the usual spelling."""
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Command-line entry point; ``python3 tools/lint.py`` lands here.
+
+Exit status is 1 when any finding survives the inline waivers and the
+ledger, 0 on a clean tree.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import waivers
+from .engine import run_rules
+from .output import render_json, render_sarif, render_text
+from .rules import ALL_RULES
+
+
+def build_rules():
+    known = {r.name for r in ALL_RULES}
+    return ALL_RULES + [waivers.make_rule(known)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="osumac-lint",
+        description="Project-specific static checks for the OSU-MAC "
+                    "codebase (docs/STATIC_ANALYSIS.md).")
+    parser.add_argument("--repo", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--json", type=Path, metavar="FILE",
+                        help="also write findings as JSON")
+    parser.add_argument("--sarif", type=Path, metavar="FILE",
+                        help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule names and summaries, then exit")
+    args = parser.parse_args(argv)
+
+    rules = build_rules()
+    if args.list_rules:
+        width = max(len(r.name) for r in rules)
+        for rule in rules:
+            print(f"{rule.name:<{width}}  {rule.summary}")
+        return 0
+
+    ctx = run_rules(args.repo, rules)
+    findings = sorted(ctx.findings,
+                      key=lambda f: (f.rel_path, f.line, f.rule))
+    if args.json:
+        args.json.write_text(render_json(findings, rules))
+    if args.sarif:
+        args.sarif.write_text(render_sarif(findings, rules))
+    if findings:
+        print(render_text(findings))
+        print(f"\nlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0

@@ -1,0 +1,97 @@
+"""Rule registry and the scan context rules run against.
+
+A rule is a module exposing a ``Rule`` object: a name, a one-line summary
+(used by ``--list-rules`` and the SARIF rule metadata), a longer help text,
+and a ``check(ctx)`` callable that reports findings through the context.
+
+The ``Context`` owns file loading (cached, so twelve rules do not re-read
+the tree twelve times), finding collection, and the inline-waiver contract:
+``ctx.finding(...)`` silently drops a finding whose line carries a
+``lint: allow-<rule>`` comment — the waiver ledger (waivers.py) separately
+guarantees every such comment is declared with a reason.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from .scanner import SourceFile
+
+#: Suffixes scanned by default (C++ sources and headers).
+CXX_SUFFIXES = (".cc", ".h")
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    rel_path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rel_path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    summary: str
+    help: str
+    check: Callable[["Context"], None]
+
+
+@dataclass
+class Context:
+    repo: Path
+    findings: list[Finding] = field(default_factory=list)
+    _cache: dict[str, SourceFile] = field(default_factory=dict)
+    _active_rule: str = ""
+
+    # --- file access --------------------------------------------------------
+
+    def file(self, rel: str) -> SourceFile | None:
+        """Loads one repo-relative file (None if absent)."""
+        if rel not in self._cache:
+            path = self.repo / rel
+            if not path.is_file():
+                return None
+            self._cache[rel] = SourceFile.load(path, rel)
+        return self._cache[rel]
+
+    def files(self, *roots: str,
+              suffixes: tuple[str, ...] = CXX_SUFFIXES) -> list[SourceFile]:
+        """All files under the given repo-relative roots, sorted by path."""
+        out: list[SourceFile] = []
+        for root in roots:
+            base = self.repo / root
+            for path in sorted(base.rglob("*")):
+                if path.suffix in suffixes and path.is_file():
+                    rel = path.relative_to(self.repo).as_posix()
+                    loaded = self.file(rel)
+                    if loaded is not None:
+                        out.append(loaded)
+        return out
+
+    # --- reporting ----------------------------------------------------------
+
+    def finding(self, source: SourceFile | str, lineno: int, message: str) -> None:
+        """Records a finding unless the line waives the active rule."""
+        if isinstance(source, SourceFile):
+            if source.waived(lineno, self._active_rule):
+                return
+            rel = source.rel
+        else:
+            rel = source
+        self.findings.append(
+            Finding(rule=self._active_rule, rel_path=rel, line=lineno,
+                    message=message))
+
+
+def run_rules(repo: Path, rules: list[Rule]) -> Context:
+    ctx = Context(repo=repo)
+    for rule in rules:
+        ctx._active_rule = rule.name
+        rule.check(ctx)
+    ctx._active_rule = ""
+    return ctx

@@ -1,0 +1,83 @@
+"""Finding serializers: plain text (the CI log), JSON (scripting), and
+SARIF 2.1.0 (GitHub code-scanning upload, inline PR annotations)."""
+from __future__ import annotations
+
+import json
+
+from .engine import Finding, Rule
+
+
+def render_text(findings: list[Finding]) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def render_json(findings: list[Finding], rules: list[Rule]) -> str:
+    return json.dumps(
+        {
+            "rules": [{"name": r.name, "summary": r.summary} for r in rules],
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "file": f.rel_path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        },
+        indent=2) + "\n"
+
+
+def render_sarif(findings: list[Finding], rules: list[Rule]) -> str:
+    """SARIF 2.1.0 with one reportingDescriptor per rule, so uploads get
+    stable rule ids and the help text travels with the artifact."""
+    rule_index = {r.name: i for i, r in enumerate(rules)}
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "osumac-lint",
+                        "informationUri":
+                            "https://example.invalid/osumac/docs/"
+                            "STATIC_ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": r.name,
+                                "shortDescription": {"text": r.summary},
+                                "fullDescription":
+                                    {"text": " ".join((r.help or "").split())},
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for r in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "ruleIndex": rule_index.get(f.rule, -1),
+                        "level": "error",
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": f.rel_path,
+                                        "uriBaseId": "SRCROOT",
+                                    },
+                                    "region": {"startLine": f.line},
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2) + "\n"

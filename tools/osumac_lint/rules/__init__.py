@@ -1,0 +1,22 @@
+"""Rule registry: every lint rule, in the order it runs and is listed."""
+from __future__ import annotations
+
+from . import (bare_assert, bench_direct_cell, checks_always_on, float_tick,
+               hot_alloc, nondeterminism, ordered_iteration, raw_latency,
+               raw_sanitize, raw_stdout, rng_stream_discipline,
+               shared_state_annotation)
+
+ALL_RULES = [
+    bare_assert.RULE,
+    float_tick.RULE,
+    nondeterminism.RULE,
+    checks_always_on.RULE,
+    raw_stdout.RULE,
+    raw_latency.RULE,
+    raw_sanitize.RULE,
+    bench_direct_cell.RULE,
+    hot_alloc.RULE,
+    rng_stream_discipline.RULE,
+    ordered_iteration.RULE,
+    shared_state_annotation.RULE,
+]

@@ -1,0 +1,29 @@
+"""No assert() in src/: the default RelWithDebInfo build defines NDEBUG,
+which silently compiles assert() out.  Use OSUMAC_CHECK* (always-on) or
+OSUMAC_DCHECK* (hot paths) from common/check.h."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+
+BARE_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files("src"):
+        for lineno, code, _raw in source.lines():
+            if "static_assert" in code:
+                code = code.replace("static_assert", "")
+            if BARE_ASSERT.search(code):
+                ctx.finding(source, lineno,
+                            "assert() vanishes under NDEBUG; use OSUMAC_CHECK "
+                            "or OSUMAC_DCHECK (common/check.h)")
+
+
+RULE = Rule(
+    name="bare-assert",
+    summary="no assert() in src/ (NDEBUG compiles it out)",
+    help=__doc__,
+    check=check,
+)

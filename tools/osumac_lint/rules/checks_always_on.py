@@ -1,0 +1,43 @@
+"""No NDEBUG gating around the OSUMAC_CHECK* definitions in common/check.h:
+the always-on macros must stay always-on (OSUMAC_DCHECK* are the sanctioned
+debug-only twins)."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+
+
+def check(ctx: Context) -> None:
+    source = ctx.file("src/common/check.h")
+    if source is None:
+        ctx.finding("src/common/check.h", 1, "src/common/check.h is missing")
+        return
+    depth_gated = 0  # depth of enclosing NDEBUG-conditional blocks
+    saw_check_define = False
+    for lineno, raw in enumerate(source.raw_lines, 1):
+        stripped = raw.strip()
+        if re.match(r"#\s*if(def|ndef)?\b", stripped):
+            depth_gated += 1 if "NDEBUG" in stripped or depth_gated else 0
+        elif re.match(r"#\s*endif\b", stripped) and depth_gated:
+            depth_gated -= 1
+        if re.match(r"#\s*define\s+OSUMAC_CHECK\b|#\s*define\s+OSUMAC_CHECK_",
+                    stripped):
+            saw_check_define = True
+            if depth_gated:
+                ctx.finding(source, lineno,
+                            "OSUMAC_CHECK* defined inside an NDEBUG "
+                            "conditional; the always-on macros must fire in "
+                            "every build type")
+        # kDChecksEnabled is the only sanctioned NDEBUG use: a constant the
+        # optimizer folds, keeping DCHECK conditions type-checked everywhere.
+    if not saw_check_define:
+        ctx.finding(source, 1, "OSUMAC_CHECK definition not found")
+
+
+RULE = Rule(
+    name="checks-always-on",
+    summary="OSUMAC_CHECK* must not be NDEBUG-gated",
+    help=__doc__,
+    check=check,
+)

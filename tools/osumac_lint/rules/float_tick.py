@@ -1,0 +1,37 @@
+"""No float/double arithmetic on Tick values in the scheduling layers
+(src/mac, src/sim, src/phy).  All slot geometry is exact in integer ticks;
+one float sneaking in can perturb slot-overlap or guard comparisons.
+ToSeconds() on the same line is exempt (reporting), as is a line carrying a
+`lint: allow-float-tick` waiver comment."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+
+# A floating-point ingredient: the keywords, a floating literal, or a
+# to-double cast.
+FLOAT_USE = re.compile(
+    r"\b(?:double|float)\b|(?<![\w.])\d+\.\d+|static_cast<\s*(?:double|float)\s*>")
+# A tick-typed quantity on the same line.
+TICK_USE = re.compile(r"\bTick\b|\b[A-Za-z_]*[Tt]icks?\b")
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files("src/mac", "src/sim", "src/phy"):
+        for lineno, code, _raw in source.lines():
+            if "ToSeconds(" in code:
+                continue  # the one sanctioned Tick -> float bridge
+            if FLOAT_USE.search(code) and TICK_USE.search(code):
+                ctx.finding(source, lineno,
+                            "float arithmetic on tick values; slot geometry "
+                            "must stay in exact integer ticks (use ToSeconds() "
+                            "only for reporting)")
+
+
+RULE = Rule(
+    name="float-tick",
+    summary="no float arithmetic on Tick values in scheduling layers",
+    help=__doc__,
+    check=check,
+)

@@ -1,0 +1,27 @@
+"""No rand()/srand()/time() in src/: the simulator must be deterministic
+and seeded (use common/rng.h; pass sim time explicitly)."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+
+NONDETERMINISM = re.compile(r"(?<![\w_.:])(?:std::)?(rand|srand|time)\s*\(")
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files("src"):
+        for lineno, code, _raw in source.lines():
+            m = NONDETERMINISM.search(code)
+            if m:
+                ctx.finding(source, lineno,
+                            f"{m.group(1)}() breaks deterministic replay; use "
+                            "common/rng.h / simulation time")
+
+
+RULE = Rule(
+    name="nondeterminism",
+    summary="no rand()/srand()/time() in src/",
+    help=__doc__,
+    check=check,
+)

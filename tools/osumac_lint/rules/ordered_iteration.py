@@ -1,0 +1,50 @@
+"""Deterministic iteration order in src/: no std::unordered_map /
+std::unordered_set (hash order varies across libstdc++ versions, seeds and
+load factors), and no pointer-keyed std::map/std::set (address order varies
+across runs and allocators).  Anything that iterates such a container into
+metrics, traces, RunResult rows or figure JSON produces byte-different
+artifacts between identical runs, which breaks the replay-digest and
+jobs-1-vs-jobs-N equality gates.  Key by a stable id (sequence number, node
+id) in an ordered container instead.  A container that is provably
+lookup-only (never iterated) may carry a `lint: allow-ordered-iteration`
+waiver, declared with a reason in the waiver ledger."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+
+UNORDERED = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+# A raw-pointer key: `std::map<Foo*, ...>` / `std::set<const Foo*>` (skipping
+# cv-qualifiers and nested namespace qualification before the `*`).
+POINTER_KEYED = re.compile(
+    r"\bstd::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_]\w*"
+    r"(?:::\w+)*\s*(?:const\s*)?\*")
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files("src"):
+        for lineno, code, raw in source.lines():
+            if raw.lstrip().startswith("#"):
+                continue  # #include <unordered_map> names the header, not a use
+            if UNORDERED.search(code):
+                ctx.finding(source, lineno,
+                            "std::unordered_* container in src/; hash order "
+                            "is not deterministic across platforms -- key an "
+                            "ordered container by a stable id, or waive with "
+                            "`lint: allow-ordered-iteration` if the container "
+                            "is lookup-only and never iterated")
+            if POINTER_KEYED.search(code):
+                ctx.finding(source, lineno,
+                            "pointer-keyed ordered container; address order "
+                            "varies across runs, so iteration feeds "
+                            "nondeterminism into anything it touches -- key "
+                            "by a stable id instead")
+
+
+RULE = Rule(
+    name="ordered-iteration",
+    summary="no unordered_* or pointer-keyed containers in src/",
+    help=__doc__,
+    check=check,
+)

@@ -1,0 +1,40 @@
+"""No ad-hoc latency arithmetic (+/-) on raw obs event timestamps
+(`.tick`, `.span.begin`, `.span.end`) in src/ outside src/obs/: delay and
+gap measurement goes through the span reducer / SloMonitor API so every
+latency number shares one definition of "when".  Plain reads and
+assignments of those fields (e.g. the auditor stamping AuditViolation.tick)
+are fine; a line carrying a `lint: allow-raw-latency` waiver comment is
+exempt."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+
+# An event timestamp field with +/- arithmetic touching it on either side.
+# Requiring the operator adjacent keeps plain reads and assignments
+# (`violation.tick = ev.tick;`) out of scope.
+RAW_LATENCY = re.compile(
+    r"\.(?:tick|span\.(?:begin|end))\b\s*[-+][^-+=]"   # ev.tick - x
+    r"|[-+]\s*[\w\]\)]+(?:\.\w+)*\.(?:tick|span\.(?:begin|end))\b")  # x - ev.tick
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files("src"):
+        if source.rel.startswith("src/obs/"):
+            continue  # the span/SLO reducers ARE the sanctioned arithmetic
+        for lineno, code, _raw in source.lines():
+            if RAW_LATENCY.search(code):
+                ctx.finding(source, lineno,
+                            "latency arithmetic on raw event timestamps; "
+                            "compute delays through the span reducer or "
+                            "SloMonitor (src/obs) so every latency shares "
+                            "one definition")
+
+
+RULE = Rule(
+    name="raw-latency",
+    summary="no ad-hoc +/- arithmetic on raw event timestamps outside obs",
+    help=__doc__,
+    check=check,
+)

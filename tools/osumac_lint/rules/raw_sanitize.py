@@ -1,0 +1,27 @@
+"""CI must select sanitizers via -DOSUMAC_SANITIZE=... instead of injecting
+raw -fsanitize flags, so local reproduction is one documented cmake option."""
+from __future__ import annotations
+
+from ..engine import Context, Rule
+
+CI_FILE = ".github/workflows/ci.yml"
+
+
+def check(ctx: Context) -> None:
+    source = ctx.file(CI_FILE)
+    if source is None:
+        ctx.finding(CI_FILE, 1, "CI workflow file is missing")
+        return
+    for lineno, raw in enumerate(source.raw_lines, 1):
+        if "-fsanitize" in raw:
+            ctx.finding(source, lineno,
+                        "select sanitizers with -DOSUMAC_SANITIZE=... so the "
+                        "CI configuration is reproducible locally")
+
+
+RULE = Rule(
+    name="raw-sanitize",
+    summary="CI selects sanitizers via -DOSUMAC_SANITIZE, never raw flags",
+    help=__doc__,
+    check=check,
+)

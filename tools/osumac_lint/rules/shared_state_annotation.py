@@ -1,0 +1,94 @@
+"""Classes that own a mutex or an atomic (the signature of cross-thread
+shared state) must annotate the rest of their mutable members: each data
+member either carries GUARDED_BY/PT_GUARDED_BY, or is itself a mutex, an
+atomic, const, static, or a reference.  An unannotated plain member in such
+a class is exactly the state -Wthread-safety cannot check and TSan can only
+catch dynamically — the next reader has no machine-checked answer to "who
+may touch this, under which lock".
+
+The parser is deliberately conservative: it only inspects single-line
+member declarations at class scope whose name follows the trailing-
+underscore convention, so multi-line declarations and locals never
+false-positive.  Checking is structural (the annotation macro must be
+present); proving the annotations sound is Clang's job in the
+thread-safety CI lane."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+from ..scanner import SourceFile
+
+CLASS_OPEN = re.compile(r"\b(?:class|struct)\b[^;{]*{")
+# A single-line data-member declaration: a type, a trailing-underscore name,
+# then an annotation, initializer, or terminator.
+MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>\S[^;=]*?)\s+(?P<name>[A-Za-z_]\w*_)\s*"
+    r"(?P<tail>GUARDED_BY\s*\(|PT_GUARDED_BY\s*\(|[;={])")
+MUTEX_TYPE = re.compile(
+    r"\b(?:osumac::)?Mutex\b|\bstd::(?:recursive_|shared_|timed_)?mutex\b")
+ATOMIC_TYPE = re.compile(r"\bstd::atomic\b")
+EXEMPT_TYPE = re.compile(r"^(?:static\b|const\b)|&\s*$")
+
+
+def _class_members(source: SourceFile):
+    """Yields (class_first_line, [(lineno, match), ...]) per class, collecting
+    only single-line member declarations at that class's own scope."""
+    depth = 0
+    # Stack of (is_class_frame, body_depth, first_line, members).
+    stack: list[tuple[bool, int, int, list]] = []
+    for lineno, code, _raw in source.lines():
+        if stack and depth == stack[-1][1] and stack[-1][0]:
+            m = MEMBER.match(code)
+            if m and "(" not in m.group("type"):
+                stack[-1][3].append((lineno, m))
+        opens_class = bool(CLASS_OPEN.search(code))
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                stack.append((opens_class, depth, lineno, []))
+                opens_class = False  # only the first brace opens the class body
+            elif ch == "}":
+                if stack:
+                    frame = stack.pop()
+                    if frame[0] and frame[3]:
+                        yield frame[2], frame[3]
+                depth = max(0, depth - 1)
+    while stack:
+        frame = stack.pop()
+        if frame[0] and frame[3]:
+            yield frame[2], frame[3]
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files("src"):
+        for _first_line, members in _class_members(source):
+            has_sync = any(
+                MUTEX_TYPE.search(m.group("type"))
+                or ATOMIC_TYPE.search(m.group("type"))
+                for _ln, m in members)
+            if not has_sync:
+                continue
+            for lineno, m in members:
+                type_text = m.group("type")
+                if m.group("tail").startswith(("GUARDED_BY", "PT_GUARDED_BY")):
+                    continue
+                if (MUTEX_TYPE.search(type_text)
+                        or ATOMIC_TYPE.search(type_text)
+                        or EXEMPT_TYPE.search(type_text)):
+                    continue
+                ctx.finding(source, lineno,
+                            f"member `{m.group('name')}` sits next to a "
+                            "mutex/atomic but carries no thread-safety "
+                            "annotation; add GUARDED_BY(mu_), make it "
+                            "atomic/const, or move it out of the shared "
+                            "class")
+
+
+RULE = Rule(
+    name="shared-state-annotation",
+    summary="members beside a mutex/atomic must carry GUARDED_BY or be "
+            "atomic/const",
+    help=__doc__,
+    check=check,
+)

@@ -1,0 +1,95 @@
+"""Comment- and string-aware source scanning shared by every lint rule.
+
+Each rule sees a ``SourceFile``: the raw lines (for waiver comments and
+layout checks), the *code* lines (string contents blanked, ``//`` and
+``/* */`` comments removed — so a rule's regex can never fire on prose),
+and the per-line inline waivers (``lint: allow-<rule>`` comments).
+
+The stripper is a small character scanner, not a regex, so block comments
+spanning lines and quotes inside comments are handled correctly; it is
+deliberately tolerant of the constructs it does not model (raw strings,
+trigraphs) because the codebase style forbids them anyway.
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Inline waiver comment: ``lint: allow-<rule>`` anywhere on the line.
+WAIVER_RE = re.compile(r"lint:\s*allow-([a-z][a-z0-9-]*)")
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Returns `lines` with comments removed and string/char literal
+    contents blanked (the quotes themselves are kept, mirroring the
+    behaviour rules were written against)."""
+    out: list[str] = []
+    in_block = False  # inside a /* ... */ comment carried across lines
+    for line in lines:
+        kept: list[str] = []
+        i = 0
+        n = len(line)
+        quote = ""  # the active string/char delimiter, if any
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if quote:
+                if c == "\\":
+                    i += 2  # skip the escaped character
+                    continue
+                if c == quote:
+                    kept.append(c)
+                    quote = ""
+                i += 1
+                continue
+            if c == "/" and nxt == "/":
+                break  # line comment: rest of the line is prose
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in ('"', "'"):
+                quote = c
+            kept.append(c)
+            i += 1
+        out.append("".join(kept))
+    return out
+
+
+@dataclass
+class SourceFile:
+    """One scanned file: raw text, comment/string-stripped text, waivers."""
+
+    path: Path          #: absolute path
+    rel: str            #: repo-relative POSIX path (the reporting key)
+    raw_lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)
+    #: 1-based line number -> rule names waived on that line
+    waivers: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        raw = path.read_text().splitlines()
+        waivers: dict[int, set[str]] = {}
+        for lineno, line in enumerate(raw, 1):
+            names = set(WAIVER_RE.findall(line))
+            if names:
+                waivers[lineno] = names
+        return cls(path=path, rel=rel, raw_lines=raw,
+                   code_lines=strip_code(raw), waivers=waivers)
+
+    def waived(self, lineno: int, rule: str) -> bool:
+        return rule in self.waivers.get(lineno, ())
+
+    def lines(self):
+        """Yields (lineno, code_line, raw_line), 1-based."""
+        for i, raw in enumerate(self.raw_lines, 1):
+            yield i, self.code_lines[i - 1], raw

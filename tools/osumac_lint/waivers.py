@@ -1,0 +1,106 @@
+"""The waiver ledger: every inline ``lint: allow-<rule>`` comment must be
+declared in tools/osumac_lint/waivers.json with a per-file count and a
+reason.  The ledger is what makes waivers reviewable: adding a waiver means
+editing a JSON file a human reads in the diff and justifying it, and a
+removed waiver whose ledger entry lingers (or vice versa) fails the build
+instead of rotting.  Reconciliation findings report as rule
+``waiver-ledger``:
+
+  * an inline waiver in a file with no ledger entry,
+  * a per-file count that no longer matches the inline census,
+  * a stale ledger entry with no inline waivers left,
+  * a ledger entry for a rule the framework does not know,
+  * an entry with a missing or empty reason.
+"""
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import Context, Rule
+from .scanner import WAIVER_RE
+
+LEDGER_REL = "tools/osumac_lint/waivers.json"
+#: Roots whose inline waivers are censused (C++ sources only; prose in
+#: tools/ and docs/ may mention waiver comments without waiving anything).
+CENSUS_ROOTS = ("src", "bench")
+
+
+def census(ctx: Context) -> Counter:
+    """Counts inline waivers as (rule, rel_path) -> count."""
+    counts: Counter = Counter()
+    for source in ctx.files(*CENSUS_ROOTS):
+        for names in source.waivers.values():
+            for name in names:
+                counts[(name, source.rel)] += 1
+    return counts
+
+
+def load_ledger(ctx: Context):
+    """Returns (ledger dict, error string or None)."""
+    path = ctx.repo / LEDGER_REL
+    if not path.is_file():
+        return None, "waiver ledger missing"
+    try:
+        ledger = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        return None, f"waiver ledger is not valid JSON: {err}"
+    if not isinstance(ledger, dict):
+        return None, "waiver ledger must be a JSON object keyed by rule name"
+    return ledger, None
+
+
+def make_rule(known_rule_names: set[str]) -> Rule:
+    def check(ctx: Context) -> None:
+        ledger, error = load_ledger(ctx)
+        if ledger is None:
+            ctx.finding(LEDGER_REL, 1, error)
+            return
+        inline = census(ctx)
+        declared: set[tuple[str, str]] = set()
+        for rule_name, entries in ledger.items():
+            if rule_name not in known_rule_names:
+                ctx.finding(LEDGER_REL, 1,
+                            f"ledger declares waivers for unknown rule "
+                            f"`{rule_name}`")
+                continue
+            for entry in entries:
+                rel = entry.get("file", "")
+                count = entry.get("count", 0)
+                reason = str(entry.get("reason", "")).strip()
+                key = (rule_name, rel)
+                declared.add(key)
+                if not reason:
+                    ctx.finding(LEDGER_REL, 1,
+                                f"waiver entry for `{rule_name}` in {rel} "
+                                "has no reason; every waiver must say why")
+                actual = inline.get(key, 0)
+                if actual == 0:
+                    ctx.finding(LEDGER_REL, 1,
+                                f"stale ledger entry: `{rule_name}` declares "
+                                f"{count} waiver(s) in {rel} but the file "
+                                "has none; delete the entry")
+                elif actual != count:
+                    ctx.finding(LEDGER_REL, 1,
+                                f"waiver count drift: `{rule_name}` declares "
+                                f"{count} in {rel} but {actual} inline "
+                                "waiver(s) exist; update the ledger (and "
+                                "the reason, if it changed)")
+        for (rule_name, rel), count in sorted(inline.items()):
+            if rule_name not in known_rule_names:
+                ctx.finding(rel, 1,
+                            f"inline waiver names unknown rule "
+                            f"`{rule_name}`")
+            elif (rule_name, rel) not in declared:
+                ctx.finding(rel, 1,
+                            f"{count} inline `lint: allow-{rule_name}` "
+                            f"waiver(s) not declared in {LEDGER_REL}; add "
+                            "an entry with a reason")
+
+    return Rule(
+        name="waiver-ledger",
+        summary="inline waivers reconcile against waivers.json "
+                "(count + reason)",
+        help=__doc__,
+        check=check,
+    )
