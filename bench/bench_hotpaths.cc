@@ -12,6 +12,8 @@
 //   hotpath_channel_fast       FastUniformErrorModel geometric skip-sampling
 //   hotpath_cycle_untraced     a short scenario run with no trace attached
 //   hotpath_cycle_traced       the same scenario with an EventTrace attached
+//   hotpath_cycle_profiled     the same scenario with an obs::Profiler
+//                              installed (every OSUMAC_PROFILE_ZONE live)
 //
 // The gate checks *relative* invariants that hold on any machine (clean
 // decode must beat corrupt decode, fast channel must beat per-symbol, the
@@ -36,6 +38,7 @@
 #include "exp/scenario.h"
 #include "fec/reed_solomon.h"
 #include "obs/event_trace.h"
+#include "obs/profiler.h"
 #include "obs/wallclock.h"
 #include "phy/channel.h"
 #include "phy/error_model.h"
@@ -140,6 +143,16 @@ void BenchCyclePhases(obs::WallTimerRegistry& wall, int reps) {
       hooks.after_warmup = [&trace](mac::Cell& cell) { cell.AttachTrace(&trace); };
       obs::ScopedWallTimer t(wall, "hotpath_cycle_traced");
       exp::RunScenario(CycleSpec(), hooks);
+    }
+    {
+      // Live profiler: every zone in the cycle pipeline records.  The gate
+      // bounds what an *installed* profiler costs relative to the untraced
+      // baseline; when built with -DOSUMAC_PROFILER=OFF the zones compile
+      // out and this phase collapses onto the untraced one.
+      obs::Profiler profiler;
+      const obs::Profiler::ThreadScope scope(&profiler);
+      obs::ScopedWallTimer t(wall, "hotpath_cycle_profiled");
+      exp::RunScenario(CycleSpec());
     }
   }
 }

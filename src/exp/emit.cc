@@ -186,7 +186,17 @@ void WriteSweepJson(std::ostream& out, const std::string& tool, int jobs,
           << ", \"max_s\": " << FullPrecision(s.max_seconds) << '}';
       first = false;
     }
-    out << "}}" << (i + 1 < results.size() ? "," : "") << '\n';
+    out << "}";
+    // Network rollup block only for multi-cell runs: single-cell sweeps
+    // (cells == 0) emit exactly what they always did, byte for byte.
+    if (r.network.cells > 0) {
+      out << ",\n     \"network\": {\"cells\": " << r.network.cells
+          << ", \"subscribers\": " << r.network.subscribers
+          << ", \"backbone_messages\": " << r.network.backbone_messages
+          << ", \"backbone_unrouted\": " << r.network.backbone_unrouted
+          << ", \"handoffs\": " << r.network.handoffs << '}';
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << '\n';
   }
   out << "  ]\n}\n";
 }
@@ -221,6 +231,13 @@ std::string ResultSignature(const RunResult& result) {
     sig += "|slo." + s.name + "=" + std::to_string(s.count) + "/" +
            std::to_string(s.misses) + "/" + std::to_string(s.near_misses) +
            "/" + FullPrecision(s.p99) + "/" + FullPrecision(s.max_seconds);
+  }
+  if (result.network.cells > 0) {
+    sig += "|net=" + std::to_string(result.network.cells) + "/" +
+           std::to_string(result.network.subscribers) + "/" +
+           std::to_string(result.network.backbone_messages) + "/" +
+           std::to_string(result.network.backbone_unrouted) + "/" +
+           std::to_string(result.network.handoffs);
   }
   return sig;
 }

@@ -12,6 +12,7 @@
 #include "exp/seed.h"
 #include "mac/cycle_layout.h"
 #include "metrics/cell_metrics.h"
+#include "obs/profiler.h"
 
 namespace osumac::exp {
 
@@ -84,6 +85,7 @@ ScenarioRun::~ScenarioRun() {
 }
 
 void ScenarioRun::BuildPopulation() {
+  OSUMAC_PROFILE_ZONE("exp.populate");
   for (int i = 0; i < spec_.data_users; ++i) {
     data_nodes_.push_back(cell_->AddSubscriber(false));
     cell_->PowerOn(data_nodes_.back());
@@ -122,6 +124,7 @@ void ScenarioRun::StartWorkloads() {
 }
 
 void ScenarioRun::Warmup() {
+  OSUMAC_PROFILE_ZONE("exp.warmup");
   cell_->RunCycles(spec_.warmup_cycles);
   if (spec_.reset_stats_after_warmup) cell_->ResetStats();
   downlink_generated_at_reset_ =
@@ -129,6 +132,7 @@ void ScenarioRun::Warmup() {
 }
 
 void ScenarioRun::Measure() {
+  OSUMAC_PROFILE_ZONE("exp.measure");
   const ChurnSpec& churn = spec_.churn;
   if (churn.arrivals > 0) {
     Rng churn_rng(DeriveSeed(spec_.seed, SeedStream::kChurn));
@@ -162,6 +166,7 @@ void ScenarioRun::Measure() {
 }
 
 RunResult ScenarioRun::Finish() {
+  OSUMAC_PROFILE_ZONE("exp.finish");
   RunResult result;
   result.name = spec_.name;
   result.seed = spec_.seed;

@@ -62,6 +62,20 @@ struct RunResult {
   /// from the deterministic simulation, so sweep results stay bit-identical
   /// across job counts.
   std::vector<obs::SloClassSummary> slo;
+
+  /// Network-wide rollup, populated only by multi-cell runs
+  /// (exp::RunNetworkScenario); `cells == 0` means "not a network run" and
+  /// keeps single-cell sweep artifacts byte-identical.  `slo` above then
+  /// holds the *merged* digest (Network::SloRollup), whose quantiles come
+  /// from the merged histograms — never from averaging per-cell quantiles.
+  struct NetworkRollup {
+    int cells = 0;
+    int subscribers = 0;
+    std::int64_t backbone_messages = 0;
+    std::int64_t backbone_unrouted = 0;
+    std::int64_t handoffs = 0;
+  };
+  NetworkRollup network;
 };
 
 /// Optional callbacks into a run's phases, for callers that attach

@@ -26,6 +26,7 @@ enum class SeedStream : std::uint64_t {
   kUplink = 1,    ///< Poisson uplink workload
   kDownlink = 2,  ///< Poisson downlink workload
   kChurn = 3,     ///< churn arrival gaps
+  kNetwork = 4,   ///< multi-cell mobility walk + cross-cell chatter
 };
 
 /// Seed for `stream` of a run whose spec seed is `seed`.

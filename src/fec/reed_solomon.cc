@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace osumac::fec {
 
@@ -49,6 +50,7 @@ const ReedSolomon& ReedSolomon::Osu329() {
 }
 
 void ReedSolomon::EncodeInto(std::span<const GfElem> data, std::span<GfElem> out) const {
+  OSUMAC_PROFILE_ZONE("fec.encode");
   OSUMAC_CHECK_EQ(static_cast<int>(data.size()), k_);
   OSUMAC_CHECK_EQ(static_cast<int>(out.size()), n_);
   const int nroots = n_ - k_;
@@ -146,6 +148,7 @@ bool ReedSolomon::DecodeWithErasuresFullInto(std::span<const GfElem> received,
 bool ReedSolomon::DecodeImpl(std::span<const GfElem> received,
                              std::span<const int> erasure_positions, DecodeResult* out,
                              bool allow_syndrome_fast_path) const {
+  OSUMAC_PROFILE_ZONE("fec.decode");
   OSUMAC_CHECK_EQ(static_cast<int>(received.size()), n_);
   OSUMAC_CHECK(out != nullptr);
   const int nroots = n_ - k_;

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "mac/packet.h"
+#include "obs/profiler.h"
 #include "phy/phy_params.h"
 
 namespace osumac::mac {
@@ -97,6 +98,7 @@ void Cell::AttachTrace(obs::EventTrace* trace) {
 
 void Cell::EmitBurstTx(int node, const PlannedBurst& burst, Interval on_air) {
   if (trace_ == nullptr) return;  // skip even building the Event
+  OSUMAC_PROFILE_ZONE("obs.emit");
   obs::Event e;
   e.kind = obs::EventKind::kBurstTx;
   e.channel = obs::Channel::kReverse;
@@ -110,6 +112,7 @@ void Cell::EmitBurstTx(int node, const PlannedBurst& burst, Interval on_air) {
 void Cell::EmitSlotResolved(int slot, Interval abs, std::int64_t outcome,
                             bool assigned, bool designated_contention, bool is_gps) {
   if (trace_ == nullptr) return;  // skip even building the Event
+  OSUMAC_PROFILE_ZONE("obs.emit");
   obs::Event e;
   e.kind = obs::EventKind::kSlotResolved;
   e.channel = obs::Channel::kReverse;
@@ -213,6 +216,7 @@ void Cell::ResetStats() {
 }
 
 void Cell::StartCycle(std::int64_t n) {
+  OSUMAC_PROFILE_ZONE("cell.plan");
   const Tick T = n * kCycleTicks;
   OSUMAC_CHECK_EQ(sim_.now(), T);
 
@@ -305,6 +309,7 @@ void Cell::StartCycle(std::int64_t n) {
 }
 
 void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle_start) {
+  OSUMAC_PROFILE_ZONE("cell.cf");
   const auto blocks = SerializeControlFields(cf);
   cf_codewords_.resize(2);
   for (std::size_t i = 0; i < 2; ++i) {
@@ -398,6 +403,7 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
 }
 
 void Cell::ResolveGpsSlot(int slot, Interval abs) {
+  OSUMAC_PROFILE_ZONE("cell.slot.gps");
   reverse_channel_.ResolveSlotPerSenderInto(
       abs, gps_code_,
       [this](int sender) -> phy::SymbolErrorModel& {
@@ -459,6 +465,7 @@ void Cell::ResolveGpsSlot(int slot, Interval abs) {
 }
 
 void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
+  OSUMAC_PROFILE_ZONE("cell.slot.data");
   reverse_channel_.ResolveSlotPerSenderInto(
       abs, data_code_,
       [this](int sender) -> phy::SymbolErrorModel& {
@@ -524,6 +531,7 @@ void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
 }
 
 void Cell::DeliverForwardSlot(int slot, Interval abs) {
+  OSUMAC_PROFILE_ZONE("cell.slot.forward");
   const std::optional<ForwardDataPacket> packet = bs_.DownlinkPacketForSlot(slot);
   if (!packet.has_value()) return;
 
@@ -600,6 +608,7 @@ void Cell::DeliverForwardSlot(int slot, Interval abs) {
 }
 
 void Cell::DrainDeliveries() {
+  OSUMAC_PROFILE_ZONE("cell.drain");
   for (const UplinkDelivery& d : bs_.TakeDeliveries()) {
     if (d.duplicate) continue;
     metrics_.unique_payload_bytes += d.payload_bytes;

@@ -1,6 +1,7 @@
 #include "mac/network.h"
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace osumac::mac {
 
@@ -82,11 +83,15 @@ void Network::RandomWalk(double handoff_prob, Rng& rng) {
 
 void Network::RunCycles(int cycles) {
   for (int c = 0; c < cycles; ++c) {
-    for (auto& cell_ptr : cells_) cell_ptr->RunCycles(1);
+    for (auto& cell_ptr : cells_) {
+      OSUMAC_PROFILE_ZONE("net.cell");
+      cell_ptr->RunCycles(1);
+    }
   }
 }
 
 bool Network::Route(int from_cell, Ein dest, int bytes) {
+  OSUMAC_PROFILE_ZONE("net.route");
   // Find the destination's current (or last known) cell via the mobility
   // registry the backbone maintains.
   for (const Mobile& m : mobiles_) {
@@ -98,6 +103,12 @@ bool Network::Route(int from_cell, Ein dest, int bytes) {
   }
   ++counters_.backbone_unrouted;
   return false;
+}
+
+obs::SloMonitor Network::SloRollup() const {
+  obs::SloMonitor rollup;
+  for (const auto& cell_ptr : cells_) rollup.Merge(cell_ptr->slo());
+  return rollup;
 }
 
 }  // namespace osumac::mac

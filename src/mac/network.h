@@ -83,6 +83,18 @@ class Network {
 
   const NetworkCounters& counters() const { return counters_; }
 
+  // --- observability ----------------------------------------------------------------
+
+  /// Network-wide SLO digest: every cell's monitor merged into one.  The
+  /// merge is exact integer arithmetic (obs::SloMonitor::Merge), so the
+  /// result is bit-identical regardless of cell order — the rollup a
+  /// network operator would export, with quantiles recomputed from the
+  /// merged histograms rather than averaged per cell.
+  obs::SloMonitor SloRollup() const;
+
+  /// Total subscribers across all cells (network census gauge).
+  int subscriber_count() const { return static_cast<int>(mobiles_.size()); }
+
  private:
   struct Mobile {
     Ein ein = 0;

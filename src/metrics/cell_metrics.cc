@@ -2,13 +2,14 @@
 
 namespace osumac::metrics {
 
-void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell) {
+void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell,
+                         const std::string& prefix) {
   const mac::Cell* c = &cell;
 
   // Base-station counters (one gauge per BsCounters field).
-  const auto bs_counter = [&registry, c](const std::string& name,
-                                         std::int64_t mac::BsCounters::* field) {
-    registry.RegisterGauge("bs." + name, [c, field] {
+  const auto bs_counter = [&registry, &prefix, c](const std::string& name,
+                                                  std::int64_t mac::BsCounters::* field) {
+    registry.RegisterGauge(prefix + "bs." + name, [c, field] {
       return static_cast<double>(c->base_station().counters().*field);
     });
   };
@@ -48,56 +49,79 @@ void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell) 
   bs_counter("gps_timeouts", &mac::BsCounters::gps_timeouts);
 
   // Base-station scheduling state.
-  registry.RegisterGauge("bs.contention_slots", [c] {
+  registry.RegisterGauge(prefix + "bs.contention_slots", [c] {
     return static_cast<double>(c->base_station().contention_slots());
   });
-  registry.RegisterGauge("bs.active_users", [c] {
+  registry.RegisterGauge(prefix + "bs.active_users", [c] {
     return static_cast<double>(c->base_station().registered_users().size());
   });
-  registry.RegisterGauge("bs.gps_users", [c] {
+  registry.RegisterGauge(prefix + "bs.gps_users", [c] {
     return static_cast<double>(c->base_station().gps_manager().active_count());
   });
-  registry.RegisterGauge("bs.format", [c] {
+  registry.RegisterGauge(prefix + "bs.format", [c] {
     return c->base_station().current_format() == mac::ReverseFormat::kFormat1 ? 1.0
                                                                               : 2.0;
   });
 
   // Cell aggregates.
-  registry.RegisterGauge("cell.cycles",
+  registry.RegisterGauge(prefix + "cell.cycles",
                          [c] { return static_cast<double>(c->metrics().cycles); });
-  registry.RegisterGauge("cell.capacity_bytes", [c] {
+  registry.RegisterGauge(prefix + "cell.capacity_bytes", [c] {
     return static_cast<double>(c->metrics().capacity_bytes);
   });
-  registry.RegisterGauge("cell.unique_payload_bytes", [c] {
+  registry.RegisterGauge(prefix + "cell.unique_payload_bytes", [c] {
     return static_cast<double>(c->metrics().unique_payload_bytes);
   });
-  registry.RegisterGauge("cell.offered_bytes", [c] {
+  registry.RegisterGauge(prefix + "cell.offered_bytes", [c] {
     return static_cast<double>(c->metrics().offered_bytes);
   });
-  registry.RegisterGauge("cell.uplink_messages_offered", [c] {
+  registry.RegisterGauge(prefix + "cell.uplink_messages_offered", [c] {
     return static_cast<double>(c->metrics().uplink_messages_offered);
   });
-  registry.RegisterGauge("cell.forward_packets_lost", [c] {
+  registry.RegisterGauge(prefix + "cell.forward_packets_lost", [c] {
     return static_cast<double>(c->metrics().forward_packets_lost);
   });
-  registry.RegisterGauge("cell.utilization",
+  registry.RegisterGauge(prefix + "cell.utilization",
                          [c] { return c->metrics().Utilization(); });
-  registry.RegisterGauge("cell.subscribers", [c] {
+  registry.RegisterGauge(prefix + "cell.subscribers", [c] {
     return static_cast<double>(c->subscriber_count());
   });
 
   // QoS / SLO monitor (streaming percentiles against the paper's budgets).
-  obs::RegisterSloMetrics(registry, cell.slo());
+  obs::RegisterSloMetrics(registry, cell.slo(), prefix);
 
   // Simulator diagnostics.
-  registry.RegisterGauge("sim.now_ticks", [c] {
+  registry.RegisterGauge(prefix + "sim.now_ticks", [c] {
     return static_cast<double>(c->simulator().now());
   });
-  registry.RegisterGauge("sim.events_executed", [c] {
+  registry.RegisterGauge(prefix + "sim.events_executed", [c] {
     return static_cast<double>(c->simulator().events_executed());
   });
-  registry.RegisterGauge("sim.pending_events", [c] {
+  registry.RegisterGauge(prefix + "sim.pending_events", [c] {
     return static_cast<double>(c->simulator().pending_events());
+  });
+}
+
+void RegisterNetworkMetrics(obs::MetricsRegistry& registry,
+                            const mac::Network& network) {
+  const mac::Network* n = &network;
+  for (int i = 0; i < network.cell_count(); ++i) {
+    RegisterCellMetrics(registry, network.cell(i),
+                        "cell." + std::to_string(i) + ".");
+  }
+  registry.RegisterGauge("net.cells",
+                         [n] { return static_cast<double>(n->cell_count()); });
+  registry.RegisterGauge("net.subscribers", [n] {
+    return static_cast<double>(n->subscriber_count());
+  });
+  registry.RegisterGauge("net.backbone_messages", [n] {
+    return static_cast<double>(n->counters().backbone_messages);
+  });
+  registry.RegisterGauge("net.backbone_unrouted", [n] {
+    return static_cast<double>(n->counters().backbone_unrouted);
+  });
+  registry.RegisterGauge("net.handoffs", [n] {
+    return static_cast<double>(n->counters().handoffs);
   });
 }
 

@@ -7,14 +7,26 @@
 // never needs to know the BsCounters struct.
 #pragma once
 
+#include <string>
+
 #include "mac/cell.h"
+#include "mac/network.h"
 #include "obs/metrics_registry.h"
 
 namespace osumac::metrics {
 
 /// Registers gauges for every metric `cell` exposes.  The cell must outlive
 /// the registry (gauges hold a pointer to it).  Names are stable API —
-/// documented in docs/OBSERVABILITY.md.
-void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell);
+/// documented in docs/OBSERVABILITY.md.  `prefix` labels every name
+/// ("cell.3." yields "cell.3.bs.cycles", ...); the default empty prefix
+/// keeps the single-cell names unchanged.
+void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell,
+                         const std::string& prefix = "");
+
+/// Registers the whole network: every cell's gauges under "cell.<i>." plus
+/// the "net.*" backbone/mobility counters as pull-gauges.  The network must
+/// outlive the registry.
+void RegisterNetworkMetrics(obs::MetricsRegistry& registry,
+                            const mac::Network& network);
 
 }  // namespace osumac::metrics

@@ -62,6 +62,13 @@ double MetricsRegistry::Delta(const Snapshot& now, const Snapshot& prev,
   return p == prev.end() ? n->second : n->second - p->second;
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::MergeSnapshots(const Snapshot& a,
+                                                          const Snapshot& b) {
+  Snapshot out = a;
+  for (const auto& [name, value] : b) out[name] += value;
+  return out;
+}
+
 double MetricsRegistry::Value(const Snapshot& snapshot, const std::string& name) {
   const auto it = snapshot.find(name);
   return it == snapshot.end() ? 0.0 : it->second;

@@ -83,6 +83,12 @@ class MetricsRegistry {
   /// first delta after binding is the delta from zero).
   static double Delta(const Snapshot& now, const Snapshot& prev,
                       const std::string& name);
+  /// Key-union sum of two snapshots: shared names add, unique names carry
+  /// over.  Exact (hence merge-order-invariant) whenever the values are
+  /// integer-valued counters — the rollup path only ever merges those;
+  /// ratio-like gauges must be recomputed from merged counters instead of
+  /// summed (see docs/OBSERVABILITY.md "Rollup semantics").
+  static Snapshot MergeSnapshots(const Snapshot& a, const Snapshot& b);
   /// Value lookup with a 0 default, for optional metrics.
   static double Value(const Snapshot& snapshot, const std::string& name);
 

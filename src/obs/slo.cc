@@ -42,6 +42,15 @@ void LogHistogram::Add(double value) {
   if (value > max_) max_ = value;
 }
 
+void LogHistogram::Merge(const LogHistogram& other) {
+  OSUMAC_CHECK_EQ(lo_, other.lo_);
+  OSUMAC_CHECK_EQ(hi_, other.hi_);
+  OSUMAC_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
 double LogHistogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   // Smallest bucket whose cumulative count reaches rank ceil(q * n) >= 1;
@@ -104,6 +113,16 @@ void SloMonitor::Observe(SloClass c, double seconds) {
     ++pc.misses;
   } else if (seconds > 0.9 * budget) {
     ++pc.near_misses;
+  }
+}
+
+void SloMonitor::Merge(const SloMonitor& other) {
+  for (int i = 0; i < kSloClassCount; ++i) {
+    PerClass& dst = classes_[static_cast<std::size_t>(i)];
+    const PerClass& src = other.classes_[static_cast<std::size_t>(i)];
+    dst.hist.Merge(src.hist);
+    dst.misses += src.misses;
+    dst.near_misses += src.near_misses;
   }
 }
 
@@ -172,10 +191,11 @@ void SloMonitor::Reset() {
   }
 }
 
-void RegisterSloMetrics(MetricsRegistry& registry, const SloMonitor& slo) {
+void RegisterSloMetrics(MetricsRegistry& registry, const SloMonitor& slo,
+                        const std::string& prefix_in) {
   for (int i = 0; i < kSloClassCount; ++i) {
     const auto c = static_cast<SloClass>(i);
-    const std::string prefix = std::string("slo.") + SloClassName(c) + ".";
+    const std::string prefix = prefix_in + "slo." + SloClassName(c) + ".";
     registry.RegisterGauge(prefix + "count", [&slo, c] {
       return static_cast<double>(slo.count(c));
     });

@@ -42,6 +42,14 @@ class LogHistogram {
 
   void Add(double value);
 
+  /// Adds `other`'s buckets into this histogram.  Both must share the
+  /// exact (lo, hi, buckets) shape.  Every field is integer counts or a
+  /// max of exact inputs, so merging any partition of one observation
+  /// stream, in any order, reproduces the single-stream histogram
+  /// bit-for-bit (pinned by tests/rollup_test.cc) — the property that
+  /// lets N per-cell monitors roll up into one network digest.
+  void Merge(const LogHistogram& other);
+
   std::int64_t count() const { return count_; }
   double max_seen() const { return count_ > 0 ? max_ : 0.0; }
   double lo() const { return lo_; }
@@ -111,6 +119,14 @@ class SloMonitor {
   std::int64_t near_misses(SloClass c) const { return Class(c).near_misses; }
   const LogHistogram& histogram(SloClass c) const { return Class(c).hist; }
 
+  /// Adds `other`'s histograms and miss/near-miss counters into this
+  /// monitor, class by class.  Merge order never matters: integer adds
+  /// commute exactly, so a network rollup digest is bit-identical whether
+  /// the per-cell monitors merge left-to-right, shuffled, or pairwise in
+  /// a tree — and equals the digest of one monitor fed the combined
+  /// stream (tests/rollup_test.cc pins both properties).
+  void Merge(const SloMonitor& other);
+
   /// True once any budgeted class has recorded a miss.
   bool BudgetBreached() const;
   /// "gps_delivery_gap: 2 miss(es), worst 7.97 s vs 4 s budget" or "".
@@ -142,8 +158,10 @@ class SloMonitor {
   std::vector<PerClass> classes_;
 };
 
-/// Binds slo.<class>.{count,misses,near_misses,p99,max_seconds} pull-gauges.
+/// Binds slo.<class>.{count,misses,near_misses,p99,max_seconds} pull-gauges,
+/// all under `prefix` (e.g. "cell.3." for a network's per-cell labels).
 /// `slo` must outlive the registry's collection.
-void RegisterSloMetrics(MetricsRegistry& registry, const SloMonitor& slo);
+void RegisterSloMetrics(MetricsRegistry& registry, const SloMonitor& slo,
+                        const std::string& prefix = "");
 
 }  // namespace osumac::obs

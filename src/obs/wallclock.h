@@ -41,6 +41,28 @@ class WallTimerRegistry {
 void WriteWallTimersJson(std::ostream& out, const WallTimerRegistry& registry,
                          const std::string& provenance);
 
+/// Free-standing wall-clock stopwatch for tools that just want "how long
+/// did that take" without a registry.  This (and ScopedWallTimer) is the
+/// sanctioned way to read wall time outside src/obs — the raw-clock lint
+/// rule forbids direct std::chrono use elsewhere, so host-time access
+/// stays corralled where determinism reviews can see it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction (or the last Restart()).
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// RAII timer: measures from construction to destruction and pushes the
 /// elapsed seconds into `registry.timer(name)`.
 class ScopedWallTimer {

@@ -37,6 +37,7 @@
 #include "common/stats.h"
 #include "common/time.h"
 #include "exp/emit.h"
+#include "exp/network_run.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/scenario_io.h"
@@ -64,6 +65,7 @@
 #include "obs/event_trace.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/provenance.h"
 #include "obs/sinks.h"
 #include "obs/slo.h"

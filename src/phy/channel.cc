@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/profiler.h"
+
 namespace osumac::phy {
 
 bool ApplyChannelInto(const std::vector<std::vector<fec::GfElem>>& codewords,
@@ -109,6 +111,7 @@ void ReverseChannel::ResolveSlotPerSenderInto(
     Interval slot, const fec::ReedSolomon& code,
     const std::function<SymbolErrorModel&(int sender)>& model_for, Rng& rng,
     ChannelScratch& scratch, SlotReception& out, bool use_erasure_side_info) {
+  OSUMAC_PROFILE_ZONE("phy.channel");
   CollectInto(slot, collected_);
   out.outcome = SlotOutcome::kIdle;
   out.info.clear();

@@ -24,7 +24,7 @@ from osumac_lint.engine import run_rules          # noqa: E402
 from osumac_lint.output import render_sarif       # noqa: E402
 from osumac_lint.rules import (ALL_RULES, bare_assert, bench_direct_cell,  # noqa: E402
                                checks_always_on, float_tick, hot_alloc,
-                               nondeterminism, ordered_iteration,
+                               nondeterminism, ordered_iteration, raw_clock,
                                raw_latency, raw_sanitize, raw_stdout,
                                rng_stream_discipline,
                                shared_state_annotation)
@@ -163,6 +163,32 @@ class RawLatencyTest(RuleTestCase):
     def test_obs_exempt(self):
         self.repo.write("src/obs/a.cc", "auto d = e.span.end - e.span.begin;\n")
         self.assert_findings(raw_latency.RULE, 0)
+
+
+class RawClockTest(RuleTestCase):
+    def test_chrono_triggers_in_tools(self):
+        self.repo.write("tools/a.cc",
+                        "#include <chrono>\n"
+                        "auto t = std::chrono::steady_clock::now();\n")
+        self.assert_findings(raw_clock.RULE, 2)
+
+    def test_posix_clock_triggers_in_bench(self):
+        self.repo.write("bench/b.cc",
+                        "struct timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);\n")
+        self.assert_findings(raw_clock.RULE, 1)
+
+    def test_sanctioned_homes_exempt(self):
+        self.repo.write("src/obs/wallclock.h",
+                        "auto t = std::chrono::steady_clock::now();\n")
+        self.repo.write("src/common/time.h", "#include <chrono>\n")
+        self.assert_findings(raw_clock.RULE, 0)
+
+    def test_stopwatch_use_and_waiver_ok(self):
+        self.repo.write("tools/a.cc",
+                        "const obs::Stopwatch stopwatch;\n"
+                        "double s = stopwatch.Seconds();\n"
+                        "#include <ctime>  // lint: allow-raw-clock\n")
+        self.assert_findings(raw_clock.RULE, 0)
 
 
 class RawSanitizeTest(RuleTestCase):

@@ -29,7 +29,11 @@ Checks, in order:
          Berlekamp-Massey pipeline by at least 1.5x
        - geometric skip-sampling beats the per-symbol Bernoulli loop
        - an untraced cycle step costs no more than 1.10x a traced one
-         (zero-cost disabled observability, with 10% timer noise head).
+         (zero-cost disabled observability, with 10% timer noise head)
+       - a cycle step with a live obs::Profiler installed costs no more
+         than 1.35x the untraced one (self-profiling stays cheap; the
+         zones cost ~10-20% in practice, and a per-event-retention
+         regression would be a multiple, not a percentage).
 
 CI runs this as the perf-smoke step against the committed repo-root
 BENCH_perf.json so the perf trajectory never silently rots.
@@ -37,11 +41,12 @@ BENCH_perf.json so the perf trajectory never silently rots.
 import json
 import sys
 
-REQUIRED_PHASES = ("spec_build", "sweep", "write_csv", "write_sweeps_json")
+REQUIRED_PHASES = ("spec_build", "sweep", "bench_network", "write_csv",
+                   "write_sweeps_json")
 HOTPATH_PHASES = ("hotpath_rs_encode", "hotpath_rs_decode_clean",
                   "hotpath_rs_decode_corrupt", "hotpath_channel_uniform",
                   "hotpath_channel_fast", "hotpath_cycle_untraced",
-                  "hotpath_cycle_traced")
+                  "hotpath_cycle_traced", "hotpath_cycle_profiled")
 REQUIRED_FIELDS = ("name", "count", "total_seconds", "mean_seconds",
                    "max_seconds")
 
@@ -169,6 +174,13 @@ def main():
                     1.0, "fast-channel skip-sampling regression")
         check_ratio(seen, "hotpath_cycle_untraced", "hotpath_cycle_traced",
                     1.10, "disabled-observability overhead regression")
+        # An *installed* profiler must stay cheap: the zones are aggregate
+        # counters, not per-event records, so a profiled cycle step costs
+        # ~10-20% over the untraced baseline.  The 1.35x bound leaves noise
+        # head on a loaded runner while still catching any regression to
+        # per-event retention (which would be a multiple, not a percentage).
+        check_ratio(seen, "hotpath_cycle_profiled", "hotpath_cycle_untraced",
+                    1.35, "live-profiler overhead regression")
 
     for name, budget in max_phase.items():
         if name not in seen:

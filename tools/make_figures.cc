@@ -11,7 +11,6 @@
 // wall-clock trajectory (per-phase timings; schema checked by
 // tools/check_perf.py).  Plot the CSVs with tools/plot_figures.py
 // (matplotlib) or any spreadsheet.
-#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -86,16 +85,28 @@ int main(int argc, char** argv) {
   }
 
   std::printf("running %zu scenario points (jobs=%d)...\n", specs.size(), jobs);
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch sweep_watch;
   std::vector<exp::RunResult> results;
   {
     obs::ScopedWallTimer timer(wall, "sweep");
     results = exp::SweepRunner(jobs).Run(specs);
   }
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double wall_seconds = sweep_watch.Seconds();
 
-  const auto csv_start = std::chrono::steady_clock::now();
+  // The network observability point: a small multi-cell run whose merged
+  // SLO digest and backbone counters ride along in BENCH_sweeps.json (the
+  // per-point "network" block) and whose wall time is the bench_network
+  // phase of BENCH_perf.json.  Deterministic like every other point: a
+  // pure function of its spec seed.
+  exp::NetworkScenarioSpec net_spec;
+  net_spec.name = "bench_network";
+  exp::RunResult net_result;
+  {
+    obs::ScopedWallTimer timer(wall, "bench_network");
+    net_result = exp::RunNetworkScenario(net_spec);
+  }
+
+  const obs::Stopwatch csv_watch;
   auto fig8 = Open(dir, "fig8_utilization_delay.csv");
   fig8 << "rho,offered,utilization,packet_delay_cycles,message_delay_cycles,"
           "p95_delay,drop_rate\n";
@@ -153,12 +164,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  wall.timer("write_csv").Add(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - csv_start)
-          .count());
+  wall.timer("write_csv").Add(csv_watch.Seconds());
 
   {
     obs::ScopedWallTimer timer(wall, "write_sweeps_json");
+    // The network point joins the emitted list here (after the figure CSVs,
+    // which index `results` by position) under a placeholder spec that
+    // mirrors the network run's shape.
+    exp::ScenarioSpec net_placeholder;
+    net_placeholder.name = net_spec.name;
+    net_placeholder.seed = net_spec.seed;
+    net_placeholder.workload.rho = 0.0;
+    net_placeholder.data_users = net_spec.data_users_per_cell;
+    net_placeholder.gps_users = net_spec.gps_users_per_cell;
+    net_placeholder.warmup_cycles = net_spec.warmup_cycles;
+    net_placeholder.measure_cycles = net_spec.measure_cycles;
+    specs.push_back(net_placeholder);
+    results.push_back(net_result);
     auto sweeps = Open(dir, "BENCH_sweeps.json");
     exp::WriteSweepJson(sweeps, "make_figures", jobs, wall_seconds, specs,
                         results);

@@ -2,8 +2,8 @@
 from __future__ import annotations
 
 from . import (bare_assert, bench_direct_cell, checks_always_on, float_tick,
-               hot_alloc, nondeterminism, ordered_iteration, raw_latency,
-               raw_sanitize, raw_stdout, rng_stream_discipline,
+               hot_alloc, nondeterminism, ordered_iteration, raw_clock,
+               raw_latency, raw_sanitize, raw_stdout, rng_stream_discipline,
                shared_state_annotation)
 
 ALL_RULES = [
@@ -13,6 +13,7 @@ ALL_RULES = [
     checks_always_on.RULE,
     raw_stdout.RULE,
     raw_latency.RULE,
+    raw_clock.RULE,
     raw_sanitize.RULE,
     bench_direct_cell.RULE,
     hot_alloc.RULE,

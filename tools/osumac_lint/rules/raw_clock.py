@@ -1,0 +1,44 @@
+"""No direct host-clock reads (`std::chrono`, `clock_gettime`,
+`gettimeofday`, `timespec_get`) in src/, bench/, or tools/ outside
+src/obs/ and src/common/time.h: wall time flows through obs::Stopwatch /
+obs::ScopedWallTimer so host-time access stays corralled where
+determinism reviews can see it, and simulated time stays Tick-based.  A
+line carrying a `lint: allow-raw-clock` waiver comment is exempt."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+
+# A chrono name or a POSIX clock call.  <chrono>/<ctime>/<sys/time.h>
+# includes are flagged too: pulling the header in is the first step of
+# reading the clock directly.
+RAW_CLOCK = re.compile(
+    r"std::chrono\b"
+    r"|\b(?:clock_gettime|gettimeofday|timespec_get)\s*\("
+    r"|<(?:chrono|ctime|sys/time\.h)>")
+
+#: The sanctioned homes for host-time access: the obs wall-clock layer
+#: and the simulated-time header.
+ALLOWED = ("src/obs/", "src/common/time.h")
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files("src", "bench", "tools"):
+        if source.rel.startswith(ALLOWED[0]) or source.rel == ALLOWED[1]:
+            continue  # obs::Stopwatch / Tick ARE the sanctioned clocks
+        for lineno, code, _raw in source.lines():
+            if RAW_CLOCK.search(code):
+                ctx.finding(source, lineno,
+                            "direct host-clock read; use obs::Stopwatch or "
+                            "obs::ScopedWallTimer (src/obs/wallclock.h) so "
+                            "wall-time access stays auditable and simulation "
+                            "logic stays on Tick")
+
+
+RULE = Rule(
+    name="raw-clock",
+    summary="no direct std::chrono/clock_gettime outside src/obs",
+    help=__doc__,
+    check=check,
+)

@@ -12,7 +12,6 @@
 // sweep runner (--jobs N workers, bit-identical at any N), and emits the
 // results as CSV (default) or the BENCH_sweeps.json format (--out *.json).
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +54,10 @@ struct Options {
   std::string scenario_file;
   std::string out_file;
   int jobs = 1;
+  int cells = 0;  ///< 0 = single-cell mode; N >= 2 = network mode
+  std::string profile_file;
+  bool profile_format_set = false;
+  std::string profile_format = "speedscope";
   bool help = false;
 };
 
@@ -91,6 +94,15 @@ void PrintUsage() {
       "  --flight-dump-on-exit  also dump at run end if nothing tripped\n"
       "                      (requires --flight-dir)\n"
       "  --timers            report wall-clock timers on exit\n"
+      "  --cells N           network mode: run N cells in lockstep with\n"
+      "                      random-walk mobility and cross-cell chatter;\n"
+      "                      --data-users/--gps become per-cell populations\n"
+      "                      and the report shows backbone/handoff counters\n"
+      "                      plus the merged network SLO rollup\n"
+      "  --profile FILE      self-profile the run (obs::Profiler zones over\n"
+      "                      the cycle pipeline) and write the result to FILE\n"
+      "  --profile-format F  speedscope | collapsed | chrome | report\n"
+      "                      (default speedscope; requires --profile)\n"
       "  --scenario FILE     sweep mode: run every scenario in FILE (see\n"
       "                      docs/SCENARIOS.md for the format)\n"
       "  --jobs N            sweep worker threads (0 = all cores, default 1;\n"
@@ -190,6 +202,13 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       opt.flight_dump_on_exit = true;
     } else if (arg == "--timers") {
       opt.timers = true;
+    } else if (arg == "--cells") {
+      if (!next_int(opt.cells)) return false;
+    } else if (arg == "--profile") {
+      if (!next_string(opt.profile_file)) return false;
+    } else if (arg == "--profile-format") {
+      if (!next_string(opt.profile_format)) return false;
+      opt.profile_format_set = true;
     } else if (arg == "--scenario") {
       if (!next_string(opt.scenario_file)) return false;
     } else if (arg == "--out") {
@@ -257,11 +276,9 @@ int RunSweep(const Options& opt) {
   const exp::SweepRunner runner(opt.jobs);
   std::fprintf(stderr, "running %zu scenarios on %d workers...\n", specs.size(),
                runner.jobs());
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch stopwatch;
   const std::vector<exp::RunResult> results = runner.Run(specs);
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double wall_seconds = stopwatch.Seconds();
 
   const bool json = opt.out_file.size() >= 5 &&
                     opt.out_file.rfind(".json") == opt.out_file.size() - 5;
@@ -281,6 +298,109 @@ int RunSweep(const Options& opt) {
     }
     std::fprintf(stderr, "wrote %zu points -> %s (%s, %.1f s)\n", results.size(),
                  opt.out_file.c_str(), json ? "json" : "csv", wall_seconds);
+  }
+  return 0;
+}
+
+/// Writes the recorded zone tree to opt.profile_file in the selected
+/// format.  Returns false (with a message) when the file cannot be opened.
+bool WriteProfileFile(const Options& opt, const obs::Profiler& profiler,
+                      const std::string& provenance) {
+  std::ofstream out(opt.profile_file);
+  if (!out) {
+    std::fprintf(stderr, "cannot open profile file '%s'\n",
+                 opt.profile_file.c_str());
+    return false;
+  }
+  if (opt.profile_format == "speedscope") {
+    obs::WriteSpeedscope(out, profiler, "osumac_sim");
+  } else if (opt.profile_format == "collapsed") {
+    obs::WriteCollapsed(out, profiler);
+  } else if (opt.profile_format == "chrome") {
+    obs::WriteChromeTraceProfile(out, profiler, provenance);
+  } else {
+    obs::WriteProfileReport(out, profiler);
+  }
+  std::printf("profile                -> %s (%s)\n", opt.profile_file.c_str(),
+              opt.profile_format.c_str());
+  if (profiler.empty()) {
+    std::printf("profile                (empty: built with -DOSUMAC_PROFILER=OFF?)\n");
+  }
+  return true;
+}
+
+/// Network mode (--cells N): run N cells in lockstep with mobility and
+/// cross-cell chatter, then print the backbone counters and the merged
+/// network SLO rollup.
+int RunNetwork(const Options& opt, const std::string& provenance) {
+  exp::NetworkScenarioSpec spec;
+  spec.name = "osumac_sim_network";
+  spec.cells = opt.cells;
+  spec.data_users_per_cell = opt.data_users;
+  spec.gps_users_per_cell = opt.gps_users;
+  spec.warmup_cycles = opt.warmup;
+  spec.measure_cycles = opt.cycles;
+  spec.seed = opt.seed;
+  spec.mac.downlink_arq = opt.arq;
+  spec.mac.use_second_control_field = !opt.no_second_cf;
+  spec.mac.dynamic_gps_slots = !opt.static_gps;
+  spec.mac.dynamic_contention_slots = !opt.static_contention;
+
+  exp::NetworkScenarioRun run(spec);
+  obs::Profiler profiler;
+  exp::RunResult result;
+  {
+    // Install for the whole run so every phase's zones aggregate into one
+    // tree; the scope closes before export (exports require closed zones).
+    const obs::Profiler::ThreadScope scope(
+        opt.profile_file.empty() ? nullptr : &profiler);
+    run.BuildPopulation();
+    run.Warmup();
+    run.Measure();
+    result = run.Finish();
+  }
+
+  std::printf("==== osumac_sim: cells=%d users/cell=%d gps/cell=%d cycles=%d ====\n",
+              opt.cells, opt.data_users, opt.gps_users, opt.cycles);
+  std::printf("subscribers            %8d\n", result.network.subscribers);
+  std::printf("measured cycles        %8lld per cell\n",
+              static_cast<long long>(result.measured_cycles));
+  std::printf("messages attempted     %8lld\n",
+              static_cast<long long>(result.uplink_messages_offered));
+  std::printf("backbone routed        %8lld\n",
+              static_cast<long long>(result.network.backbone_messages));
+  std::printf("backbone unrouted      %8lld\n",
+              static_cast<long long>(result.network.backbone_unrouted));
+  std::printf("handoffs               %8lld\n",
+              static_cast<long long>(result.network.handoffs));
+
+  if (!opt.metrics_file.empty()) {
+    obs::MetricsRegistry registry;
+    metrics::RegisterNetworkMetrics(registry, run.network());
+    std::ofstream out(opt.metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                   opt.metrics_file.c_str());
+      return 1;
+    }
+    const bool json = opt.metrics_file.size() >= 5 &&
+                      opt.metrics_file.rfind(".json") == opt.metrics_file.size() - 5;
+    if (json) {
+      registry.WriteJson(out);
+    } else {
+      registry.WriteCsv(out);
+    }
+    std::printf("metrics                -> %s (%s; cell.<i>.* + net.*)\n",
+                opt.metrics_file.c_str(), json ? "json" : "csv");
+  }
+  if (opt.slo) {
+    std::printf("--- network SLO rollup (%d cells merged) ---\n",
+                result.network.cells);
+    run.network().SloRollup().WriteReport(std::cout);
+  }
+  if (!opt.profile_file.empty() &&
+      !WriteProfileFile(opt, profiler, provenance)) {
+    return 1;
   }
   return 0;
 }
@@ -308,8 +428,41 @@ std::string ValidateFlagComposition(const Options& opt) {
              "digests instead)";
     }
   }
+  if (!opt.scenario_file.empty() && !opt.profile_file.empty()) {
+    return "--profile attaches to the serial single-run (or network) path; "
+           "sweep workers run unprofiled so results stay bit-identical at "
+           "any --jobs";
+  }
+  if (opt.cells != 0) {
+    if (opt.cells < 2) return "--cells needs at least 2 cells";
+    const char* conflicting = nullptr;
+    if (!opt.scenario_file.empty()) conflicting = "--scenario";
+    else if (!opt.trace_file.empty()) conflicting = "--trace";
+    else if (opt.trace_format_set) conflicting = "--trace-format";
+    else if (opt.audit) conflicting = "--audit";
+    else if (opt.timers) conflicting = "--timers";
+    else if (!opt.flight_dir.empty()) conflicting = "--flight-dir";
+    else if (opt.flight_cycles_set) conflicting = "--flight-cycles";
+    else if (opt.flight_dump_on_exit) conflicting = "--flight-dump-on-exit";
+    if (conflicting != nullptr) {
+      return std::string(conflicting) +
+             " attaches to a single live cell and cannot be combined with "
+             "--cells network mode (supported there: --metrics, --slo, "
+             "--profile)";
+    }
+    if (opt.channel != "perfect") {
+      return "--cells network mode currently runs perfect channels only";
+    }
+    if (opt.downlink_rho > 0) {
+      return "--downlink-rho drives a single cell's downlink; network mode "
+             "generates its own cross-cell chatter instead";
+    }
+  }
   if (opt.trace_format_set && opt.trace_file.empty()) {
     return "--trace-format requires --trace FILE";
+  }
+  if (opt.profile_format_set && opt.profile_file.empty()) {
+    return "--profile-format requires --profile FILE";
   }
   if (opt.flight_dir.empty()) {
     if (opt.flight_cycles_set) return "--flight-cycles requires --flight-dir DIR";
@@ -346,6 +499,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown trace format '%s'\n", opt.trace_format.c_str());
     return 1;
   }
+  if (opt.profile_format != "speedscope" && opt.profile_format != "collapsed" &&
+      opt.profile_format != "chrome" && opt.profile_format != "report") {
+    std::fprintf(stderr, "unknown profile format '%s'\n",
+                 opt.profile_format.c_str());
+    return 1;
+  }
+  if (opt.cells != 0) {
+    char network_config[256];
+    std::snprintf(network_config, sizeof(network_config),
+                  "cells=%d data-users=%d gps=%d cycles=%d warmup=%d",
+                  opt.cells, opt.data_users, opt.gps_users, opt.cycles,
+                  opt.warmup);
+    const std::string provenance =
+        obs::ProvenanceLine("osumac_sim", opt.seed, network_config);
+    std::printf("%s\n", provenance.c_str());
+    return RunNetwork(opt, provenance);
+  }
 
   char config_text[256];
   std::snprintf(config_text, sizeof(config_text),
@@ -370,6 +540,14 @@ int main(int argc, char** argv) {
   // The flight recorder's trigger policy watches the auditor, so arming it
   // implies auditing even without --audit (violations just aren't printed).
   if (opt.audit || flight) cell.AddObserver(&auditor);
+
+  // Self-profiling: install for the rest of main (all run phases) so every
+  // zone — population, warm-up, measured cycles, finish — lands in one
+  // aggregated tree.  A null install is a no-op, so unprofiled runs pay
+  // only the thread-local null check per zone.
+  obs::Profiler profiler;
+  const obs::Profiler::ThreadScope profile_scope(
+      opt.profile_file.empty() ? nullptr : &profiler);
 
   run.BuildPopulation();
   run.StartWorkloads();
@@ -489,6 +667,10 @@ int main(int argc, char** argv) {
                 json ? "json" : "csv");
   }
   if (opt.slo) cell.slo().WriteReport(std::cout);
+  if (!opt.profile_file.empty() &&
+      !WriteProfileFile(opt, profiler, provenance)) {
+    return 1;
+  }
   if (flight) {
     if (!recorder.tripped() && opt.flight_dump_on_exit) {
       recorder.Trip("exit: --flight-dump-on-exit", cell.current_cycle());
