@@ -1,0 +1,104 @@
+#include "analysis/policy_audit.h"
+
+#include <sstream>
+
+#include "mac/cycle_layout.h"
+
+namespace osumac::analysis {
+
+ProtocolAuditor& PolicyAuditor::CarrierAuditor(int carrier) {
+  while (per_carrier_.size() <= static_cast<std::size_t>(carrier)) {
+    per_carrier_.push_back(std::make_unique<ProtocolAuditor>(mode_));
+  }
+  return *per_carrier_[static_cast<std::size_t>(carrier)];
+}
+
+void PolicyAuditor::OnCyclePlanned(const mac::PolicyCell& cell,
+                                   const mac::PolicyCyclePlan& plan,
+                                   std::int64_t cycle, Tick now) {
+  const Tick cycle_start = cycle * mac::kCycleTicks;
+  for (int c = 0; c < plan.carriers(); ++c) {
+    const mac::ReverseFormat format =
+        plan.carrier_formats[static_cast<std::size_t>(c)];
+    const mac::ReverseCycleLayout layout(format);
+
+    ProtocolAuditor::ScheduleView schedule;
+    schedule.cycle = cycle;
+    schedule.cycle_start = cycle_start;
+    schedule.dynamic_gps = true;
+    schedule.format = format;
+    schedule.data_slot_count = layout.data_slot_count();
+    schedule.gps_schedule.fill(mac::kNoUser);
+    schedule.reverse_schedule.fill(mac::kNoUser);
+    for (const mac::PolicySlotPlan& s : plan.slots) {
+      if (s.carrier != c) continue;
+      if (s.short_slot) {
+        schedule.gps_schedule[static_cast<std::size_t>(s.slot)] = s.owner;
+      } else {
+        schedule.reverse_schedule[static_cast<std::size_t>(s.slot)] = s.owner;
+      }
+    }
+    int occupied = 0;
+    for (const mac::UserId uid : schedule.gps_schedule) {
+      if (uid != mac::kNoUser) ++occupied;
+    }
+    schedule.gps_active = occupied;
+
+    ProtocolAuditor& auditor = CarrierAuditor(c);
+    auditor.AuditSchedule(schedule, now);
+
+    ProtocolAuditor::TransmissionView tx;
+    tx.cycle_start = cycle_start;
+    tx.format = format;
+    tx.gps_schedule = schedule.gps_schedule;
+    tx.reverse_schedule = schedule.reverse_schedule;
+    if (c < cell.carrier_count()) {
+      for (const phy::CodedBurst& burst : cell.carrier_channel(c).pending()) {
+        // The previous cycle's final data slot resolves after this plan went
+        // on the air; its leftover burst belongs to that cycle's audit.
+        if (burst.on_air.begin < cycle_start) continue;
+        ProtocolAuditor::TransmissionView::Burst b;
+        b.sender = cell.uid_of(burst.sender);
+        b.on_air = burst.on_air;
+        tx.bursts.push_back(b);
+      }
+    }
+    auditor.AuditTransmissions(tx, now);
+  }
+}
+
+void PolicyAuditor::OnSlotResolved(const mac::PolicyCell& /*cell*/,
+                                   const mac::PolicySlotPlan& /*plan*/,
+                                   const mac::PolicySlotResult& /*result*/,
+                                   Interval /*abs*/, Tick /*now*/) {
+  // All invariants are checked against the plan and the on-air bursts at
+  // cycle start; slot outcomes carry no additional obligations.
+}
+
+std::vector<AuditViolation> PolicyAuditor::violations() const {
+  std::vector<AuditViolation> all;
+  for (const auto& auditor : per_carrier_) {
+    const auto& v = auditor->violations();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+std::int64_t PolicyAuditor::cycles_audited() const {
+  return per_carrier_.empty() ? 0 : per_carrier_.front()->cycles_audited();
+}
+
+std::string PolicyAuditor::Report() const {
+  std::ostringstream out;
+  out << violations().size() << " violation(s) in " << cycles_audited()
+      << " audited cycle(s) on " << per_carrier_.size() << " carrier(s)";
+  for (std::size_t c = 0; c < per_carrier_.size(); ++c) {
+    for (const AuditViolation& v : per_carrier_[c]->violations()) {
+      out << "\n  carrier " << c << ": " << v.invariant << " at t=" << v.tick
+          << ": " << v.detail;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace osumac::analysis

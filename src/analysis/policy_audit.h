@@ -1,0 +1,54 @@
+// Protocol auditing for MacPolicy tenants on the generic PolicyCell driver.
+//
+// The PolicyAuditor adapts a PolicyCell's per-cycle plan and the actual
+// pending reverse-channel bursts into the ProtocolAuditor's view structs,
+// per carrier, so the schedule invariants of docs/INVARIANTS.md (dense GPS
+// prefix, format consistency, R3 slot monotonicity + the 4 s access bound,
+// slot containment, slot ownership, channel overlap) are machine-checked
+// for every policy exactly as they are for the OSU tenant.  Open contention
+// slots (data slots planned with owner kNoUser — RQMA's request slots) keep
+// the auditor's usual contention exemption; GPS short slots never do.
+//
+// One ProtocolAuditor instance runs per carrier: the temporal GPS tracking
+// (R3, 4 s interval) is per-schedule state, and a user absent from another
+// carrier's schedule must not read as a sign-off.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/protocol_auditor.h"
+#include "mac/policy_cell.h"
+
+namespace osumac::analysis {
+
+class PolicyAuditor : public mac::PolicyCellObserver {
+ public:
+  explicit PolicyAuditor(ProtocolAuditor::Mode mode = ProtocolAuditor::Mode::kRecord)
+      : mode_(mode) {}
+
+  // --- PolicyCellObserver --------------------------------------------------
+
+  void OnCyclePlanned(const mac::PolicyCell& cell, const mac::PolicyCyclePlan& plan,
+                      std::int64_t cycle, Tick now) override;
+  void OnSlotResolved(const mac::PolicyCell& cell, const mac::PolicySlotPlan& plan,
+                      const mac::PolicySlotResult& result, Interval abs,
+                      Tick now) override;
+
+  // --- results -------------------------------------------------------------
+
+  /// All carriers' violations, carrier-major.
+  std::vector<AuditViolation> violations() const;
+  /// Cycles audited on carrier 0 (every carrier sees the same cycles).
+  std::int64_t cycles_audited() const;
+  std::string Report() const;
+
+ private:
+  ProtocolAuditor& CarrierAuditor(int carrier);
+
+  ProtocolAuditor::Mode mode_;
+  std::vector<std::unique_ptr<ProtocolAuditor>> per_carrier_;
+};
+
+}  // namespace osumac::analysis

@@ -115,7 +115,13 @@ void EmitSpecJson(std::ostream& out, const ScenarioSpec& spec) {
       << "\", \"second_cf\": " << (spec.mac.use_second_control_field ? 1 : 0)
       << ", \"dynamic_gps\": " << (spec.mac.dynamic_gps_slots ? 1 : 0)
       << ", \"dynamic_contention\": " << (spec.mac.dynamic_contention_slots ? 1 : 0)
-      << ", \"arq\": " << (spec.mac.downlink_arq ? 1 : 0) << "}";
+      << ", \"arq\": " << (spec.mac.downlink_arq ? 1 : 0);
+  // Conditional like the network rollup block: OSU-only sweeps emit exactly
+  // what they always did, byte for byte.
+  if (spec.mac_policy != "osu") {
+    out << ", \"mac\": \"" << JsonEscape(spec.mac_policy) << '"';
+  }
+  out << "}";
 }
 
 }  // namespace

@@ -8,9 +8,11 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/stats.h"
 #include "common/sync.h"
 #include "exp/seed.h"
 #include "mac/cycle_layout.h"
+#include "mac/mac_policy.h"
 #include "metrics/cell_metrics.h"
 #include "obs/profiler.h"
 
@@ -234,7 +236,132 @@ RunResult ScenarioRun::Execute() {
   return Finish();
 }
 
+namespace {
+
+/// The serial path for policy tenants (spec.mac_policy != "osu"): the same
+/// phase ladder on the generic mac::PolicyCell driver.  Downlink traffic
+/// and churn do not apply (the driver's registration is out-of-band), and
+/// the figure metrics reduce to the policy-agnostic subset — utilization,
+/// delays, collision probability, Jain fairness from the substrate's
+/// per-user byte ledger, and the GPS QoS columns from the SloMonitor.
+RunResult RunPolicyScenario(const ScenarioSpec& spec, const RunHooks& hooks) {
+  OSUMAC_CHECK(mac::IsKnownMacPolicy(spec.mac_policy));
+  mac::PolicyCell cell(spec.BuildCellConfig(),
+                       mac::MakeMacPolicy(spec.mac_policy),
+                       DeriveSeed(spec.seed, SeedStream::kMacPolicy));
+  std::vector<int> data_nodes;
+  for (int i = 0; i < spec.data_users; ++i) {
+    data_nodes.push_back(cell.AddNode(/*wants_gps=*/false));
+  }
+  int gps_nodes = 0;
+  for (int i = 0; i < spec.gps_users; ++i) {
+    cell.AddNode(/*wants_gps=*/true);
+    ++gps_nodes;
+  }
+  if (hooks.policy_after_build) hooks.policy_after_build(cell);
+  cell.RunCycles(spec.registration_cycles);
+
+  std::unique_ptr<traffic::PoissonUplinkWorkload> uplink;
+  const WorkloadSpec& w = spec.workload;
+  if (w.rho > 0 && !data_nodes.empty()) {
+    const Tick interarrival = traffic::MeanInterarrivalTicks(
+        w.rho, spec.data_users, spec.DataSlotsForLoad(), w.sizes.MeanBytes());
+    uplink = std::make_unique<traffic::PoissonUplinkWorkload>(
+        cell.simulator(), data_nodes, interarrival, w.sizes,
+        Rng(DeriveSeed(spec.seed, SeedStream::kUplink)),
+        [&cell](int node, int bytes) { cell.SendUplinkMessage(node, bytes); });
+  }
+  cell.RunCycles(spec.warmup_cycles);
+  if (spec.reset_stats_after_warmup) cell.ResetStats();
+  cell.RunCycles(spec.measure_cycles);
+  if (uplink != nullptr) uplink->Stop();
+  if (hooks.policy_before_finish) hooks.policy_before_finish(cell);
+
+  RunResult result;
+  result.name = spec.name;
+  result.seed = spec.seed;
+
+  const mac::CellMetrics& cm = cell.metrics();
+  const mac::PolicyCounters& k = cell.counters();
+  result.slo = cell.slo().Summary();
+
+  metrics::FigureMetrics& f = result.figure;
+  f.utilization = cm.Utilization();
+  if (!cell.packet_delay_cycles().empty()) {
+    f.mean_packet_delay_cycles = cell.packet_delay_cycles().Mean();
+    f.p95_packet_delay_cycles = cell.packet_delay_cycles().Quantile(0.95);
+  }
+  if (!cell.message_delay_cycles().empty()) {
+    f.mean_message_delay_cycles = cell.message_delay_cycles().Mean();
+  }
+  const std::int64_t contention_uses = k.collisions + k.request_packets_received;
+  f.collision_probability =
+      contention_uses > 0
+          ? static_cast<double>(k.collisions) / static_cast<double>(contention_uses)
+          : 0.0;
+  std::vector<double> shares;
+  for (const int node : data_nodes) {
+    const auto it = cm.per_user_bytes.find(cell.uid_of(node));
+    shares.push_back(it == cm.per_user_bytes.end()
+                         ? 0.0
+                         : static_cast<double>(it->second));
+  }
+  f.fairness_index = JainFairnessIndex(shares);
+  // Fragment loss to policy deadlines, the policy-run analogue of the OSU
+  // buffer-drop rate.
+  const std::int64_t frag_outcomes = k.deadline_drops + k.data_packets_received;
+  f.message_drop_rate =
+      frag_outcomes > 0
+          ? static_cast<double>(k.deadline_drops) / static_cast<double>(frag_outcomes)
+          : 0.0;
+  f.avg_data_slots_used =
+      cm.cycles > 0 ? static_cast<double>(k.data_packets_received) /
+                          static_cast<double>(cm.cycles)
+                    : 0.0;
+  f.gps_access_delay_max_s =
+      result.slo[static_cast<std::size_t>(obs::SloClass::kGpsAccess)].max_seconds;
+  if (gps_nodes > 0 && cm.cycles > 0) {
+    f.gps_reports_per_bus_per_cycle = static_cast<double>(k.gps_packets_received) /
+                                      static_cast<double>(gps_nodes) /
+                                      static_cast<double>(cm.cycles);
+  }
+
+  // The policy-agnostic counters, in their BsCounters slots so downstream
+  // tables and JSON emitters need no second schema.
+  result.bs.cycles = cm.cycles;
+  result.bs.data_packets_received = k.data_packets_received;
+  result.bs.gps_packets_received = k.gps_packets_received;
+  result.bs.reservation_packets_received = k.request_packets_received;
+  result.bs.collisions = k.collisions;
+  result.bs.decode_failures = k.decode_failures;
+  result.bs.payload_bytes_received = k.payload_bytes_received;
+  result.bs.idle_assigned_slots = k.idle_slots;
+  result.bs.contention_slot_cycles = k.contention_slots;
+  result.bs.data_slots_offered = k.granted_slots + k.contention_slots;
+  result.bs.data_slots_used = k.data_packets_received;
+
+  result.offered_load =
+      cm.capacity_bytes > 0 ? static_cast<double>(cm.offered_bytes) /
+                                  static_cast<double>(cm.capacity_bytes)
+                            : 0.0;
+  result.measured_cycles = cm.cycles;
+  result.capacity_bytes = cm.capacity_bytes;
+  result.offered_bytes = cm.offered_bytes;
+  result.unique_payload_bytes = cm.unique_payload_bytes;
+  result.uplink_messages_offered = cm.uplink_messages_offered;
+
+  if (spec.collect_registry) {
+    obs::MetricsRegistry registry;
+    metrics::RegisterPolicyCellMetrics(registry, cell);
+    result.registry = registry.Collect();
+  }
+  return result;
+}
+
+}  // namespace
+
 RunResult RunScenario(const ScenarioSpec& spec, const RunHooks& hooks) {
+  if (spec.mac_policy != "osu") return RunPolicyScenario(spec, hooks);
   ScenarioRun run(spec);
   if (hooks.after_build) hooks.after_build(run.cell());
   run.BuildPopulation();

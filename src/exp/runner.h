@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "exp/scenario.h"
+#include "mac/policy_cell.h"
 #include "metrics/cell_metrics.h"
 #include "metrics/experiment.h"
 #include "obs/metrics_registry.h"
@@ -85,6 +86,11 @@ struct RunHooks {
   std::function<void(mac::Cell&)> after_build;    ///< before any cycle runs
   std::function<void(mac::Cell&)> after_warmup;   ///< stats just reset
   std::function<void(mac::Cell&)> before_finish;  ///< measured cycles done
+  /// Policy-tenant counterparts of after_build/before_finish: called with
+  /// the live PolicyCell when spec.mac_policy != "osu" (the Cell hooks
+  /// above are never called for such runs).
+  std::function<void(mac::PolicyCell&)> policy_after_build;
+  std::function<void(mac::PolicyCell&)> policy_before_finish;
 };
 
 /// One scenario run with its phases exposed, for callers that need the

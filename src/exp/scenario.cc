@@ -51,7 +51,9 @@ std::string ScenarioSpec::Describe() const {
       workload.sizes.kind == traffic::SizeDistribution::Kind::kFixed ? "fixed"
                                                                      : "uniform",
       ChannelKindName(forward.kind), ChannelKindName(reverse.kind));
-  return buffer;
+  std::string out = buffer;
+  if (mac_policy != "osu") out += " mac=" + mac_policy;
+  return out;
 }
 
 const std::vector<double>& LoadSweep() {

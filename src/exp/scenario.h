@@ -83,6 +83,14 @@ struct ScenarioSpec {
   ChurnSpec churn;
 
   // --- cell ----------------------------------------------------------------
+  /// Medium-access policy the run's cell hosts (scenario key `mac`).  "osu"
+  /// — the default, and the only value every feature below supports — runs
+  /// the full mac::Cell; other names from mac::KnownMacPolicies() run the
+  /// generic mac::PolicyCell driver, which ignores downlink traffic, churn
+  /// and the OSU-specific MacConfig toggles (out-of-band registration has
+  /// no storms to stage).  Kept out of Describe()/spec JSON when default so
+  /// pre-existing artifacts stay byte-identical.
+  std::string mac_policy = "osu";
   mac::MacConfig mac;
   mac::ChannelModelConfig forward;
   mac::ChannelModelConfig reverse;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "mac/mac_policy.h"
+
 namespace osumac::exp {
 
 namespace {
@@ -151,6 +153,14 @@ bool ApplyScenarioKey(ScenarioSpec& spec, const std::string& key,
   if (key == "reverse_channel") {
     return ParseChannel(value, &spec.reverse) ||
            Fail(error, "reverse_channel must be perfect | uniform SER | ge ...");
+  }
+  if (key == "mac") {
+    if (!mac::IsKnownMacPolicy(value)) {
+      return Fail(error, "unknown MAC policy '" + value +
+                             "' (expected one of: osu, rqma, pca)");
+    }
+    spec.mac_policy = value;
+    return true;
   }
   if (key == "mac.second_cf") return set_bool(&spec.mac.use_second_control_field);
   if (key == "mac.dynamic_gps") return set_bool(&spec.mac.dynamic_gps_slots);

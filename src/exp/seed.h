@@ -27,6 +27,7 @@ enum class SeedStream : std::uint64_t {
   kDownlink = 2,  ///< Poisson downlink workload
   kChurn = 3,     ///< churn arrival gaps
   kNetwork = 4,   ///< multi-cell mobility walk + cross-cell chatter
+  kMacPolicy = 5, ///< a MacPolicy tenant's plan randomness (PolicyCell)
 };
 
 /// Seed for `stream` of a run whose spec seed is `seed`.

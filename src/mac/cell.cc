@@ -8,26 +8,10 @@
 
 namespace osumac::mac {
 
-std::unique_ptr<phy::SymbolErrorModel> ChannelModelConfig::Make(std::uint64_t fast_seed) const {
-  switch (kind) {
-    case Kind::kPerfect:
-      return phy::MakePerfectChannel();
-    case Kind::kUniform:
-      return fast_sampling ? phy::MakeFastUniformChannel(symbol_error_prob, fast_seed)
-                           : phy::MakeUniformChannel(symbol_error_prob);
-    case Kind::kGilbertElliott:
-      return fast_sampling ? phy::MakeFastGilbertElliottChannel(ge, fast_seed)
-                           : phy::MakeGilbertElliottChannel(ge);
-  }
-  return phy::MakePerfectChannel();
-}
-
 Cell::Cell(const CellConfig& config)
-    : config_(config),
-      rng_(config.seed),
-      bs_(config.mac),
-      data_code_(fec::ReedSolomon::Osu6448()),
-      gps_code_(fec::ReedSolomon::Osu329()),
+    : CellSubstrate(config),
+      policy_(config.mac),
+      bs_(policy_.base_station()),
       check_clock_([this] { return sim_.now(); }),
       check_dump_([this] { return DumpState(); }) {
   OSUMAC_CHECK(config_.mac.min_contention_slots >= 1 &&
@@ -64,17 +48,8 @@ int Cell::AddSubscriber(bool wants_gps, std::optional<Ein> ein_override) {
   const Ein ein = ein_override.value_or(static_cast<Ein>(1000 + node));
   subscribers_.push_back(
       std::make_unique<MobileSubscriber>(node, ein, wants_gps, config_.mac, rng_.Fork()));
-  // Per-node, per-direction seeds for the fast models' private SplitMix64
-  // streams.  The +100 offset keeps them clear of the exp::SeedStream
-  // derivations (which use small multipliers of the same gamma).
-  const auto fast_seed = [this, node](std::uint64_t direction) {
-    return SplitMix64(config_.seed +
-                      kSplitMix64Gamma * (100 + 2 * static_cast<std::uint64_t>(node) +
-                                          direction));
-  };
-  forward_models_.push_back(config_.forward.Make(fast_seed(0)));
-  reverse_models_.push_back(config_.reverse.Make(fast_seed(1)));
-  gps_phase_.push_back(wants_gps ? rng_.UniformInt(0, kCycleTicks - 1) : 0);
+  AddNodeChannels(node);
+  gps_phase_.push_back(DrawGpsPhase(wants_gps));
   subscribers_.back()->SetSloMonitor(&slo_);
   if (trace_ != nullptr) {
     subscribers_.back()->SetEventSink(trace_);
@@ -129,7 +104,7 @@ void Cell::PowerOn(int node) { subscriber(node).PowerOn(); }
 
 void Cell::SignOff(int node) {
   MobileSubscriber& sub = subscriber(node);
-  if (sub.user_id() != kNoUser) bs_.SignOff(sub.user_id());
+  policy_.OnSignOff(node, sub.user_id());
   sub.PowerOff();
   // The node's service history ends here: gaps spanning the off period are
   // not SLO violations.
@@ -196,11 +171,7 @@ bool Cell::SendDownlinkMessage(int node, int bytes) {
 }
 
 void Cell::RunCycles(int cycles) {
-  if (next_cycle_ == 0 && target_cycle_ == 0) {
-    sim_.ScheduleAt(0, [this] { StartCycle(0); });
-  }
-  target_cycle_ += cycles;
-  sim_.RunUntil(target_cycle_ * kCycleTicks - 1);
+  RunCyclesOn(cycles, [this] { StartCycle(0); });
 }
 
 void Cell::ResetStats() {
@@ -404,13 +375,7 @@ void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle
 
 void Cell::ResolveGpsSlot(int slot, Interval abs) {
   OSUMAC_PROFILE_ZONE("cell.slot.gps");
-  reverse_channel_.ResolveSlotPerSenderInto(
-      abs, gps_code_,
-      [this](int sender) -> phy::SymbolErrorModel& {
-        return *reverse_models_[static_cast<std::size_t>(sender)];
-      },
-      rng_, channel_scratch_, slot_reception_, config_.erasure_side_information);
-  const phy::SlotReception& reception = slot_reception_;
+  const phy::SlotReception& reception = ResolveReverseSlot(abs, gps_code_);
   EmitSlotResolved(slot, abs, static_cast<std::int64_t>(reception.outcome),
                    /*assigned=*/bs_.gps_manager().OwnerOf(slot) != kNoUser,
                    /*designated_contention=*/false, /*is_gps=*/true);
@@ -466,13 +431,7 @@ void Cell::ResolveGpsSlot(int slot, Interval abs) {
 
 void Cell::ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev) {
   OSUMAC_PROFILE_ZONE("cell.slot.data");
-  reverse_channel_.ResolveSlotPerSenderInto(
-      abs, data_code_,
-      [this](int sender) -> phy::SymbolErrorModel& {
-        return *reverse_models_[static_cast<std::size_t>(sender)];
-      },
-      rng_, channel_scratch_, slot_reception_, config_.erasure_side_information);
-  const phy::SlotReception& reception = slot_reception_;
+  const phy::SlotReception& reception = ResolveReverseSlot(abs, data_code_);
   if (reception.outcome == phy::SlotOutcome::kCollision &&
       GetLogLevel() >= LogLevel::kDebug) {
     std::string who;
@@ -611,8 +570,7 @@ void Cell::DrainDeliveries() {
   OSUMAC_PROFILE_ZONE("cell.drain");
   for (const UplinkDelivery& d : bs_.TakeDeliveries()) {
     if (d.duplicate) continue;
-    metrics_.unique_payload_bytes += d.payload_bytes;
-    metrics_.per_user_bytes[d.src] += d.payload_bytes;
+    RecordUplinkDelivery(d.src, d.payload_bytes);
   }
   // Messages the base station just forwarded onto the downlink (routing):
   // start their delay clocks so downlink metrics cover them too.

@@ -1,6 +1,13 @@
 // One simulated cell: base station + mobile subscribers + both channels,
 // driven cycle by cycle on the discrete-event engine.
 //
+// The Cell is the OSU-MAC driver over the protocol-agnostic CellSubstrate
+// (mac/substrate.h): the substrate owns the clock, channels, FEC and
+// accounting; the Cell owns the OSU tenant (mac/policies/osu_policy.h,
+// wrapping the BaseStation) plus the subscriber state machines that make
+// OSU's in-band signalling work.  Other MAC policies run on the same
+// substrate through the generic mac::PolicyCell driver.
+//
 // The Cell reproduces the full air interface: control fields and packets are
 // really RS-encoded, passed through per-path error models, decoded, and
 // parsed; the reverse channel detects collisions; the half-duplex radio
@@ -30,7 +37,9 @@
 #include "mac/base_station.h"
 #include "mac/cell_observer.h"
 #include "mac/config.h"
+#include "mac/policies/osu_policy.h"
 #include "mac/subscriber.h"
+#include "mac/substrate.h"
 #include "obs/event_trace.h"
 #include "obs/slo.h"
 #include "phy/channel.h"
@@ -39,58 +48,7 @@
 
 namespace osumac::mac {
 
-/// Channel model selection for a Cell.
-struct ChannelModelConfig {
-  enum class Kind { kPerfect, kUniform, kGilbertElliott };
-  Kind kind = Kind::kPerfect;
-  double symbol_error_prob = 0.0;            ///< for kUniform
-  phy::GilbertElliottModel::Params ge{};     ///< for kGilbertElliott
-  /// Use the geometric skip-sampling model variants (phy::Fast*).  They
-  /// consume their own SplitMix64 stream seeded with `fast_seed`, so the
-  /// shared simulation Rng's draw order is untouched — but the error
-  /// process itself differs draw-for-draw, so fast runs are goldened
-  /// separately (exp::ScenarioSpec::fast_channel).
-  bool fast_sampling = false;
-
-  /// `fast_seed` seeds the private stream of a fast model; ignored unless
-  /// fast_sampling is set and the kind actually draws randomness.
-  std::unique_ptr<phy::SymbolErrorModel> Make(std::uint64_t fast_seed = 0) const;
-};
-
-struct CellConfig {
-  MacConfig mac;
-  ChannelModelConfig forward;  ///< base station -> mobile paths
-  ChannelModelConfig reverse;  ///< mobile -> base station paths
-  /// Receivers feed erasure side information (fade indications) to the RS
-  /// decoder, enabling errors-and-erasures decoding — up to 16 flagged
-  /// symbols per codeword instead of 8 unknown errors (extension; cf. the
-  /// paper's burst-erasure reference [2]).  Only the Gilbert-Elliott model
-  /// produces side information.
-  bool erasure_side_information = false;
-  std::uint64_t seed = 1;
-};
-
-/// Cell-level aggregate metrics (across the whole run since last reset).
-struct CellMetrics {
-  std::int64_t cycles = 0;
-  std::int64_t capacity_bytes = 0;        ///< d * 44 bytes summed per cycle
-  std::int64_t unique_payload_bytes = 0;  ///< decoded, de-duplicated
-  std::int64_t offered_bytes = 0;         ///< enqueued message bytes
-  std::int64_t uplink_messages_offered = 0;
-  std::int64_t forward_packets_lost = 0;  ///< sent but missed by the mobile
-  std::map<UserId, std::int64_t> per_user_bytes;  ///< for Jain fairness
-  SampleSet downlink_message_delay_cycles;
-
-  /// Reverse-link utilization as the paper defines it: data bytes carried /
-  /// data bytes transportable in the cycle's data slots.
-  double Utilization() const {
-    return capacity_bytes > 0 ? static_cast<double>(unique_payload_bytes) /
-                                    static_cast<double>(capacity_bytes)
-                              : 0.0;
-  }
-};
-
-class Cell {
+class Cell : private CellSubstrate {
  public:
   explicit Cell(const CellConfig& config);
 
@@ -113,22 +71,21 @@ class Cell {
   int subscriber_count() const { return static_cast<int>(subscribers_.size()); }
   BaseStation& base_station() { return bs_; }
   const BaseStation& base_station() const { return bs_; }
+  /// The OSU tenant hosting the base station (grid view for audits/tests).
+  const OsuMacPolicy& policy() const { return policy_; }
   sim::Simulator& simulator() { return sim_; }
   const sim::Simulator& simulator() const { return sim_; }
   const CellConfig& config() const { return config_; }
   const phy::ReverseChannel& reverse_channel() const { return reverse_channel_; }
 
-  /// Replaces the observer list with `observer` (nullptr detaches all).
-  /// Kept for the single-observer call sites; use AddObserver to stack
-  /// several (auditor + flight recorder).
-  void SetObserver(CellObserver* observer) {
-    observers_.clear();
-    if (observer != nullptr) observers_.push_back(observer);
-  }
   /// Appends an observer notified at the per-cycle audit points, after any
   /// already attached (notification order = attach order).
   void AddObserver(CellObserver* observer) {
     if (observer != nullptr) observers_.push_back(observer);
+  }
+  /// Detaches one observer (no-op if it was never attached).
+  void RemoveObserver(CellObserver* observer) {
+    std::erase(observers_, observer);
   }
 
   /// Always-on QoS monitor: access delay, checking delay and inter-service
@@ -189,44 +146,17 @@ class Cell {
   void EmitBurstTx(int node, const PlannedBurst& burst, Interval on_air);
   void EmitSlotResolved(int slot, Interval abs, std::int64_t outcome, bool assigned,
                         bool designated_contention, bool is_gps);
-  phy::SymbolErrorModel& ForwardModelFor(int node) {
-    return *forward_models_[static_cast<std::size_t>(node)];
-  }
 
-  CellConfig config_;
-  sim::Simulator sim_;
-  Rng rng_;
-  BaseStation bs_;
+  OsuMacPolicy policy_;
+  /// The policy's BaseStation, by reference: the whole driver below reads
+  /// as it did before the substrate/policy split.
+  BaseStation& bs_;
   std::vector<std::unique_ptr<MobileSubscriber>> subscribers_;
-  std::vector<std::unique_ptr<phy::SymbolErrorModel>> forward_models_;
-  std::vector<std::unique_ptr<phy::SymbolErrorModel>> reverse_models_;
-  std::vector<Tick> gps_phase_;  ///< per-node GPS report phase within a cycle
-  std::map<UserId, int> uid_to_node_;
 
-  phy::ReverseChannel reverse_channel_;
-  const fec::ReedSolomon& data_code_;  ///< RS(64,48)
-  const fec::ReedSolomon& gps_code_;   ///< RS(32,9)
-
-  // Slot-resolution scratch, reused across every slot/CF delivery so the
-  // steady-state receive path performs no heap allocation (buffers reach
-  // their high-water capacity in the first cycles and stay there).
-  phy::ChannelScratch channel_scratch_;
-  phy::SlotReception slot_reception_;
-  std::vector<std::vector<fec::GfElem>> cf_codewords_;
-  std::vector<std::vector<fec::GfElem>> cf_decoded_;
-  std::vector<std::vector<fec::GfElem>> fwd_codewords_;
-  std::vector<std::vector<fec::GfElem>> fwd_decoded_;
-
-  std::int64_t next_cycle_ = 0;
-  std::int64_t target_cycle_ = 0;
   ReverseFormat prev_format_ = ReverseFormat::kFormat2;
-  std::uint32_t next_message_id_ = 1;
   std::map<std::uint32_t, Tick> downlink_enqueue_tick_;
 
-  CellMetrics metrics_;
   std::vector<CellObserver*> observers_;
-  obs::EventTrace* trace_ = nullptr;
-  obs::SloMonitor slo_;
   /// Per-node tick of the last off-state paging check; erased whenever the
   /// node is seen active so checking delay only spans true inactive periods.
   std::map<int, Tick> last_paging_check_;

@@ -1,0 +1,61 @@
+#include "mac/policies/osu_policy.h"
+
+namespace osumac::mac {
+
+std::string OsuMacPolicy::DescribeLayout() const {
+  return "OSU-MAC notification cycle: CF1/CF2 + 37 forward data slots; "
+         "reverse format 1 (8 GPS + 8 data) or 2 (3 GPS + 9 data) with a "
+         "dynamic contention-slot prefix";
+}
+
+void OsuMacPolicy::OnRegistration(int node, UserId uid, bool wants_gps) {
+  (void)node;
+  (void)uid;
+  (void)wants_gps;
+}
+
+void OsuMacPolicy::OnSignOff(int node, UserId uid) {
+  (void)node;
+  if (uid != kNoUser) bs_.SignOff(uid);
+}
+
+PolicyCyclePlan OsuMacPolicy::PlanCycle(std::int64_t cycle,
+                                        const std::vector<PolicyNodeView>& nodes,
+                                        Rng& rng) {
+  (void)nodes;
+  (void)rng;
+  bs_.PlanCycle(static_cast<std::uint16_t>(cycle & 0xFFFF));
+  return CurrentGrid();
+}
+
+void OsuMacPolicy::ResolveSlot(const PolicySlotPlan& plan,
+                               const PolicySlotResult& result) {
+  (void)plan;
+  (void)result;
+}
+
+PolicyCyclePlan OsuMacPolicy::CurrentGrid() const {
+  PolicyCyclePlan plan;
+  plan.carrier_formats = {bs_.current_format()};
+  const ReverseCycleLayout layout(bs_.current_format());
+  for (int i = 0; i < layout.gps_slot_count(); ++i) {
+    PolicySlotPlan s;
+    s.slot = i;
+    s.short_slot = true;
+    s.use = PolicySlotUse::kGpsReport;
+    s.owner = bs_.gps_manager().OwnerOf(i);
+    plan.slots.push_back(std::move(s));
+  }
+  const int contention = bs_.contention_slots_this_cycle();
+  for (int i = 0; i < layout.data_slot_count(); ++i) {
+    PolicySlotPlan s;
+    s.slot = i;
+    s.owner = bs_.reverse_schedule()[static_cast<std::size_t>(i)];
+    s.use = (s.owner == kNoUser && i < contention) ? PolicySlotUse::kAccessRequest
+                                                   : PolicySlotUse::kData;
+    plan.slots.push_back(std::move(s));
+  }
+  return plan;
+}
+
+}  // namespace osumac::mac

@@ -1,0 +1,62 @@
+// The paper's protocol as the first MacPolicy tenant.
+//
+// OSU-MAC's medium-access machinery is the BaseStation: GPS slot management
+// (rules R1-R3), the reverse/forward schedulers, dynamic contention-slot
+// adjustment, and the control fields that announce it all.  OsuMacPolicy
+// packages that machinery behind the MacPolicy seam.
+//
+// Unlike the grid tenants (rqma, pca), OSU's signalling is in-band — units
+// register via contention bursts, learn grants from RS-coded control fields,
+// and piggyback reservations on data packets — so its host driver is the
+// full mac::Cell (subscriber state machines and all), not the generic
+// PolicyCell.  The Cell owns an OsuMacPolicy and drives the BaseStation
+// through it; the MacPolicy methods express the same cycle as a
+// PolicyCyclePlan grid, which is what the comparative tests audit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mac/base_station.h"
+#include "mac/mac_policy.h"
+
+namespace osumac::mac {
+
+class OsuMacPolicy : public MacPolicy {
+ public:
+  explicit OsuMacPolicy(const MacConfig& config) : bs_(config) {}
+
+  std::string name() const override { return "osu"; }
+  std::string DescribeLayout() const override;
+
+  /// No-op: OSU registration is in-band (contention kRegistration bursts
+  /// that the BaseStation admits itself); the driver never assigns IDs.
+  void OnRegistration(int node, UserId uid, bool wants_gps) override;
+  void OnSignOff(int node, UserId uid) override;
+
+  /// Advances the BaseStation one cycle and returns the planned grid.
+  /// Ignores `nodes` and `rng`: OSU plans from its own in-band state and
+  /// draws no policy-stream randomness.
+  PolicyCyclePlan PlanCycle(std::int64_t cycle,
+                            const std::vector<PolicyNodeView>& nodes,
+                            Rng& rng) override;
+
+  /// No-op: the Cell driver feeds receptions to the BaseStation directly
+  /// (OnGpsSlotResolved / OnDataSlotResolved carry phy-level detail the
+  /// policy seam deliberately omits).
+  void ResolveSlot(const PolicySlotPlan& plan,
+                   const PolicySlotResult& result) override;
+
+  /// The current cycle's schedule as a PolicyCyclePlan, without advancing
+  /// the BaseStation: GPS short slots with their owners, then data slots
+  /// with contention slots marked kNoUser/kAccessRequest.
+  PolicyCyclePlan CurrentGrid() const;
+
+  BaseStation& base_station() { return bs_; }
+  const BaseStation& base_station() const { return bs_; }
+
+ private:
+  BaseStation bs_;
+};
+
+}  // namespace osumac::mac

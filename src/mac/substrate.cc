@@ -1,0 +1,63 @@
+#include "mac/substrate.h"
+
+#include "phy/phy_params.h"
+
+namespace osumac::mac {
+
+std::unique_ptr<phy::SymbolErrorModel> ChannelModelConfig::Make(std::uint64_t fast_seed) const {
+  switch (kind) {
+    case Kind::kPerfect:
+      return phy::MakePerfectChannel();
+    case Kind::kUniform:
+      return fast_sampling ? phy::MakeFastUniformChannel(symbol_error_prob, fast_seed)
+                           : phy::MakeUniformChannel(symbol_error_prob);
+    case Kind::kGilbertElliott:
+      return fast_sampling ? phy::MakeFastGilbertElliottChannel(ge, fast_seed)
+                           : phy::MakeGilbertElliottChannel(ge);
+  }
+  return phy::MakePerfectChannel();
+}
+
+CellSubstrate::CellSubstrate(const CellConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      data_code_(fec::ReedSolomon::Osu6448()),
+      gps_code_(fec::ReedSolomon::Osu329()) {}
+
+void CellSubstrate::AddNodeChannels(int node) {
+  const auto fast_seed = [this, node](std::uint64_t direction) {
+    return SplitMix64(config_.seed +
+                      kSplitMix64Gamma * (100 + 2 * static_cast<std::uint64_t>(node) +
+                                          direction));
+  };
+  forward_models_.push_back(config_.forward.Make(fast_seed(0)));
+  reverse_models_.push_back(config_.reverse.Make(fast_seed(1)));
+}
+
+Tick CellSubstrate::DrawGpsPhase(bool wants_gps) {
+  return wants_gps ? rng_.UniformInt(0, kCycleTicks - 1) : 0;
+}
+
+void CellSubstrate::RunCyclesOn(int cycles, std::function<void()> bootstrap) {
+  if (next_cycle_ == 0 && target_cycle_ == 0) {
+    sim_.ScheduleAt(0, std::move(bootstrap));
+  }
+  target_cycle_ += cycles;
+  sim_.RunUntil(target_cycle_ * kCycleTicks - 1);
+}
+
+const phy::SlotReception& CellSubstrate::ResolveReverseSlot(
+    Interval abs, const fec::ReedSolomon& code) {
+  reverse_channel_.ResolveSlotPerSenderInto(
+      abs, code,
+      [this](int sender) -> phy::SymbolErrorModel& { return ReverseModelFor(sender); },
+      rng_, channel_scratch_, slot_reception_, config_.erasure_side_information);
+  return slot_reception_;
+}
+
+void CellSubstrate::RecordUplinkDelivery(UserId src, std::int64_t payload_bytes) {
+  metrics_.unique_payload_bytes += payload_bytes;
+  metrics_.per_user_bytes[src] += payload_bytes;
+}
+
+}  // namespace osumac::mac

@@ -1,0 +1,173 @@
+// The protocol-agnostic chassis of a simulated cell.
+//
+// CellSubstrate owns everything a cell-level MAC driver needs that is *not*
+// MAC policy: the discrete-event simulator and notification-cycle clock, the
+// shared simulation Rng, the per-node forward/reverse error models, the
+// collision-detecting reverse channel, the RS codecs and the allocation-free
+// receive scratch, plus the always-on accounting (CellMetrics, SloMonitor)
+// and the event-trace attachment point.
+//
+// Two drivers are built on it (by implementation inheritance, so the hot
+// paths read exactly as they did before the split):
+//
+//   mac::Cell        — the full OSU-MAC air interface (control fields,
+//                      subscriber state machines, in-band registration),
+//                      with the OSU machinery packaged as OsuMacPolicy.
+//   mac::PolicyCell  — the generic grid driver for pluggable MacPolicy
+//                      tenants (RQMA, PCA, ...), see mac/policy_cell.h.
+//
+// The layering contract (enforced by the `policy-layer-boundary` lint rule,
+// docs/MAC_POLICIES.md): the substrate never includes policy headers, and
+// policy implementations never reach below the substrate into phy/ or up
+// into exp/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "fec/reed_solomon.h"
+#include "mac/config.h"
+#include "mac/cycle_layout.h"
+#include "mac/ids.h"
+#include "obs/event_trace.h"
+#include "obs/slo.h"
+#include "phy/channel.h"
+#include "phy/error_model.h"
+#include "sim/simulator.h"
+
+namespace osumac::mac {
+
+/// Channel model selection for a Cell.
+struct ChannelModelConfig {
+  enum class Kind { kPerfect, kUniform, kGilbertElliott };
+  Kind kind = Kind::kPerfect;
+  double symbol_error_prob = 0.0;            ///< for kUniform
+  phy::GilbertElliottModel::Params ge{};     ///< for kGilbertElliott
+  /// Use the geometric skip-sampling model variants (phy::Fast*).  They
+  /// consume their own SplitMix64 stream seeded with `fast_seed`, so the
+  /// shared simulation Rng's draw order is untouched — but the error
+  /// process itself differs draw-for-draw, so fast runs are goldened
+  /// separately (exp::ScenarioSpec::fast_channel).
+  bool fast_sampling = false;
+
+  /// `fast_seed` seeds the private stream of a fast model; ignored unless
+  /// fast_sampling is set and the kind actually draws randomness.
+  std::unique_ptr<phy::SymbolErrorModel> Make(std::uint64_t fast_seed = 0) const;
+};
+
+struct CellConfig {
+  MacConfig mac;
+  ChannelModelConfig forward;  ///< base station -> mobile paths
+  ChannelModelConfig reverse;  ///< mobile -> base station paths
+  /// Receivers feed erasure side information (fade indications) to the RS
+  /// decoder, enabling errors-and-erasures decoding — up to 16 flagged
+  /// symbols per codeword instead of 8 unknown errors (extension; cf. the
+  /// paper's burst-erasure reference [2]).  Only the Gilbert-Elliott model
+  /// produces side information.
+  bool erasure_side_information = false;
+  std::uint64_t seed = 1;
+};
+
+/// Cell-level aggregate metrics (across the whole run since last reset).
+struct CellMetrics {
+  std::int64_t cycles = 0;
+  std::int64_t capacity_bytes = 0;        ///< d * 44 bytes summed per cycle
+  std::int64_t unique_payload_bytes = 0;  ///< decoded, de-duplicated
+  std::int64_t offered_bytes = 0;         ///< enqueued message bytes
+  std::int64_t uplink_messages_offered = 0;
+  std::int64_t forward_packets_lost = 0;  ///< sent but missed by the mobile
+  std::map<UserId, std::int64_t> per_user_bytes;  ///< for Jain fairness
+  SampleSet downlink_message_delay_cycles;
+
+  /// Reverse-link utilization as the paper defines it: data bytes carried /
+  /// data bytes transportable in the cycle's data slots.
+  double Utilization() const {
+    return capacity_bytes > 0 ? static_cast<double>(unique_payload_bytes) /
+                                    static_cast<double>(capacity_bytes)
+                              : 0.0;
+  }
+};
+
+/// Protocol-agnostic cell state and helpers; see the file comment.  Not a
+/// polymorphic base — drivers inherit the members and helpers directly so
+/// the pre-split code (and its byte-exact behavior) carries over unchanged.
+class CellSubstrate {
+ public:
+  explicit CellSubstrate(const CellConfig& config);
+  CellSubstrate(const CellSubstrate&) = delete;
+  CellSubstrate& operator=(const CellSubstrate&) = delete;
+
+ protected:
+  ~CellSubstrate() = default;
+
+  /// Appends the forward/reverse error models for node `node`.  Fast models
+  /// get per-node, per-direction seeds for their private SplitMix64
+  /// streams; the +100 offset keeps them clear of the exp::SeedStream
+  /// derivations (which use small multipliers of the same gamma).
+  void AddNodeChannels(int node);
+
+  /// Draws the node's fixed GPS report phase within a cycle.  Consumes one
+  /// Rng draw if and only if `wants_gps` (draw-order discipline: adding a
+  /// data-only node must not perturb the stream).
+  Tick DrawGpsPhase(bool wants_gps);
+
+  /// Advances the cycle clock by `cycles` notification cycles, scheduling
+  /// `bootstrap` at tick 0 on the very first call (the driver's cycle-0
+  /// entry point).
+  void RunCyclesOn(int cycles, std::function<void()> bootstrap);
+
+  /// Resolves one reverse slot at the base-station receiver through each
+  /// sender's uplink path, reusing the shared scratch (zero steady-state
+  /// allocation).  The result stays valid until the next resolution.
+  const phy::SlotReception& ResolveReverseSlot(Interval abs,
+                                               const fec::ReedSolomon& code);
+
+  /// Credits a decoded, de-duplicated uplink payload to `src`: the shared
+  /// accounting path behind utilization and Jain fairness (the per-user
+  /// byte ledger every driver must feed).
+  void RecordUplinkDelivery(UserId src, std::int64_t payload_bytes);
+
+  phy::SymbolErrorModel& ForwardModelFor(int node) {
+    return *forward_models_[static_cast<std::size_t>(node)];
+  }
+  phy::SymbolErrorModel& ReverseModelFor(int node) {
+    return *reverse_models_[static_cast<std::size_t>(node)];
+  }
+
+  CellConfig config_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<phy::SymbolErrorModel>> forward_models_;
+  std::vector<std::unique_ptr<phy::SymbolErrorModel>> reverse_models_;
+  std::vector<Tick> gps_phase_;  ///< per-node GPS report phase within a cycle
+
+  phy::ReverseChannel reverse_channel_;
+  const fec::ReedSolomon& data_code_;  ///< RS(64,48)
+  const fec::ReedSolomon& gps_code_;   ///< RS(32,9)
+
+  // Slot-resolution scratch, reused across every slot/CF delivery so the
+  // steady-state receive path performs no heap allocation (buffers reach
+  // their high-water capacity in the first cycles and stay there).
+  phy::ChannelScratch channel_scratch_;
+  phy::SlotReception slot_reception_;
+  std::vector<std::vector<fec::GfElem>> cf_codewords_;
+  std::vector<std::vector<fec::GfElem>> cf_decoded_;
+  std::vector<std::vector<fec::GfElem>> fwd_codewords_;
+  std::vector<std::vector<fec::GfElem>> fwd_decoded_;
+
+  std::int64_t next_cycle_ = 0;
+  std::int64_t target_cycle_ = 0;
+  std::uint32_t next_message_id_ = 1;
+
+  CellMetrics metrics_;
+  obs::EventTrace* trace_ = nullptr;
+  obs::SloMonitor slo_;
+};
+
+}  // namespace osumac::mac

@@ -102,6 +102,63 @@ void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell,
   });
 }
 
+void RegisterPolicyCellMetrics(obs::MetricsRegistry& registry,
+                               const mac::PolicyCell& cell) {
+  const mac::PolicyCell* c = &cell;
+  const std::string prefix = "mac." + cell.policy().name() + ".";
+
+  // Driver counters (one gauge per PolicyCounters field).
+  const auto counter = [&registry, &prefix, c](
+                           const std::string& name,
+                           std::int64_t mac::PolicyCounters::* field) {
+    registry.RegisterGauge(prefix + "bs." + name, [c, field] {
+      return static_cast<double>(c->counters().*field);
+    });
+  };
+  counter("data_packets_received", &mac::PolicyCounters::data_packets_received);
+  counter("gps_packets_received", &mac::PolicyCounters::gps_packets_received);
+  counter("request_packets_received",
+          &mac::PolicyCounters::request_packets_received);
+  counter("collisions", &mac::PolicyCounters::collisions);
+  counter("decode_failures", &mac::PolicyCounters::decode_failures);
+  counter("idle_slots", &mac::PolicyCounters::idle_slots);
+  counter("granted_slots", &mac::PolicyCounters::granted_slots);
+  counter("contention_slots", &mac::PolicyCounters::contention_slots);
+  counter("payload_bytes_received", &mac::PolicyCounters::payload_bytes_received);
+  counter("deadline_drops", &mac::PolicyCounters::deadline_drops);
+  counter("messages_completed", &mac::PolicyCounters::messages_completed);
+
+  // Substrate aggregates.
+  registry.RegisterGauge(prefix + "cell.cycles",
+                         [c] { return static_cast<double>(c->metrics().cycles); });
+  registry.RegisterGauge(prefix + "cell.capacity_bytes", [c] {
+    return static_cast<double>(c->metrics().capacity_bytes);
+  });
+  registry.RegisterGauge(prefix + "cell.unique_payload_bytes", [c] {
+    return static_cast<double>(c->metrics().unique_payload_bytes);
+  });
+  registry.RegisterGauge(prefix + "cell.offered_bytes", [c] {
+    return static_cast<double>(c->metrics().offered_bytes);
+  });
+  registry.RegisterGauge(prefix + "cell.uplink_messages_offered", [c] {
+    return static_cast<double>(c->metrics().uplink_messages_offered);
+  });
+  registry.RegisterGauge(prefix + "cell.utilization",
+                         [c] { return c->metrics().Utilization(); });
+  registry.RegisterGauge(prefix + "cell.nodes", [c] {
+    return static_cast<double>(c->node_count());
+  });
+
+  obs::RegisterSloMetrics(registry, cell.slo(), prefix);
+
+  registry.RegisterGauge(prefix + "sim.now_ticks", [c] {
+    return static_cast<double>(c->simulator().now());
+  });
+  registry.RegisterGauge(prefix + "sim.events_executed", [c] {
+    return static_cast<double>(c->simulator().events_executed());
+  });
+}
+
 void RegisterNetworkMetrics(obs::MetricsRegistry& registry,
                             const mac::Network& network) {
   const mac::Network* n = &network;

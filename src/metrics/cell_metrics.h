@@ -11,6 +11,7 @@
 
 #include "mac/cell.h"
 #include "mac/network.h"
+#include "mac/policy_cell.h"
 #include "obs/metrics_registry.h"
 
 namespace osumac::metrics {
@@ -22,6 +23,14 @@ namespace osumac::metrics {
 /// keeps the single-cell names unchanged.
 void RegisterCellMetrics(obs::MetricsRegistry& registry, const mac::Cell& cell,
                          const std::string& prefix = "");
+
+/// Registers gauges for a policy-tenant cell under a policy-labelled
+/// prefix: "mac.<policy>.bs.*" for the driver counters, "mac.<policy>.cell.*"
+/// for the substrate aggregates, plus the SLO gauges.  Labelling by policy
+/// name keeps head-to-head snapshots from different tenants mergeable into
+/// one registry without collisions.
+void RegisterPolicyCellMetrics(obs::MetricsRegistry& registry,
+                               const mac::PolicyCell& cell);
 
 /// Registers the whole network: every cell's gauges under "cell.<i>." plus
 /// the "net.*" backbone/mobility counters as pull-gauges.  The network must

@@ -5,6 +5,9 @@
 //                                    subscribers + channels), the main entry
 //   - osumac::mac::BaseStation     — scheduling / registration / ACK logic
 //   - osumac::mac::MobileSubscriber— the subscriber state machine
+//   - osumac::mac::MacPolicy       — the pluggable MAC-policy seam: the
+//                                    PolicyCell driver plus the RQMA and
+//                                    PCA tenants (src/mac/policies)
 //   - osumac::traffic::*           — Poisson workloads and the load-index math
 //   - osumac::exp::*               — declarative scenario specs and the
 //                                    parallel sweep runner
@@ -22,6 +25,7 @@
 #pragma once
 
 #include "analysis/flight_observer.h"
+#include "analysis/policy_audit.h"
 #include "analysis/protocol_auditor.h"
 #include "baselines/common.h"
 #include "baselines/drma.h"
@@ -53,11 +57,17 @@
 #include "mac/forward_scheduler.h"
 #include "mac/gps_slot_manager.h"
 #include "mac/ids.h"
+#include "mac/mac_policy.h"
 #include "mac/multi_channel.h"
 #include "mac/network.h"
 #include "mac/packet.h"
+#include "mac/policies/osu_policy.h"
+#include "mac/policies/pca_policy.h"
+#include "mac/policies/rqma_policy.h"
+#include "mac/policy_cell.h"
 #include "mac/round_robin.h"
 #include "mac/subscriber.h"
+#include "mac/substrate.h"
 #include "metrics/cell_metrics.h"
 #include "metrics/experiment.h"
 #include "metrics/tracer.h"

@@ -22,8 +22,18 @@ Tick MeanInterarrivalTicks(double rho, int data_users, int data_slots,
 PoissonUplinkWorkload::PoissonUplinkWorkload(mac::Cell& cell, std::vector<int> nodes,
                                              Tick mean_interarrival,
                                              SizeDistribution sizes, Rng rng)
-    : state_(std::make_shared<State>(
-          State{cell, mean_interarrival, sizes, std::move(rng)})) {
+    : PoissonUplinkWorkload(
+          cell.simulator(), std::move(nodes), mean_interarrival, sizes,
+          std::move(rng),
+          [&cell](int node, int bytes) { cell.SendUplinkMessage(node, bytes); }) {}
+
+PoissonUplinkWorkload::PoissonUplinkWorkload(sim::Simulator& sim,
+                                             std::vector<int> nodes,
+                                             Tick mean_interarrival,
+                                             SizeDistribution sizes, Rng rng,
+                                             MessageSink sink)
+    : state_(std::make_shared<State>(State{sim, mean_interarrival, sizes,
+                                           std::move(rng), std::move(sink)})) {
   for (int node : nodes) ScheduleNext(state_, node);
 }
 
@@ -31,10 +41,10 @@ void PoissonUplinkWorkload::ScheduleNext(const std::shared_ptr<State>& state, in
   const Tick gap = std::max<Tick>(
       1, static_cast<Tick>(std::llround(
              state->rng.Exponential(static_cast<double>(state->mean_interarrival)))));
-  state->cell.simulator().ScheduleAfter(gap, [state, node] {
+  state->sim.ScheduleAfter(gap, [state, node] {
     if (state->stopped) return;
     ++state->generated;
-    state->cell.SendUplinkMessage(node, state->sizes.Sample(state->rng));
+    state->sink(node, state->sizes.Sample(state->rng));
     ScheduleNext(state, node);
   });
 }

@@ -17,12 +17,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/time.h"
 #include "mac/cell.h"
+#include "sim/simulator.h"
 
 namespace osumac::traffic {
 
@@ -57,14 +59,23 @@ struct SizeDistribution {
 Tick MeanInterarrivalTicks(double rho, int data_users, int data_slots,
                            double mean_message_bytes);
 
-/// Poisson uplink e-mail workload attached to a set of Cell subscribers.
-/// Arrivals are scheduled on the Cell's simulator; each arrival enqueues a
-/// message of sampled size at its subscriber.
+/// Poisson uplink e-mail workload attached to a set of subscribers.
+/// Arrivals are scheduled on the simulator; each arrival hands a message of
+/// sampled size to the sink.  The Cell convenience constructor targets
+/// Cell::SendUplinkMessage with an identical draw sequence; the sink form
+/// drives any uplink-capable driver (mac::PolicyCell for policy tenants).
 class PoissonUplinkWorkload {
  public:
+  /// Sink for one generated message: (node, bytes).
+  using MessageSink = std::function<void(int, int)>;
+
   /// Starts generating immediately.  `mean_interarrival` is per subscriber.
   PoissonUplinkWorkload(mac::Cell& cell, std::vector<int> nodes,
                         Tick mean_interarrival, SizeDistribution sizes, Rng rng);
+  /// Generic form: arrivals go to `sink`, scheduled on `sim`.
+  PoissonUplinkWorkload(sim::Simulator& sim, std::vector<int> nodes,
+                        Tick mean_interarrival, SizeDistribution sizes, Rng rng,
+                        MessageSink sink);
 
   /// Stops generating: pending arrival events become no-ops.
   void Stop() { state_->stopped = true; }
@@ -73,10 +84,11 @@ class PoissonUplinkWorkload {
 
  private:
   struct State {
-    mac::Cell& cell;
+    sim::Simulator& sim;
     Tick mean_interarrival;
     SizeDistribution sizes;
     Rng rng;
+    MessageSink sink;
     std::int64_t generated = 0;
     bool stopped = false;
   };

@@ -16,10 +16,10 @@ namespace osumac::test {
 class ScopedAudit {
  public:
   explicit ScopedAudit(mac::Cell& cell) : cell_(&cell) {
-    cell_->SetObserver(&auditor_);
+    cell_->AddObserver(&auditor_);
   }
   ~ScopedAudit() {
-    cell_->SetObserver(nullptr);
+    cell_->RemoveObserver(&auditor_);
     EXPECT_TRUE(auditor_.violations().empty()) << auditor_.Report();
   }
   ScopedAudit(const ScopedAudit&) = delete;

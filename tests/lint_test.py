@@ -24,7 +24,8 @@ from osumac_lint.engine import run_rules          # noqa: E402
 from osumac_lint.output import render_sarif       # noqa: E402
 from osumac_lint.rules import (ALL_RULES, bare_assert, bench_direct_cell,  # noqa: E402
                                checks_always_on, float_tick, hot_alloc,
-                               nondeterminism, ordered_iteration, raw_clock,
+                               nondeterminism, ordered_iteration,
+                               policy_layer_boundary, raw_clock,
                                raw_latency, raw_sanitize, raw_stdout,
                                rng_stream_discipline,
                                shared_state_annotation)
@@ -327,6 +328,41 @@ class SharedStateAnnotationTest(RuleTestCase):
                         "  void F() { int local_ = 0; (void)local_; }\n"
                         "};\n")
         self.assert_findings(shared_state_annotation.RULE, 0)
+
+
+class PolicyLayerBoundaryTest(RuleTestCase):
+    def test_policy_reaching_below_the_seam_triggers(self):
+        self.repo.write("src/mac/policies/p.h",
+                        '#include "phy/channel.h"\n'
+                        '#include "exp/scenario.h"\n'
+                        '#include "sim/simulator.h"\n'
+                        '#include "baselines/prma.h"\n')
+        self.assert_findings(policy_layer_boundary.RULE, 4)
+
+    def test_policy_over_the_seam_ok(self):
+        self.repo.write("src/mac/policies/p.h",
+                        "#include <vector>\n"
+                        '#include "common/rng.h"\n'
+                        '#include "mac/mac_policy.h"\n'
+                        '#include "mac/cycle_layout.h"\n')
+        self.assert_findings(policy_layer_boundary.RULE, 0)
+
+    def test_substrate_naming_a_tenant_triggers(self):
+        self.repo.write("src/mac/policy_cell.cc",
+                        '#include "mac/policies/rqma_policy.h"\n')
+        self.assert_findings(policy_layer_boundary.RULE, 1)
+
+    def test_factory_exemption_and_waiver(self):
+        self.repo.write("src/mac/mac_policy.cc",
+                        '#include "mac/policies/rqma_policy.h"\n')
+        self.repo.write(
+            "src/mac/policies/p.h",
+            '#include "baselines/rqma.h"  // lint: allow-policy-layer-boundary\n')
+        self.assert_findings(policy_layer_boundary.RULE, 0)
+
+    def test_other_mac_files_unscoped(self):
+        self.repo.write("src/mac/cell.cc", '#include "phy/channel.h"\n')
+        self.assert_findings(policy_layer_boundary.RULE, 0)
 
 
 class WaiverLedgerTest(RuleTestCase):

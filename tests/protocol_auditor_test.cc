@@ -309,7 +309,7 @@ TEST(ProtocolAuditorIntegrationTest, CleanRunWithChurnTrafficAndNoise) {
   config.reverse.symbol_error_prob = 0.01;
   mac::Cell cell(config);
   analysis::ProtocolAuditor auditor;
-  cell.SetObserver(&auditor);
+  cell.AddObserver(&auditor);
 
   std::vector<int> data_nodes;
   std::vector<int> gps_nodes;

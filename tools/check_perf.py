@@ -9,8 +9,10 @@ Options:
                        iteration only; CI and committed artifacts must be
                        clean)
   --require-hotpaths   also require the bench_hotpaths phases and their
-                       relative-speed invariants (the Release CI job sets
-                       this after merging bench output into the file)
+                       relative-speed invariants, plus the bench_mac_matrix
+                       phase from make_figures --mac-matrix (the Release CI
+                       job sets this after merging bench output into the
+                       file)
   --max-phase NAME=S   fail if phase NAME's total_seconds exceeds S
                        (repeatable; absolute budgets for a known machine)
 
@@ -47,6 +49,10 @@ HOTPATH_PHASES = ("hotpath_rs_encode", "hotpath_rs_decode_clean",
                   "hotpath_rs_decode_corrupt", "hotpath_channel_uniform",
                   "hotpath_channel_fast", "hotpath_cycle_untraced",
                   "hotpath_cycle_traced", "hotpath_cycle_profiled")
+# The head-to-head MAC comparison sweep; present only when the artifact was
+# generated with make_figures --mac-matrix, which the Release CI job (and
+# the committed repo-root artifact) must be.
+MAC_MATRIX_PHASES = ("bench_mac_matrix",)
 REQUIRED_FIELDS = ("name", "count", "total_seconds", "mean_seconds",
                    "max_seconds")
 
@@ -181,6 +187,13 @@ def main():
         # per-event retention (which would be a multiple, not a percentage).
         check_ratio(seen, "hotpath_cycle_profiled", "hotpath_cycle_untraced",
                     1.35, "live-profiler overhead regression")
+        missing = [p for p in MAC_MATRIX_PHASES if p not in seen]
+        if missing:
+            fail(f"mac-matrix phase(s) absent (run make_figures --mac-matrix): "
+                 f"{', '.join(missing)}")
+        if seen["bench_mac_matrix"]["total_seconds"] <= 0:
+            fail("bench_mac_matrix phase recorded zero wall time — "
+                 "timer not running?")
 
     for name, budget in max_phase.items():
         if name not in seen:

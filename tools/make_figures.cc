@@ -1,6 +1,7 @@
 // make_figures — regenerates every evaluation figure as CSV files.
 //
-//   $ ./make_figures [output_dir] [--jobs N]     (default: results/, serial)
+//   $ ./make_figures [output_dir] [--jobs N] [--mac-matrix]
+//                                                (default: results/, serial)
 //
 // Builds the full Section-5 spec list up front, executes it on the sweep
 // runner (bit-identical at any --jobs), and writes one CSV per figure
@@ -11,6 +12,13 @@
 // wall-clock trajectory (per-phase timings; schema checked by
 // tools/check_perf.py).  Plot the CSVs with tools/plot_figures.py
 // (matplotlib) or any spreadsheet.
+//
+// --mac-matrix additionally runs the head-to-head MAC comparison (every
+// policy from mac::KnownMacPolicies() over the load sweep, byte-identical
+// scenario specs), writes mac_matrix.csv, appends the points to
+// BENCH_sweeps.json and times the sweep as the bench_mac_matrix perf
+// phase.  The default run (no flag) emits exactly what it always did,
+// byte for byte.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -39,6 +47,10 @@ int main(int argc, char** argv) {
   const std::filesystem::path dir =
       argc > 1 && argv[1][0] != '-' ? argv[1] : "results";
   const int jobs = exp::JobsFromArgs(argc, argv, 1);
+  bool mac_matrix = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--mac-matrix") mac_matrix = true;
+  }
   std::filesystem::create_directories(dir);
   obs::WallTimerRegistry wall;
 
@@ -106,6 +118,26 @@ int main(int argc, char** argv) {
     net_result = exp::RunNetworkScenario(net_spec);
   }
 
+  // The head-to-head MAC matrix (opt-in): every policy over the same load
+  // sweep, so the per-point SLO blocks and figure metrics compare MACs
+  // under byte-identical scenarios.
+  std::vector<exp::ScenarioSpec> matrix_specs;
+  std::vector<exp::RunResult> matrix_results;
+  if (mac_matrix) {
+    for (const std::string& policy : mac::KnownMacPolicies()) {
+      for (const double rho : exp::LoadSweep()) {
+        exp::ScenarioSpec point = exp::LoadPoint(rho);
+        point.name = "mac_" + policy + "_" + point.name;
+        point.mac_policy = policy;
+        matrix_specs.push_back(point);
+      }
+    }
+    std::printf("running %zu mac-matrix points (jobs=%d)...\n",
+                matrix_specs.size(), jobs);
+    obs::ScopedWallTimer timer(wall, "bench_mac_matrix");
+    matrix_results = exp::SweepRunner(jobs).Run(matrix_specs);
+  }
+
   const obs::Stopwatch csv_watch;
   auto fig8 = Open(dir, "fig8_utilization_delay.csv");
   fig8 << "rho,offered,utilization,packet_delay_cycles,message_delay_cycles,"
@@ -164,6 +196,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (mac_matrix) {
+    auto matrix = Open(dir, "mac_matrix.csv");
+    matrix << "policy,rho,offered,utilization,gps_miss_rate,gps_p99_s,"
+              "fairness,drop_rate\n";
+    next = 0;
+    for (const std::string& policy : mac::KnownMacPolicies()) {
+      for (const double rho : exp::LoadSweep()) {
+        const exp::RunResult& r = matrix_results[next++];
+        const obs::SloClassSummary& gps =
+            r.slo[static_cast<std::size_t>(obs::SloClass::kGpsAccess)];
+        const double miss_rate =
+            gps.count > 0
+                ? static_cast<double>(gps.misses) / static_cast<double>(gps.count)
+                : 0.0;
+        matrix << policy << ',' << rho << ',' << r.offered_load << ','
+               << r.figure.utilization << ',' << miss_rate << ',' << gps.p99
+               << ',' << r.figure.fairness_index << ','
+               << r.figure.message_drop_rate << '\n';
+      }
+    }
+  }
+
   wall.timer("write_csv").Add(csv_watch.Seconds());
 
   {
@@ -171,6 +225,8 @@ int main(int argc, char** argv) {
     // The network point joins the emitted list here (after the figure CSVs,
     // which index `results` by position) under a placeholder spec that
     // mirrors the network run's shape.
+    specs.insert(specs.end(), matrix_specs.begin(), matrix_specs.end());
+    results.insert(results.end(), matrix_results.begin(), matrix_results.end());
     exp::ScenarioSpec net_placeholder;
     net_placeholder.name = net_spec.name;
     net_placeholder.seed = net_spec.seed;

@@ -2,9 +2,9 @@
 from __future__ import annotations
 
 from . import (bare_assert, bench_direct_cell, checks_always_on, float_tick,
-               hot_alloc, nondeterminism, ordered_iteration, raw_clock,
-               raw_latency, raw_sanitize, raw_stdout, rng_stream_discipline,
-               shared_state_annotation)
+               hot_alloc, nondeterminism, ordered_iteration,
+               policy_layer_boundary, raw_clock, raw_latency, raw_sanitize,
+               raw_stdout, rng_stream_discipline, shared_state_annotation)
 
 ALL_RULES = [
     bare_assert.RULE,
@@ -20,4 +20,5 @@ ALL_RULES = [
     rng_stream_discipline.RULE,
     ordered_iteration.RULE,
     shared_state_annotation.RULE,
+    policy_layer_boundary.RULE,
 ]

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "osumac/osumac.h"
@@ -38,6 +39,7 @@ struct Options {
   bool no_second_cf = false;
   bool static_gps = false;
   bool static_contention = false;
+  std::string mac = "osu";
   int fixed_size = 0;  ///< 0 = uniform 40..500
   double downlink_rho = 0.0;
   bool audit = false;
@@ -78,6 +80,9 @@ void PrintUsage() {
       "  --no-second-cf      ablation: disable the second control fields\n"
       "  --static-gps        ablation: disable dynamic GPS slot adjustment\n"
       "  --static-contention ablation: fixed number of contention slots\n"
+      "  --mac NAME          MAC policy: osu | rqma | pca (default osu);\n"
+      "                      non-osu tenants run on the generic PolicyCell\n"
+      "                      driver (see docs/MAC_POLICIES.md)\n"
       "  --audit             run the protocol-invariant auditor alongside\n"
       "  --trace FILE        record the measured cycles as a structured event\n"
       "                      trace and write it to FILE\n"
@@ -182,6 +187,8 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       opt.static_gps = true;
     } else if (arg == "--static-contention") {
       opt.static_contention = true;
+    } else if (arg == "--mac") {
+      if (!next_string(opt.mac)) return false;
     } else if (arg == "--audit") {
       opt.audit = true;
     } else if (arg == "--trace") {
@@ -245,6 +252,7 @@ exp::ScenarioSpec SpecFromOptions(const Options& opt, std::string* error) {
   spec.mac.use_second_control_field = !opt.no_second_cf;
   spec.mac.dynamic_gps_slots = !opt.static_gps;
   spec.mac.dynamic_contention_slots = !opt.static_contention;
+  spec.mac_policy = opt.mac;
   if (opt.channel == "uniform") {
     spec.forward.kind = mac::ChannelModelConfig::Kind::kUniform;
     spec.forward.symbol_error_prob = opt.ser / 2;  // stronger BS transmitter
@@ -405,11 +413,135 @@ int RunNetwork(const Options& opt, const std::string& provenance) {
   return 0;
 }
 
+/// Single-run path for a non-OSU MAC policy (--mac rqma|pca): the generic
+/// PolicyCell driver via the engine's serial runner.  The cell lives only
+/// inside RunScenario, so the dumps that need it live (the metrics-registry
+/// gauges, the SLO report) run from the policy hooks.
+int RunPolicy(const Options& opt, const exp::ScenarioSpec& spec,
+              const std::string& provenance) {
+  analysis::PolicyAuditor auditor;
+  obs::WallTimerRegistry wall_timers;
+  obs::Profiler profiler;
+  std::ostringstream slo_report;
+  bool metrics_failed = false;
+  exp::RunHooks hooks;
+  hooks.policy_after_build = [&](mac::PolicyCell& cell) {
+    if (opt.audit) cell.AddObserver(&auditor);
+    if (opt.timers) cell.simulator().AttachWallTimers(&wall_timers);
+  };
+  hooks.policy_before_finish = [&](mac::PolicyCell& cell) {
+    if (!opt.metrics_file.empty()) {
+      obs::MetricsRegistry registry;
+      metrics::RegisterPolicyCellMetrics(registry, cell);
+      std::ofstream out(opt.metrics_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                     opt.metrics_file.c_str());
+        metrics_failed = true;
+        return;
+      }
+      const bool json =
+          opt.metrics_file.size() >= 5 &&
+          opt.metrics_file.rfind(".json") == opt.metrics_file.size() - 5;
+      if (json) {
+        registry.WriteJson(out);
+      } else {
+        registry.WriteCsv(out);
+      }
+      std::printf("metrics                -> %s (%s; mac.%s.*)\n",
+                  opt.metrics_file.c_str(), json ? "json" : "csv",
+                  cell.policy().name().c_str());
+    }
+    if (opt.slo) cell.slo().WriteReport(slo_report);
+  };
+
+  exp::RunResult result;
+  {
+    const obs::Profiler::ThreadScope profile_scope(
+        opt.profile_file.empty() ? nullptr : &profiler);
+    result = exp::RunScenario(spec, hooks);
+  }
+  if (metrics_failed) return 1;
+
+  const metrics::FigureMetrics& m = result.figure;
+  const mac::BsCounters& bs = result.bs;
+  std::printf(
+      "==== osumac_sim: mac=%s rho=%.2f users=%d gps=%d cycles=%d channel=%s ====\n",
+      opt.mac.c_str(), opt.rho, opt.data_users, opt.gps_users, opt.cycles,
+      opt.channel.c_str());
+  std::printf("utilization            %8.3f\n", m.utilization);
+  std::printf("packet delay           %8.2f cycles (p95 %.2f)\n",
+              m.mean_packet_delay_cycles, m.p95_packet_delay_cycles);
+  std::printf("message delay          %8.2f cycles\n", m.mean_message_delay_cycles);
+  std::printf("collision probability  %8.3f\n", m.collision_probability);
+  std::printf("fairness (Jain)        %8.4f\n", m.fairness_index);
+  std::printf("data slots used        %8.2f per cycle\n", m.avg_data_slots_used);
+  std::printf("drop rate              %8.3f (policy deadline drops)\n",
+              m.message_drop_rate);
+  if (opt.gps_users > 0) {
+    std::printf("GPS max access delay   %8.2f s (bound 4 s)\n",
+                m.gps_access_delay_max_s);
+    std::printf("GPS reports/bus/cycle  %8.3f\n", m.gps_reports_per_bus_per_cycle);
+  }
+  if (bs.decode_failures > 0) {
+    std::printf("uplink decode failures %8lld\n",
+                static_cast<long long>(bs.decode_failures));
+  }
+  if (opt.slo) std::fputs(slo_report.str().c_str(), stdout);
+  if (!opt.profile_file.empty() &&
+      !WriteProfileFile(opt, profiler, provenance)) {
+    return 1;
+  }
+  if (opt.timers) wall_timers.Report(std::cout);
+  if (opt.audit) {
+    std::printf("audit                  %s\n", auditor.Report().c_str());
+    if (!auditor.violations().empty()) return 2;
+  }
+  return 0;
+}
+
 /// Flag-composition rules, checked up front so a conflicting invocation
 /// errors out instead of silently ignoring instrumentation flags (the old
 /// behavior: sweep mode dropped --trace/--metrics/--audit on the floor).
 /// Returns an error message, or "" if the combination is valid.
 std::string ValidateFlagComposition(const Options& opt) {
+  if (!mac::IsKnownMacPolicy(opt.mac)) {
+    return "unknown MAC policy '" + opt.mac +
+           "' (expected one of: osu, rqma, pca)";
+  }
+  if (opt.mac != "osu") {
+    if (opt.cells != 0) {
+      return "--mac runs one policy cell; --cells network mode is OSU-only "
+             "(cross-cell signalling rides on the OSU control fields)";
+    }
+    if (!opt.scenario_file.empty()) {
+      return "--mac shapes the single-run spec; scenario files select a "
+             "policy per spec with the 'mac' key instead (docs/SCENARIOS.md)";
+    }
+    const char* conflicting = nullptr;
+    if (!opt.trace_file.empty()) conflicting = "--trace";
+    else if (opt.trace_format_set) conflicting = "--trace-format";
+    else if (!opt.flight_dir.empty()) conflicting = "--flight-dir";
+    else if (opt.flight_cycles_set) conflicting = "--flight-cycles";
+    else if (opt.flight_dump_on_exit) conflicting = "--flight-dump-on-exit";
+    if (conflicting != nullptr) {
+      return std::string(conflicting) +
+             " records the OSU cell's event stream; policy tenants (--mac) "
+             "do not emit one (supported there: --audit, --metrics, --slo, "
+             "--timers, --profile)";
+    }
+    const char* osu_only = nullptr;
+    if (opt.downlink_rho > 0) osu_only = "--downlink-rho";
+    else if (opt.arq) osu_only = "--arq";
+    else if (opt.no_second_cf) osu_only = "--no-second-cf";
+    else if (opt.static_gps) osu_only = "--static-gps";
+    else if (opt.static_contention) osu_only = "--static-contention";
+    if (osu_only != nullptr) {
+      return std::string(osu_only) +
+             " drives the OSU scheduler and would be silently ignored by "
+             "--mac " + opt.mac + " (policy tenants are uplink-only)";
+    }
+  }
   if (!opt.scenario_file.empty()) {
     const char* conflicting = nullptr;
     if (!opt.trace_file.empty()) conflicting = "--trace";
@@ -518,10 +650,18 @@ int main(int argc, char** argv) {
   }
 
   char config_text[256];
-  std::snprintf(config_text, sizeof(config_text),
-                "rho=%g data-users=%d gps=%d cycles=%d warmup=%d channel=%s",
-                opt.rho, opt.data_users, opt.gps_users, opt.cycles, opt.warmup,
-                opt.channel.c_str());
+  if (opt.mac != "osu") {
+    std::snprintf(config_text, sizeof(config_text),
+                  "mac=%s rho=%g data-users=%d gps=%d cycles=%d warmup=%d "
+                  "channel=%s",
+                  opt.mac.c_str(), opt.rho, opt.data_users, opt.gps_users,
+                  opt.cycles, opt.warmup, opt.channel.c_str());
+  } else {
+    std::snprintf(config_text, sizeof(config_text),
+                  "rho=%g data-users=%d gps=%d cycles=%d warmup=%d channel=%s",
+                  opt.rho, opt.data_users, opt.gps_users, opt.cycles,
+                  opt.warmup, opt.channel.c_str());
+  }
   const std::string provenance =
       obs::ProvenanceLine("osumac_sim", opt.seed, config_text);
   std::printf("%s\n", provenance.c_str());
@@ -532,6 +672,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", spec_error.c_str());
     return 1;
   }
+  if (opt.mac != "osu") return RunPolicy(opt, spec, provenance);
 
   exp::ScenarioRun run(spec);
   mac::Cell& cell = run.cell();
