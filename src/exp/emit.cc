@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/provenance.h"
+#include "obs/run_journal.h"
 
 namespace osumac::exp {
 
@@ -202,6 +203,14 @@ void WriteSweepJson(std::ostream& out, const std::string& tool, int jobs,
           << ", \"backbone_unrouted\": " << r.network.backbone_unrouted
           << ", \"handoffs\": " << r.network.handoffs << '}';
     }
+    // Journal block only for journaled runs (spec.journal_every > 0):
+    // journal-off sweeps — the default everywhere — stay byte-identical.
+    if (r.journal != nullptr) {
+      out << ",\n     \"journal\": {\"every\": " << r.journal->every()
+          << ", \"cells\": " << r.journal->cells().size()
+          << ", \"signature\": \"" << obs::JournalHex(r.journal->Signature())
+          << "\"}";
+    }
     out << "}" << (i + 1 < results.size() ? "," : "") << '\n';
   }
   out << "  ]\n}\n";
@@ -244,6 +253,9 @@ std::string ResultSignature(const RunResult& result) {
            std::to_string(result.network.backbone_messages) + "/" +
            std::to_string(result.network.backbone_unrouted) + "/" +
            std::to_string(result.network.handoffs);
+  }
+  if (result.journal != nullptr) {
+    sig += "|journal=" + obs::JournalHex(result.journal->Signature());
   }
   return sig;
 }

@@ -131,6 +131,14 @@ void ScenarioRun::Warmup() {
   if (spec_.reset_stats_after_warmup) cell_->ResetStats();
   downlink_generated_at_reset_ =
       downlink_ != nullptr ? downlink_->messages_generated() : 0;
+  // The journal attaches at the warm-up boundary, like a trace, so its
+  // digest chain covers exactly the measured window.
+  if (spec_.journal_every > 0) {
+    obs::CellJournal::Config jc;
+    jc.every = spec_.journal_every;
+    journal_ = std::make_shared<obs::RunJournal>(jc);
+    cell_->AttachJournal(&journal_->AddCell(0));
+  }
 }
 
 void ScenarioRun::Measure() {
@@ -225,6 +233,7 @@ RunResult ScenarioRun::Finish() {
   }
 
   result.slo = cell_->slo().Summary();
+  result.journal = journal_;
   return result;
 }
 
@@ -273,6 +282,15 @@ RunResult RunPolicyScenario(const ScenarioSpec& spec, const RunHooks& hooks) {
   }
   cell.RunCycles(spec.warmup_cycles);
   if (spec.reset_stats_after_warmup) cell.ResetStats();
+  // Same warm-up-boundary attachment as ScenarioRun::Warmup(): the journal
+  // covers exactly the measured window.
+  std::shared_ptr<obs::RunJournal> journal;
+  if (spec.journal_every > 0) {
+    obs::CellJournal::Config jc;
+    jc.every = spec.journal_every;
+    journal = std::make_shared<obs::RunJournal>(jc);
+    cell.AttachJournal(&journal->AddCell(0));
+  }
   cell.RunCycles(spec.measure_cycles);
   if (uplink != nullptr) uplink->Stop();
   if (hooks.policy_before_finish) hooks.policy_before_finish(cell);
@@ -355,6 +373,7 @@ RunResult RunPolicyScenario(const ScenarioSpec& spec, const RunHooks& hooks) {
     metrics::RegisterPolicyCellMetrics(registry, cell);
     result.registry = registry.Collect();
   }
+  result.journal = journal;
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "metrics/cell_metrics.h"
 #include "metrics/experiment.h"
 #include "obs/metrics_registry.h"
+#include "obs/run_journal.h"
 #include "obs/slo.h"
 
 namespace osumac::exp {
@@ -77,6 +78,12 @@ struct RunResult {
     std::int64_t handoffs = 0;
   };
   NetworkRollup network;
+
+  /// The run's per-cycle digest journal (obs/run_journal.h), populated only
+  /// when spec.journal_every > 0; null — the default — keeps pre-existing
+  /// sweep artifacts byte-identical.  Shared so RunResult stays copyable;
+  /// the journal is immutable once the run finishes.
+  std::shared_ptr<const obs::RunJournal> journal;
 };
 
 /// Optional callbacks into a run's phases, for callers that attach
@@ -123,6 +130,11 @@ class ScenarioRun {
   /// All phases in order.
   RunResult Execute();
 
+  /// The run's journal, created by Warmup() when spec.journal_every > 0
+  /// (null before that, and for journal-off specs).  Callers may install a
+  /// reference (CellJournal::ExpectReference) before Measure().
+  const std::shared_ptr<obs::RunJournal>& journal() const { return journal_; }
+
  private:
   ScenarioSpec spec_;
   std::unique_ptr<mac::Cell> cell_;
@@ -133,6 +145,7 @@ class ScenarioRun {
   std::unique_ptr<traffic::PoissonUplinkWorkload> uplink_;
   std::unique_ptr<traffic::PoissonDownlinkWorkload> downlink_;
   std::int64_t downlink_generated_at_reset_ = 0;
+  std::shared_ptr<obs::RunJournal> journal_;
 };
 
 /// Runs one spec start to finish (the serial path; what each SweepRunner

@@ -53,6 +53,7 @@ std::string ScenarioSpec::Describe() const {
       ChannelKindName(forward.kind), ChannelKindName(reverse.kind));
   std::string out = buffer;
   if (mac_policy != "osu") out += " mac=" + mac_policy;
+  if (journal_every > 0) out += " journal-every=" + std::to_string(journal_every);
   return out;
 }
 

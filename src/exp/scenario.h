@@ -105,6 +105,12 @@ struct ScenarioSpec {
   std::uint64_t seed = 2001;
   /// Also collect a full metrics-registry snapshot into the result.
   bool collect_registry = false;
+  /// Journal every N-th measured cycle into RunResult::journal (obs/
+  /// run_journal.h); 0 — the default — disables journaling entirely.
+  /// Recording consumes no randomness and reads no clocks, so it never
+  /// perturbs the run it observes.  Kept out of Describe()/spec JSON when
+  /// 0 so pre-existing artifacts stay byte-identical.
+  int journal_every = 0;
 
   /// The CellConfig this spec builds (seed derived via SeedStream::kCell).
   mac::CellConfig BuildCellConfig() const;

@@ -221,6 +221,8 @@ void Cell::StartCycle(std::int64_t n) {
     trace_->Record(e);
   }
 
+  if (journal_ != nullptr && journal_->ShouldRecord(n)) JournalCycle(n);
+
   for (CellObserver* o : observers_) o->OnCyclePlanned(*this, cf1, n, sim_.now());
 
   // CF1 delivery at its last symbol.
@@ -277,6 +279,114 @@ void Cell::StartCycle(std::int64_t n) {
 
   next_cycle_ = n + 1;
   sim_.ScheduleAt(T + kCycleTicks, [this, n] { StartCycle(n + 1); });
+}
+
+void Cell::JournalCycle(std::int64_t n) {
+  obs::JournalRecord rec;
+  rec.cycle = n;
+
+  // Slot grids: the schedules PlanCycle just fixed, plus the format and
+  // control-field roles that define the cycle's geometry.
+  obs::Digest64 grid;
+  grid.Mix(static_cast<std::uint64_t>(bs_.current_format()));
+  grid.MixSigned(bs_.contention_slots_this_cycle());
+  grid.MixSigned(bs_.cf2_listener());
+  for (const UserId u : bs_.reverse_schedule()) grid.MixSigned(u);
+  for (const UserId u : bs_.forward_schedule()) grid.MixSigned(u);
+  rec.slot_grid = grid.value();
+
+  // Queues: registration and demand tables (std::map — deterministic key
+  // order) plus every subscriber's state machine and uplink backlog.
+  obs::Digest64 q;
+  for (const auto& [uid, ein] : bs_.registered_users()) {
+    q.MixSigned(uid);
+    q.Mix(ein);
+  }
+  for (const auto& [uid, want] : bs_.demand()) {
+    q.MixSigned(uid);
+    q.MixSigned(want);
+  }
+  for (const auto& sub : subscribers_) {
+    q.MixSigned(static_cast<std::int64_t>(sub->state()));
+    q.MixSigned(sub->user_id());
+    q.MixSigned(sub->queued_packets());
+  }
+  rec.queues = q.value();
+
+  // Counters: the full base-station ledger, every subscriber's stats and
+  // the substrate aggregates.
+  obs::Digest64 c;
+  const BsCounters& b = bs_.counters();
+  c.MixSigned(b.cycles);
+  c.MixSigned(b.data_packets_received);
+  c.MixSigned(b.contention_data_received);
+  c.MixSigned(b.reservation_packets_received);
+  c.MixSigned(b.registration_packets_received);
+  c.MixSigned(b.gps_packets_received);
+  c.MixSigned(b.gps_packets_failed);
+  c.MixSigned(b.collisions);
+  c.MixSigned(b.contention_slot_cycles);
+  c.MixSigned(b.idle_contention_slots);
+  c.MixSigned(b.idle_assigned_slots);
+  c.MixSigned(b.decode_failures);
+  c.MixSigned(b.duplicate_packets);
+  c.MixSigned(b.payload_bytes_received);
+  c.MixSigned(b.last_slot_data_packets);
+  c.MixSigned(b.registrations_approved);
+  c.MixSigned(b.registrations_rejected);
+  c.MixSigned(b.forward_packets_sent);
+  c.MixSigned(b.data_slots_offered);
+  c.MixSigned(b.data_slots_used);
+  c.MixSigned(b.downlink_dropped);
+  c.MixSigned(b.deregistrations_received);
+  c.MixSigned(b.forward_acks_received);
+  c.MixSigned(b.forward_retransmissions);
+  c.MixSigned(b.forward_arq_drops);
+  c.MixSigned(b.messages_forwarded_local);
+  c.MixSigned(b.messages_forwarded_backbone);
+  c.MixSigned(b.messages_buffered_for_paging);
+  c.MixSigned(b.forward_buffer_drops);
+  c.MixSigned(b.gps_timeouts);
+  for (const auto& sub : subscribers_) {
+    const SubscriberStats& s = sub->stats();
+    c.MixSigned(s.messages_enqueued);
+    c.MixSigned(s.messages_dropped);
+    c.MixSigned(s.packets_sent);
+    c.MixSigned(s.contention_data_sent);
+    c.MixSigned(s.reservation_packets_sent);
+    c.MixSigned(s.registration_attempts);
+    c.MixSigned(s.packets_delivered);
+    c.MixSigned(s.packets_retransmitted);
+    c.MixSigned(s.gps_reports_sent);
+    c.MixSigned(s.cf_missed);
+    c.MixSigned(s.forward_packets_received);
+    c.MixSigned(s.payload_bytes_delivered);
+  }
+  obs::Digest64 m;
+  m.Mix(c.value());
+  m.Mix(JournalHashMetrics());
+  rec.counters = m.value();
+
+  rec.slo = JournalHashSlo();
+  // The event component is the finished fingerprint of cycle n-1 (latched
+  // by SetCycle above); 0 in untraced runs, so traced and untraced journals
+  // are comparable only with each other.
+  rec.events = trace_ != nullptr ? trace_->last_cycle_fingerprint() : 0;
+
+  journal_->Append(rec);
+}
+
+void Cell::PerturbRngAt(std::int64_t cycle) {
+  // +1 tick: the cycle's own plan (and its journal record) is built at the
+  // cycle-start tick, so the perturbation provably cannot touch it.  The
+  // injected stream is node 0's: subscriber RNGs drive backoff and
+  // contention-slot picks every cycle, so the burn surfaces in the slot
+  // grid regardless of the channel model (the substrate rng_ sits idle
+  // under the default fast-sampling channels, which keep private streams).
+  sim_.ScheduleAt(cycle * kCycleTicks + 1, [this] {
+    (void)rng_.Next();
+    if (!subscribers_.empty()) subscribers_.front()->PerturbRng();
+  });
 }
 
 void Cell::DeliverControlFields(const ControlFields& cf, bool second, Tick cycle_start) {

@@ -103,6 +103,21 @@ class Cell : private CellSubstrate {
   void AttachTrace(obs::EventTrace* trace);
   obs::EventTrace* trace() const { return trace_; }
 
+  /// Attaches a run-journal slice (nullptr detaches): once per journaled
+  /// cycle, right after the plan is fixed, the cell appends a digest record
+  /// over its MAC-visible state (obs/run_journal.h).  Attach after warm-up,
+  /// like the trace, so the chain covers exactly the measured window.
+  void AttachJournal(obs::CellJournal* journal) { journal_ = journal; }
+  obs::CellJournal* journal() const { return journal_; }
+
+  /// Fault injection for the divergence-diagnosis harness: burns one extra
+  /// draw of the shared simulation Rng just after the plan of `cycle` is
+  /// journaled, shifting the draw order of everything downstream.  With a
+  /// channel that consumes shared randomness, the first divergent journal
+  /// record is cycle + 1 (cycle's own record is built before the
+  /// perturbation fires).  Call before running.
+  void PerturbRngAt(std::int64_t cycle);
+
   /// One-line-per-field snapshot of the scheduling state, printed by the
   /// contract framework when a check fails while this cell is running.
   std::string DumpState() const;
@@ -135,6 +150,9 @@ class Cell : private CellSubstrate {
 
  private:
   void StartCycle(std::int64_t n);
+  /// Builds and appends the journal record for cycle `n` (journal hash
+  /// hook: allocation-free, clock-free — `journal-hook-discipline` lint).
+  void JournalCycle(std::int64_t n);
   void DeliverControlFields(const ControlFields& cf, bool second, Tick cycle_start);
   void ResolveGpsSlot(int slot, Interval abs);
   void ResolveDataSlot(int slot, Interval abs, bool is_last_of_prev);

@@ -105,6 +105,12 @@ bool Network::Route(int from_cell, Ein dest, int bytes) {
   return false;
 }
 
+void Network::AttachJournal(obs::RunJournal* journal) {
+  for (int i = 0; i < cell_count(); ++i) {
+    cell(i).AttachJournal(journal != nullptr ? &journal->AddCell(i) : nullptr);
+  }
+}
+
 obs::SloMonitor Network::SloRollup() const {
   obs::SloMonitor rollup;
   for (const auto& cell_ptr : cells_) rollup.Merge(cell_ptr->slo());

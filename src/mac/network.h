@@ -92,6 +92,12 @@ class Network {
   /// merged histograms rather than averaged per cell.
   obs::SloMonitor SloRollup() const;
 
+  /// Attaches a run journal (nullptr detaches all): cell `i` writes its
+  /// own thread-confined CellJournal slice, added under id `i`, so the
+  /// journal stays valid when the lockstep loop goes parallel.  The
+  /// journal must outlive the attached run.
+  void AttachJournal(obs::RunJournal* journal);
+
   /// Total subscribers across all cells (network census gauge).
   int subscriber_count() const { return static_cast<int>(mobiles_.size()); }
 

@@ -163,6 +163,7 @@ void PolicyCell::StartCycle(std::int64_t n) {
   }
 
   TransmitPlanned(n, T);
+  if (journal_ != nullptr && journal_->ShouldRecord(n)) JournalCycle(n);
   for (PolicyCellObserver* o : observers_) o->OnCyclePlanned(*this, plan_, n, sim_.now());
 
   for (const PolicySlotPlan& plan_slot : plan_.slots) {
@@ -174,6 +175,63 @@ void PolicyCell::StartCycle(std::int64_t n) {
   }
 
   sim_.ScheduleAt(T + kCycleTicks, [this, n] { StartCycle(n + 1); });
+}
+
+void PolicyCell::JournalCycle(std::int64_t n) {
+  obs::JournalRecord rec;
+  rec.cycle = n;
+
+  // Slot grid: the plan the policy just fixed — per-carrier formats and
+  // every planned slot with its owner and directed transmitters.
+  obs::Digest64 grid;
+  for (const ReverseFormat f : plan_.carrier_formats) {
+    grid.Mix(static_cast<std::uint64_t>(f));
+  }
+  for (const PolicySlotPlan& s : plan_.slots) {
+    grid.MixSigned(s.slot);
+    grid.Mix(s.short_slot ? 1u : 0u);
+    grid.Mix(static_cast<std::uint64_t>(s.use));
+    grid.MixSigned(s.owner);
+    grid.MixSigned(s.carrier);
+    for (const int t : s.transmitters) grid.MixSigned(t);
+  }
+  rec.slot_grid = grid.value();
+
+  // Queues: per-node registration/backlog state plus the open-message and
+  // in-flight-burst trackers.
+  obs::Digest64 q;
+  for (const Node& nd : nodes_) {
+    q.MixSigned(nd.uid);
+    q.Mix(nd.active ? 1u : 0u);
+    q.Mix(static_cast<std::uint64_t>(nd.queue.size()));
+    q.MixSigned(nd.queue.empty() ? -1 : nd.queue.front().enqueue);
+  }
+  q.Mix(static_cast<std::uint64_t>(open_messages_.size()));
+  q.Mix(static_cast<std::uint64_t>(tx_records_.size()));
+  rec.queues = q.value();
+
+  // Counters: the driver ledger plus the substrate aggregates.
+  obs::Digest64 c;
+  c.MixSigned(counters_.data_packets_received);
+  c.MixSigned(counters_.gps_packets_received);
+  c.MixSigned(counters_.request_packets_received);
+  c.MixSigned(counters_.collisions);
+  c.MixSigned(counters_.decode_failures);
+  c.MixSigned(counters_.idle_slots);
+  c.MixSigned(counters_.granted_slots);
+  c.MixSigned(counters_.contention_slots);
+  c.MixSigned(counters_.payload_bytes_received);
+  c.MixSigned(counters_.deadline_drops);
+  c.MixSigned(counters_.messages_completed);
+  c.Mix(static_cast<std::uint64_t>(packet_delay_cycles_.size()));
+  c.Mix(static_cast<std::uint64_t>(message_delay_cycles_.size()));
+  c.Mix(JournalHashMetrics());
+  rec.counters = c.value();
+
+  rec.slo = JournalHashSlo();
+  rec.events = trace_ != nullptr ? trace_->last_cycle_fingerprint() : 0;
+
+  journal_->Append(rec);
 }
 
 void PolicyCell::TransmitPlanned(std::int64_t n, Tick T) {

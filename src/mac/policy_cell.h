@@ -112,6 +112,12 @@ class PolicyCell : private CellSubstrate {
     std::erase(observers_, observer);
   }
 
+  /// Attaches a run-journal slice (nullptr detaches), mirroring
+  /// mac::Cell::AttachJournal: one digest record per journaled cycle, taken
+  /// right after the policy's plan is on the air.
+  void AttachJournal(obs::CellJournal* journal) { journal_ = journal; }
+  obs::CellJournal* journal() const { return journal_; }
+
   MacPolicy& policy() { return *policy_; }
   const MacPolicy& policy() const { return *policy_; }
   sim::Simulator& simulator() { return sim_; }
@@ -162,6 +168,9 @@ class PolicyCell : private CellSubstrate {
   };
 
   void StartCycle(std::int64_t n);
+  /// Builds and appends the journal record for cycle `n` (journal hash
+  /// hook: allocation-free, clock-free — `journal-hook-discipline` lint).
+  void JournalCycle(std::int64_t n);
   /// Resolves one planned slot; takes the plan by value because the last
   /// data slot resolves after the next cycle has replaced plan_.
   void ResolveSlot(const PolicySlotPlan& s, Interval abs);

@@ -165,6 +165,12 @@ class MobileSubscriber {
   /// Streams access-delay observations to `slo` (null detaches).
   void SetSloMonitor(obs::SloMonitor* slo) { slo_ = slo; }
 
+  /// Fault injection for the run-journal divergence harness
+  /// (Cell::PerturbRngAt): burns one draw from this subscriber's private
+  /// RNG stream, shifting every later backoff/contention-slot pick.  Never
+  /// called by the protocol itself.
+  void PerturbRng() { (void)rng_.Next(); }
+
   /// Lifecycle id of the GPS report transmitted in GPS slot `slot` this
   /// cycle; consumed (zeroed) so the Cell emits exactly one terminal stage
   /// when the slot resolves.  0 = nothing traced in that slot.

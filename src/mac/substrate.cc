@@ -60,4 +60,37 @@ void CellSubstrate::RecordUplinkDelivery(UserId src, std::int64_t payload_bytes)
   metrics_.per_user_bytes[src] += payload_bytes;
 }
 
+std::uint64_t CellSubstrate::JournalHashSlo() const {
+  obs::Digest64 d;
+  for (int c = 0; c < obs::kSloClassCount; ++c) {
+    const auto cls = static_cast<obs::SloClass>(c);
+    d.MixSigned(slo_.misses(cls));
+    d.MixSigned(slo_.near_misses(cls));
+    const obs::LogHistogram& h = slo_.histogram(cls);
+    d.MixSigned(h.count());
+    d.MixDouble(h.max_seen());
+    for (std::size_t i = 0; i < h.buckets(); ++i) d.MixSigned(h.bucket_count(i));
+  }
+  return d.value();
+}
+
+std::uint64_t CellSubstrate::JournalHashMetrics() const {
+  obs::Digest64 d;
+  d.MixSigned(metrics_.cycles);
+  d.MixSigned(metrics_.capacity_bytes);
+  d.MixSigned(metrics_.unique_payload_bytes);
+  d.MixSigned(metrics_.offered_bytes);
+  d.MixSigned(metrics_.uplink_messages_offered);
+  d.MixSigned(metrics_.forward_packets_lost);
+  for (const auto& [uid, bytes] : metrics_.per_user_bytes) {
+    d.MixSigned(uid);
+    d.MixSigned(bytes);
+  }
+  // Delay samples are journaled by count only: hashing every retained
+  // sample would make the hook O(run length), and a diverging delay value
+  // always co-occurs with diverging counters or event fingerprints.
+  d.Mix(static_cast<std::uint64_t>(metrics_.downlink_message_delay_cycles.size()));
+  return d.value();
+}
+
 }  // namespace osumac::mac

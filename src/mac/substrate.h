@@ -36,6 +36,7 @@
 #include "mac/cycle_layout.h"
 #include "mac/ids.h"
 #include "obs/event_trace.h"
+#include "obs/run_journal.h"
 #include "obs/slo.h"
 #include "phy/channel.h"
 #include "phy/error_model.h"
@@ -133,6 +134,17 @@ class CellSubstrate {
   /// byte ledger every driver must feed).
   void RecordUplinkDelivery(UserId src, std::int64_t payload_bytes);
 
+  /// Journal hash of the SLO monitor (bucket counts, miss counters) — the
+  /// `slo` component shared by both drivers.  Allocation-free and
+  /// clock-free, like every journal hash hook (`journal-hook-discipline`
+  /// lint rule).
+  std::uint64_t JournalHashSlo() const;
+
+  /// Journal hash of the substrate's always-on aggregates (CellMetrics
+  /// scalars plus the per-user byte ledger) — folded into the `counters`
+  /// component by both drivers.
+  std::uint64_t JournalHashMetrics() const;
+
   phy::SymbolErrorModel& ForwardModelFor(int node) {
     return *forward_models_[static_cast<std::size_t>(node)];
   }
@@ -167,6 +179,9 @@ class CellSubstrate {
 
   CellMetrics metrics_;
   obs::EventTrace* trace_ = nullptr;
+  /// Attached run-journal slice for this cell (null = journaling off, one
+  /// branch per cycle).  Thread-confined like the rest of the substrate.
+  obs::CellJournal* journal_ = nullptr;
   obs::SloMonitor slo_;
 };
 

@@ -1,6 +1,7 @@
 #include "obs/event_trace.h"
 
 #include "common/check.h"
+#include "obs/run_journal.h"
 
 namespace osumac::obs {
 
@@ -46,6 +47,25 @@ void EventTrace::Record(const Event& event) {
     ring_[recorded_ % capacity_] = stamped;
   }
   ++recorded_;
+  // Fold the record into the per-cycle fingerprint (the journal's event
+  // component).  Inside the existing lock and allocation-free, so tracing
+  // cost stays where the 1.10x perf gate already measures it.
+  Digest64 d;
+  d.Mix(cycle_fingerprint_);
+  d.MixSigned(stamped.tick);
+  d.MixSigned(stamped.cycle);
+  d.Mix(static_cast<std::uint64_t>(stamped.kind));
+  d.Mix(static_cast<std::uint64_t>(stamped.channel));
+  d.MixSigned(stamped.node);
+  d.MixSigned(stamped.uid);
+  d.MixSigned(stamped.slot);
+  d.MixSigned(stamped.span.begin);
+  d.MixSigned(stamped.span.end);
+  d.MixSigned(stamped.a0);
+  d.MixSigned(stamped.a1);
+  d.MixSigned(stamped.a2);
+  d.MixSigned(stamped.a3);
+  cycle_fingerprint_ = d.value();
 }
 
 void EventTrace::SetClock(std::function<Tick()> clock) {
@@ -56,6 +76,18 @@ void EventTrace::SetClock(std::function<Tick()> clock) {
 void EventTrace::SetCycle(std::int64_t cycle) {
   const MutexLock lock(mu_);
   cycle_ = cycle;
+  last_cycle_fingerprint_ = cycle_fingerprint_;
+  cycle_fingerprint_ = 0;
+}
+
+std::uint64_t EventTrace::cycle_fingerprint() const {
+  const MutexLock lock(mu_);
+  return cycle_fingerprint_;
+}
+
+std::uint64_t EventTrace::last_cycle_fingerprint() const {
+  const MutexLock lock(mu_);
+  return last_cycle_fingerprint_;
 }
 
 std::size_t EventTrace::size() const {
@@ -92,6 +124,8 @@ void EventTrace::Clear() {
   const MutexLock lock(mu_);
   ring_.clear();
   recorded_ = 0;
+  cycle_fingerprint_ = 0;
+  last_cycle_fingerprint_ = 0;
 }
 
 }  // namespace osumac::obs

@@ -39,8 +39,19 @@ class EventTrace : public EventSink {
   void SetClock(std::function<Tick()> clock) EXCLUDES(mu_);
 
   /// Sets the cycle stamped onto subsequent records (the Cell calls this at
-  /// every cycle start).
+  /// every cycle start).  Also rolls the per-cycle fingerprint: the running
+  /// value is latched as last_cycle_fingerprint() and restarted.
   void SetCycle(std::int64_t cycle) EXCLUDES(mu_);
+
+  /// Rolling digest over every record since the last SetCycle — the event
+  /// component of the run journal (obs/run_journal.h).  Mixing happens
+  /// inside Record(), so an unattached trace still costs emitters nothing.
+  std::uint64_t cycle_fingerprint() const EXCLUDES(mu_);
+
+  /// The finished fingerprint of the previous cycle (latched by SetCycle).
+  /// The journal hook runs at the top of cycle N, so this is the complete
+  /// event story of cycle N-1 — the value journaled as `events`.
+  std::uint64_t last_cycle_fingerprint() const EXCLUDES(mu_);
 
   // --- inspection -----------------------------------------------------------
 
@@ -78,6 +89,8 @@ class EventTrace : public EventSink {
   std::uint64_t recorded_ GUARDED_BY(mu_) = 0;  ///< total Record() calls
   std::function<Tick()> clock_ GUARDED_BY(mu_);
   std::int64_t cycle_ GUARDED_BY(mu_) = -1;
+  std::uint64_t cycle_fingerprint_ GUARDED_BY(mu_) = 0;
+  std::uint64_t last_cycle_fingerprint_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace osumac::obs

@@ -77,6 +77,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/provenance.h"
+#include "obs/run_journal.h"
 #include "obs/sinks.h"
 #include "obs/slo.h"
 #include "obs/span.h"

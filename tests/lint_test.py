@@ -24,10 +24,10 @@ from osumac_lint.engine import run_rules          # noqa: E402
 from osumac_lint.output import render_sarif       # noqa: E402
 from osumac_lint.rules import (ALL_RULES, bare_assert, bench_direct_cell,  # noqa: E402
                                checks_always_on, float_tick, hot_alloc,
-                               nondeterminism, ordered_iteration,
-                               policy_layer_boundary, raw_clock,
-                               raw_latency, raw_sanitize, raw_stdout,
-                               rng_stream_discipline,
+                               journal_hook_discipline, nondeterminism,
+                               ordered_iteration, policy_layer_boundary,
+                               raw_clock, raw_latency, raw_sanitize,
+                               raw_stdout, rng_stream_discipline,
                                shared_state_annotation)
 from osumac_lint.scanner import strip_code        # noqa: E402
 
@@ -230,6 +230,55 @@ class HotAllocTest(RuleTestCase):
     def test_other_files_unscoped(self):
         self.repo.write("src/mac/cell.cc", "std::vector<int> v(n);\n")
         self.assert_findings(hot_alloc.RULE, 0)
+
+
+class JournalHookDisciplineTest(RuleTestCase):
+    def test_vector_in_hook_body_triggers(self):
+        self.repo.write("src/mac/cell.cc",
+                        "void Cell::JournalCycle(std::int64_t n) {\n"
+                        "  std::vector<int> scratch(n);\n"
+                        "}\n")
+        findings = self.assert_findings(journal_hook_discipline.RULE, 1)
+        self.assertIn("JournalCycle", findings[0].message)
+
+    def test_clock_in_hook_body_triggers(self):
+        self.repo.write("src/obs/run_journal.cc",
+                        "std::uint64_t CellJournal::JournalStamp() {\n"
+                        "  auto t = std::chrono::steady_clock::now();\n"
+                        "  return Fold(t);\n"
+                        "}\n")
+        self.assert_findings(journal_hook_discipline.RULE, 1)
+
+    def test_clean_hook_call_site_and_declaration_ok(self):
+        self.repo.write("src/mac/cell.cc",
+                        "void Cell::JournalCycle(std::int64_t n);\n"  # decl
+                        "void Cell::Step(std::int64_t n) {\n"
+                        "  std::vector<int> plan(n);\n"  # not a Journal hook
+                        "  if (journal_ != nullptr) JournalCycle(n);\n"
+                        "}\n"
+                        "void Cell::JournalCycle(std::int64_t n) {\n"
+                        "  rec.slo = JournalHashSlo();\n"
+                        "  journal_->Append(n, rec);\n"
+                        "}\n")
+        self.assert_findings(journal_hook_discipline.RULE, 0)
+
+    def test_jsonl_serializers_and_other_dirs_exempt(self):
+        self.repo.write("src/obs/run_journal.cc",
+                        "bool WriteJournalJsonl(const RunJournal& j) {\n"
+                        "  std::vector<const CellJournal*> ordered;\n"
+                        "}\n")
+        self.repo.write("tools/a.cc",
+                        "void JournalHelper() { std::vector<int> v(3); }\n")
+        self.assert_findings(journal_hook_discipline.RULE, 0)
+
+    def test_multiline_signature_and_waiver(self):
+        self.repo.write("src/mac/substrate.cc",
+                        "std::uint64_t CellSubstrate::JournalHashSlo(\n"
+                        "    const SloMonitor& slo) const {\n"
+                        "  std::vector<int> v(3);"
+                        "  // lint: allow-journal-hook-discipline\n"
+                        "}\n")
+        self.assert_findings(journal_hook_discipline.RULE, 0)
 
 
 class RngStreamDisciplineTest(RuleTestCase):

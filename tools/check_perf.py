@@ -24,7 +24,10 @@ Checks, in order:
   2. Provenance hygiene: a `-dirty` git describe means the artifact was
      generated from an uncommitted tree and is rejected (this caught
      BENCH_perf.json being committed with version=84fe8eb-dirty).
-  3. The make_figures phases exist and the sweep recorded real wall time.
+  3. The make_figures phases exist, the sweep recorded real wall time, and
+     the journaled sweep (sweep_journaled) stays within 1.10x of the
+     journal-off sweep — the run journal's zero-cost-when-disabled /
+     cheap-when-enabled guarantee.
   4. With --require-hotpaths, relative invariants that hold on any
      machine, so CI never depends on absolute host speed:
        - clean RS decode (syndrome fast path) beats the full
@@ -43,8 +46,8 @@ BENCH_perf.json so the perf trajectory never silently rots.
 import json
 import sys
 
-REQUIRED_PHASES = ("spec_build", "sweep", "bench_network", "write_csv",
-                   "write_sweeps_json")
+REQUIRED_PHASES = ("spec_build", "sweep", "sweep_journaled", "bench_network",
+                   "write_csv", "write_sweeps_json")
 HOTPATH_PHASES = ("hotpath_rs_encode", "hotpath_rs_decode_clean",
                   "hotpath_rs_decode_corrupt", "hotpath_channel_uniform",
                   "hotpath_channel_fast", "hotpath_cycle_untraced",
@@ -168,6 +171,12 @@ def main():
         fail(f"required phase(s) absent: {', '.join(missing)}")
     if seen["sweep"]["total_seconds"] <= 0:
         fail("sweep phase recorded zero wall time — timer not running?")
+    # The run journal's CI-gated overhead guarantee: re-running the default
+    # sweep with per-cycle journaling on must stay within 1.10x of the
+    # journal-off sweep (the hooks are allocation-free digest folds; a
+    # regression past 10% means someone made them retain or allocate).
+    check_ratio(seen, "sweep_journaled", "sweep", 1.10,
+                "run-journal overhead regression")
 
     if require_hotpaths:
         missing = [p for p in HOTPATH_PHASES if p not in seen]

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import sys
 
 GPS_BUDGET_S = 4.0
@@ -226,14 +227,47 @@ def chain_str(chain: list) -> str:
     return " -> ".join(parts)
 
 
+#: Component names a journal-divergence trip reason may cite — the
+#: kJournalComponents list plus the chain-only fallback (run_journal.h).
+JOURNAL_COMPONENTS = ("slot_grid", "queues", "counters", "slo", "events",
+                      "chain")
+
+
+def check_journal_trip(trip_reason: str, manifest_cycle: int | None) -> None:
+    """A `journal divergence:` trip must name the divergent cycle (agreeing
+    with the MANIFEST's own cycle line) and a known component, so the dump
+    can be cross-referenced with tools/osumac_diff.py mechanically."""
+    m = re.match(r"journal divergence: cycle (\d+): (\w+) hash diverged",
+                 trip_reason)
+    if m is None:
+        fail(f"malformed journal-divergence trip reason: {trip_reason!r}")
+    cycle, component = int(m.group(1)), m.group(2)
+    if component not in JOURNAL_COMPONENTS:
+        fail(f"trip reason names unknown journal component {component!r} "
+             f"(expected one of {', '.join(JOURNAL_COMPONENTS)})")
+    if manifest_cycle is None:
+        fail("journal-divergence dump MANIFEST carries no 'cycle:' line")
+    if manifest_cycle != cycle:
+        fail(f"trip reason names cycle {cycle} but MANIFEST records trip "
+             f"cycle {manifest_cycle}")
+    print(f"  journal divergence localized: cycle {cycle}, "
+          f"component {component}")
+
+
 def check_flight_dump(dump_dir: str) -> int:
     manifest_path = os.path.join(dump_dir, "MANIFEST.txt")
     trip_reason = "?"
+    manifest_cycle = None
     try:
         with open(manifest_path, encoding="utf-8") as f:
             for line in f:
                 if line.startswith("reason: "):
                     trip_reason = line[len("reason: "):].strip()
+                elif line.startswith("cycle: "):
+                    try:
+                        manifest_cycle = int(line[len("cycle: "):].strip())
+                    except ValueError:
+                        fail(f"malformed MANIFEST cycle line: {line.strip()!r}")
     except OSError as e:
         fail(f"{manifest_path}: {e}")
 
@@ -260,6 +294,8 @@ def check_flight_dump(dump_dir: str) -> int:
 
     print(f"check_trace: flight dump {dump_dir}")
     print(f"  trip: {trip_reason}")
+    if trip_reason.startswith("journal divergence:"):
+        check_journal_trip(trip_reason, manifest_cycle)
     print(f"  lifecycles: {len(lifecycles)} "
           f"({complete} complete / {truncated} truncated-head / {opened} open)")
 

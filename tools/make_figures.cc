@@ -1,6 +1,6 @@
 // make_figures — regenerates every evaluation figure as CSV files.
 //
-//   $ ./make_figures [output_dir] [--jobs N] [--mac-matrix]
+//   $ ./make_figures [output_dir] [--jobs N] [--mac-matrix] [--no-journal]
 //                                                (default: results/, serial)
 //
 // Builds the full Section-5 spec list up front, executes it on the sweep
@@ -19,6 +19,15 @@
 // BENCH_sweeps.json and times the sweep as the bench_mac_matrix perf
 // phase.  The default run (no flag) emits exactly what it always did,
 // byte for byte.
+//
+// The default run also re-executes the figure sweep with the per-cycle run
+// journal enabled (the sweep_journaled perf phase, gated at 1.10x of the
+// journal-off sweep by tools/check_perf.py) and writes the merged digest
+// chains as RUN_journal.jsonl — the artifact CI's diff-smoke job compares
+// across --jobs 1 / --jobs 8 with tools/osumac_diff.py.  --no-journal
+// skips that phase (used by the TSan soak, where the run is about races,
+// not digests).  The primary sweep itself always runs journal-off, so
+// BENCH_sweeps.json stays byte-identical to pre-journal artifacts.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -48,8 +57,10 @@ int main(int argc, char** argv) {
       argc > 1 && argv[1][0] != '-' ? argv[1] : "results";
   const int jobs = exp::JobsFromArgs(argc, argv, 1);
   bool mac_matrix = false;
+  bool no_journal = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--mac-matrix") mac_matrix = true;
+    if (std::string(argv[i]) == "--no-journal") no_journal = true;
   }
   std::filesystem::create_directories(dir);
   obs::WallTimerRegistry wall;
@@ -104,6 +115,21 @@ int main(int argc, char** argv) {
     results = exp::SweepRunner(jobs).Run(specs);
   }
   const double wall_seconds = sweep_watch.Seconds();
+
+  // The journaled re-run: the same spec list with the per-cycle run journal
+  // on (journal_every = 1).  Its wall phase is CI's overhead gate — check
+  // tools/check_perf.py: sweep_journaled must stay within 1.10x of the
+  // journal-off sweep — and its merged digest chains become
+  // RUN_journal.jsonl, the jobs-invariance artifact for diff-smoke.
+  std::vector<exp::RunResult> journaled_results;
+  if (!no_journal) {
+    std::vector<exp::ScenarioSpec> journaled_specs = specs;
+    for (exp::ScenarioSpec& s : journaled_specs) s.journal_every = 1;
+    std::printf("running %zu journaled points (jobs=%d)...\n",
+                journaled_specs.size(), jobs);
+    obs::ScopedWallTimer timer(wall, "sweep_journaled");
+    journaled_results = exp::SweepRunner(jobs).Run(journaled_specs);
+  }
 
   // The network observability point: a small multi-cell run whose merged
   // SLO digest and backbone counters ride along in BENCH_sweeps.json (the
@@ -242,6 +268,36 @@ int main(int argc, char** argv) {
                         results);
   }
 
+  // The merged run journal: every journaled point contributes its digest
+  // chain under its point index as the journal "cell" id, so one JSONL
+  // carries the whole sweep and osumac_diff.py can name both the divergent
+  // cycle and the divergent point.  The provenance deliberately omits the
+  // job count: two runs of the same build at different --jobs must produce
+  // byte-identical files.
+  if (!no_journal) {
+    obs::RunJournal merged;
+    for (std::size_t i = 0; i < journaled_results.size(); ++i) {
+      const std::shared_ptr<const obs::RunJournal>& j =
+          journaled_results[i].journal;
+      if (j == nullptr || j->cells().empty()) continue;
+      obs::CellJournal& cj = merged.AddCell(static_cast<int>(i));
+      for (const obs::JournalRecord& rec : j->cells().front()->records()) {
+        cj.Append(rec);
+      }
+    }
+    const std::string journal_path = (dir / "RUN_journal.jsonl").string();
+    if (!obs::WriteJournalJsonl(
+            merged, journal_path,
+            obs::ProvenanceLine("make_figures", 0,
+                                "phase=sweep_journaled every=1"))) {
+      std::fprintf(stderr, "cannot open %s\n", journal_path.c_str());
+      return 1;
+    }
+    std::printf("journal signature %s -> %s\n",
+                obs::JournalHex(merged.Signature()).c_str(),
+                journal_path.c_str());
+  }
+
   // The perf trajectory: one phase entry per stage above, %.17g seconds.
   // tools/check_perf.py validates the schema and phase coverage in CI.
   auto perf = Open(dir, "BENCH_perf.json");
@@ -250,6 +306,31 @@ int main(int argc, char** argv) {
       obs::ProvenanceLine("make_figures", 0,
                           "jobs=" + std::to_string(jobs) +
                               " points=" + std::to_string(specs.size())));
+
+  // Perf-trajectory history: append this run's per-phase wall-clocks to
+  // bench/history.jsonl when running from a repo checkout.  The marker is
+  // bench/CMakeLists.txt, not the bare directory — a CMake build tree has
+  // its own bench/ binary dir, and history must not leak into it.  One
+  // append-only JSONL line per run; tools/plot_figures.py charts the
+  // trajectory.
+  if (std::filesystem::exists("bench/CMakeLists.txt")) {
+    std::ofstream history("bench/history.jsonl", std::ios::app);
+    if (history) {
+      history << "{\"provenance\": \""
+              << obs::ProvenanceLine("make_figures", 0,
+                                     "jobs=" + std::to_string(jobs))
+              << "\", \"phases\": {";
+      bool first = true;
+      for (const auto& [name, stats] : wall.timers()) {
+        char seconds[40];
+        std::snprintf(seconds, sizeof seconds, "%.17g", stats.sum());
+        history << (first ? "" : ", ") << '"' << name << "\": " << seconds;
+        first = false;
+      }
+      history << "}}\n";
+      std::printf("appended perf history -> bench/history.jsonl\n");
+    }
+  }
 
   std::printf("wrote CSVs + BENCH_sweeps.json + BENCH_perf.json to %s (%.1f s) "
               "— plot with tools/plot_figures.py\n",

@@ -2,9 +2,10 @@
 from __future__ import annotations
 
 from . import (bare_assert, bench_direct_cell, checks_always_on, float_tick,
-               hot_alloc, nondeterminism, ordered_iteration,
-               policy_layer_boundary, raw_clock, raw_latency, raw_sanitize,
-               raw_stdout, rng_stream_discipline, shared_state_annotation)
+               hot_alloc, journal_hook_discipline, nondeterminism,
+               ordered_iteration, policy_layer_boundary, raw_clock,
+               raw_latency, raw_sanitize, raw_stdout, rng_stream_discipline,
+               shared_state_annotation)
 
 ALL_RULES = [
     bare_assert.RULE,
@@ -17,6 +18,7 @@ ALL_RULES = [
     raw_sanitize.RULE,
     bench_direct_cell.RULE,
     hot_alloc.RULE,
+    journal_hook_discipline.RULE,
     rng_stream_discipline.RULE,
     ordered_iteration.RULE,
     shared_state_annotation.RULE,

@@ -1,0 +1,126 @@
+"""Run-journal hash hooks stay cheap: every function in src/mac/ or
+src/obs/ whose *name* contains ``Journal`` runs on the per-cycle hot path
+(JournalCycle, JournalHashSlo, AttachJournal, the CellJournal fold), so
+its body must not construct a std::vector (reusing the hot-alloc
+construction scanner) and must not read the host clock (reusing the
+raw-clock pattern).  The serialization endpoints — names containing
+``Jsonl`` — are exempt: they run once at teardown, not once per cycle.
+A line carrying a `lint: allow-journal-hook-discipline` waiver comment is
+exempt."""
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Rule
+from .hot_alloc import constructs_vector
+from .raw_clock import RAW_CLOCK
+
+#: A function *name* containing Journal, immediately called/declared.
+#: Qualified definitions (``Cell::JournalCycle(``) match on the final
+#: name token; ``obs::CellJournal*`` parameter types do not (no paren).
+JOURNAL_NAME = re.compile(r"\b(\w*Journal\w*)\s*\(")
+
+ROOTS = ("src/mac", "src/obs")
+
+
+def _definition_body(flat: str, open_paren: int) -> tuple[int, int] | None:
+    """If the call-or-declaration starting at `flat[open_paren] == '('` is a
+    function *definition*, returns (body_open, body_close) indices of its
+    braces in `flat`; otherwise None.
+
+    After the parameter list's closing paren the next structural character
+    decides: `{` (possibly past const/noexcept/override/trailing-return or
+    a constructor's member-init list, none of which contain a semicolon)
+    means a definition; `;` means a declaration or an ordinary call
+    statement.
+    """
+    depth = 0
+    i = open_paren
+    n = len(flat)
+    while i < n:  # find the matching close paren
+        if flat[i] == "(":
+            depth += 1
+        elif flat[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    else:
+        return None
+    i += 1
+    while i < n and flat[i] not in "{;":  # member-init lists pass through
+        i += 1
+    if i >= n or flat[i] == ";":
+        return None
+    body_open = i
+    depth = 0
+    while i < n:
+        if flat[i] == "{":
+            depth += 1
+        elif flat[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return body_open, i
+        i += 1
+    return body_open, n - 1  # unterminated (truncated file): take the rest
+
+
+def check(ctx: Context) -> None:
+    for source in ctx.files(*ROOTS):
+        lines = list(source.lines())
+        # Flatten the code lines so signatures and bodies can span lines;
+        # line_of maps a flat offset back to its 1-based source line.
+        offsets, flat_parts, line_of = [], [], []
+        pos = 0
+        for lineno, code, _raw in lines:
+            offsets.append(pos)
+            flat_parts.append(code + "\n")
+            line_of.append((pos, lineno))
+            pos += len(code) + 1
+        flat = "".join(flat_parts)
+
+        def lineno_at(flat_pos: int) -> int:
+            lo, hi = 0, len(line_of) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if line_of[mid][0] <= flat_pos:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return line_of[lo][1]
+
+        for idx, (lineno, code, _raw) in enumerate(lines):
+            for m in JOURNAL_NAME.finditer(code):
+                name = m.group(1)
+                if "Jsonl" in name:
+                    continue  # teardown-time serialization, not a hook
+                open_paren = offsets[idx] + m.end() - 1
+                body = _definition_body(flat, open_paren)
+                if body is None:
+                    continue  # declaration or call site, not a definition
+                body_open, body_close = body
+                for j, (ln, body_code, _r) in enumerate(lines):
+                    start = offsets[j]
+                    end = start + len(body_code)
+                    if end <= body_open or start > body_close:
+                        continue
+                    if constructs_vector(body_code):
+                        ctx.finding(source, ln,
+                                    f"std::vector constructed inside journal "
+                                    f"hook {name}(); the per-cycle digest "
+                                    f"fold must be allocation-free — hash in "
+                                    f"place or hoist the buffer to setup")
+                    if RAW_CLOCK.search(body_code):
+                        ctx.finding(source, ln,
+                                    f"host-clock read inside journal hook "
+                                    f"{name}(); journal digests must depend "
+                                    f"only on simulated state or replay "
+                                    f"comparison breaks")
+
+
+RULE = Rule(
+    name="journal-hook-discipline",
+    summary="journal hash hooks are allocation-free and never read the clock",
+    help=__doc__,
+    check=check,
+)

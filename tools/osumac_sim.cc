@@ -53,6 +53,12 @@ struct Options {
   int flight_cycles = 64;
   bool flight_cycles_set = false;
   bool flight_dump_on_exit = false;
+  std::string journal_file;
+  int journal_every = 1;
+  bool journal_every_set = false;
+  std::string journal_expect_file;
+  int fault_cycle = 0;
+  bool fault_cycle_set = false;
   std::string scenario_file;
   std::string out_file;
   int jobs = 1;
@@ -98,6 +104,18 @@ void PrintUsage() {
       "                      (default 64; requires --flight-dir)\n"
       "  --flight-dump-on-exit  also dump at run end if nothing tripped\n"
       "                      (requires --flight-dir)\n"
+      "  --journal FILE      record the per-cycle digest journal over the\n"
+      "                      measured cycles and write it as JSONL to FILE\n"
+      "                      (diff two runs with tools/osumac_diff.py)\n"
+      "  --journal-every N   journal every N-th cycle (default 1; requires\n"
+      "                      --journal or --journal-expect)\n"
+      "  --journal-expect REF  compare the live run against a reference\n"
+      "                      journal JSONL as it executes; the first\n"
+      "                      divergent cycle trips the flight recorder (if\n"
+      "                      armed) and the run exits 3\n"
+      "  --fault-cycle N     fault injection: perturb the cell RNG stream at\n"
+      "                      the start of absolute cycle N (the journal\n"
+      "                      record for N is untouched; N+1 diverges)\n"
       "  --timers            report wall-clock timers on exit\n"
       "  --cells N           network mode: run N cells in lockstep with\n"
       "                      random-walk mobility and cross-cell chatter;\n"
@@ -207,6 +225,16 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       opt.flight_cycles_set = true;
     } else if (arg == "--flight-dump-on-exit") {
       opt.flight_dump_on_exit = true;
+    } else if (arg == "--journal") {
+      if (!next_string(opt.journal_file)) return false;
+    } else if (arg == "--journal-every") {
+      if (!next_int(opt.journal_every)) return false;
+      opt.journal_every_set = true;
+    } else if (arg == "--journal-expect") {
+      if (!next_string(opt.journal_expect_file)) return false;
+    } else if (arg == "--fault-cycle") {
+      if (!next_int(opt.fault_cycle)) return false;
+      opt.fault_cycle_set = true;
     } else if (arg == "--timers") {
       opt.timers = true;
     } else if (arg == "--cells") {
@@ -356,6 +384,9 @@ int RunNetwork(const Options& opt, const std::string& provenance) {
 
   exp::NetworkScenarioRun run(spec);
   obs::Profiler profiler;
+  obs::CellJournal::Config journal_config;
+  journal_config.every = opt.journal_every;
+  obs::RunJournal journal(journal_config);
   exp::RunResult result;
   {
     // Install for the whole run so every phase's zones aggregate into one
@@ -364,6 +395,9 @@ int RunNetwork(const Options& opt, const std::string& provenance) {
         opt.profile_file.empty() ? nullptr : &profiler);
     run.BuildPopulation();
     run.Warmup();
+    // Same warm-up boundary as the single-cell path: every cell journals
+    // its own thread-confined slice over exactly the measured window.
+    if (!opt.journal_file.empty()) run.network().AttachJournal(&journal);
     run.Measure();
     result = run.Finish();
   }
@@ -405,6 +439,16 @@ int RunNetwork(const Options& opt, const std::string& provenance) {
     std::printf("--- network SLO rollup (%d cells merged) ---\n",
                 result.network.cells);
     run.network().SloRollup().WriteReport(std::cout);
+  }
+  if (!opt.journal_file.empty()) {
+    if (!obs::WriteJournalJsonl(journal, opt.journal_file, provenance)) {
+      std::fprintf(stderr, "cannot open journal file '%s'\n",
+                   opt.journal_file.c_str());
+      return 1;
+    }
+    std::printf("journal                -> %s (%zu cells, every %d, signature %s)\n",
+                opt.journal_file.c_str(), journal.cells().size(),
+                journal.every(), obs::JournalHex(journal.Signature()).c_str());
   }
   if (!opt.profile_file.empty() &&
       !WriteProfileFile(opt, profiler, provenance)) {
@@ -462,6 +506,17 @@ int RunPolicy(const Options& opt, const exp::ScenarioSpec& spec,
     result = exp::RunScenario(spec, hooks);
   }
   if (metrics_failed) return 1;
+  if (!opt.journal_file.empty()) {
+    if (result.journal == nullptr ||
+        !obs::WriteJournalJsonl(*result.journal, opt.journal_file, provenance)) {
+      std::fprintf(stderr, "cannot write journal file '%s'\n",
+                   opt.journal_file.c_str());
+      return 1;
+    }
+    std::printf("journal                -> %s (every %d, signature %s)\n",
+                opt.journal_file.c_str(), result.journal->every(),
+                obs::JournalHex(result.journal->Signature()).c_str());
+  }
 
   const metrics::FigureMetrics& m = result.figure;
   const mac::BsCounters& bs = result.bs;
@@ -528,7 +583,16 @@ std::string ValidateFlagComposition(const Options& opt) {
       return std::string(conflicting) +
              " records the OSU cell's event stream; policy tenants (--mac) "
              "do not emit one (supported there: --audit, --metrics, --slo, "
-             "--timers, --profile)";
+             "--timers, --profile, --journal)";
+    }
+    if (!opt.journal_expect_file.empty()) {
+      return "--journal-expect compares against the live OSU cell and is not "
+             "supported with --mac (policy runs can still record with "
+             "--journal and diff offline via tools/osumac_diff.py)";
+    }
+    if (opt.fault_cycle_set) {
+      return "--fault-cycle perturbs the OSU cell's RNG stream; policy "
+             "tenants (--mac) draw from the policy seed stream instead";
     }
     const char* osu_only = nullptr;
     if (opt.downlink_rho > 0) osu_only = "--downlink-rho";
@@ -553,11 +617,16 @@ std::string ValidateFlagComposition(const Options& opt) {
     else if (!opt.flight_dir.empty()) conflicting = "--flight-dir";
     else if (opt.flight_cycles_set) conflicting = "--flight-cycles";
     else if (opt.flight_dump_on_exit) conflicting = "--flight-dump-on-exit";
+    else if (!opt.journal_file.empty()) conflicting = "--journal";
+    else if (opt.journal_every_set) conflicting = "--journal-every";
+    else if (!opt.journal_expect_file.empty()) conflicting = "--journal-expect";
+    else if (opt.fault_cycle_set) conflicting = "--fault-cycle";
     if (conflicting != nullptr) {
       return std::string(conflicting) +
              " attaches to a single live cell and cannot be combined with "
              "--scenario sweep mode (sweep JSON output carries per-point SLO "
-             "digests instead)";
+             "digests instead, and journal signatures when a spec sets "
+             "journal_every)";
     }
   }
   if (!opt.scenario_file.empty() && !opt.profile_file.empty()) {
@@ -580,7 +649,16 @@ std::string ValidateFlagComposition(const Options& opt) {
       return std::string(conflicting) +
              " attaches to a single live cell and cannot be combined with "
              "--cells network mode (supported there: --metrics, --slo, "
-             "--profile)";
+             "--profile, --journal)";
+    }
+    if (!opt.journal_expect_file.empty()) {
+      return "--journal-expect compares one live cell against a reference; "
+             "record network journals with --journal and diff offline via "
+             "tools/osumac_diff.py";
+    }
+    if (opt.fault_cycle_set) {
+      return "--fault-cycle perturbs a single cell's RNG stream and cannot "
+             "be combined with --cells network mode";
     }
     if (opt.channel != "perfect") {
       return "--cells network mode currently runs perfect channels only";
@@ -604,6 +682,15 @@ std::string ValidateFlagComposition(const Options& opt) {
   }
   if (opt.flight_cycles_set && opt.flight_cycles < 1) {
     return "--flight-cycles must be >= 1";
+  }
+  if (opt.journal_every_set) {
+    if (opt.journal_file.empty() && opt.journal_expect_file.empty()) {
+      return "--journal-every requires --journal FILE or --journal-expect REF";
+    }
+    if (opt.journal_every < 1) return "--journal-every must be >= 1";
+  }
+  if (opt.fault_cycle_set && opt.fault_cycle < 0) {
+    return "--fault-cycle must be >= 0";
   }
   return "";
 }
@@ -667,11 +754,16 @@ int main(int argc, char** argv) {
   std::printf("%s\n", provenance.c_str());
 
   std::string spec_error;
-  const exp::ScenarioSpec spec = SpecFromOptions(opt, &spec_error);
+  exp::ScenarioSpec spec = SpecFromOptions(opt, &spec_error);
   if (!spec_error.empty()) {
     std::fprintf(stderr, "%s\n", spec_error.c_str());
     return 1;
   }
+  // --journal-expect implies journaling even without --journal FILE: the
+  // live run still needs its own records to compare against the reference.
+  const bool journaling =
+      !opt.journal_file.empty() || !opt.journal_expect_file.empty();
+  if (journaling) spec.journal_every = opt.journal_every;
   if (opt.mac != "osu") return RunPolicy(opt, spec, provenance);
 
   exp::ScenarioRun run(spec);
@@ -703,7 +795,11 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(obs::EventTrace::kDefaultCapacity,
                             static_cast<std::size_t>(opt.cycles) * 512));
   const bool tracing = !opt.trace_file.empty();
-  if (tracing || flight) cell.AttachTrace(&trace);
+  // Journaled runs also attach the trace so the journal's `events`
+  // component carries a live fingerprint; a reference recorded with
+  // --journal then agrees with a later --journal-expect --flight-dir run
+  // on trace presence (without this, events would be 0 on one side only).
+  if (tracing || flight || journaling) cell.AttachTrace(&trace);
   obs::WallTimerRegistry wall_timers;
   if (opt.timers) cell.simulator().AttachWallTimers(&wall_timers);
 
@@ -721,6 +817,47 @@ int main(int argc, char** argv) {
     flight_observer.SetDumpDir(opt.flight_dir);
     cell.AddObserver(&flight_observer);
   }
+
+  // Journal expectation: installed after Warmup() (which created the
+  // journal) and before the measured cycles, so the first mismatching
+  // record trips the flight recorder while the trace window is still warm.
+  obs::LoadedJournal expect;
+  std::size_t expect_count = 0;
+  bool expecting = false;
+  long long diverged_cycle = -1;
+  int diverged_component = -2;
+  if (!opt.journal_expect_file.empty()) {
+    if (!obs::LoadJournalJsonl(opt.journal_expect_file, &expect)) {
+      std::fprintf(stderr, "cannot read reference journal '%s'\n",
+                   opt.journal_expect_file.c_str());
+      return 1;
+    }
+    expecting = true;
+    std::vector<obs::JournalRecord> reference;
+    for (std::size_t c = 0; c < expect.cell_ids.size(); ++c) {
+      if (expect.cell_ids[c] == 0) reference = expect.cell_records[c];
+    }
+    expect_count = reference.size();
+    run.journal()->AddCell(0).ExpectReference(
+        std::move(reference),
+        [&](const obs::JournalRecord& live, const obs::JournalRecord&,
+            int component) {
+          diverged_cycle = static_cast<long long>(live.cycle);
+          diverged_component = component;
+          if (flight) {
+            char reason[128];
+            std::snprintf(
+                reason, sizeof reason,
+                "journal divergence: cycle %lld: %s hash diverged",
+                static_cast<long long>(live.cycle),
+                component >= 0 && component < obs::kJournalComponentCount
+                    ? obs::kJournalComponents[component]
+                    : "chain");
+            recorder.Trip(reason, live.cycle);
+          }
+        });
+  }
+  if (opt.fault_cycle_set) cell.PerturbRngAt(opt.fault_cycle);
 
   run.Measure();
   const exp::RunResult result = run.Finish();
@@ -788,6 +925,41 @@ int main(int argc, char** argv) {
                       kTicksPerSecond);
     }
   }
+  bool journal_mismatch = false;
+  if (journaling) {
+    const obs::RunJournal& journal = *run.journal();
+    if (!opt.journal_file.empty()) {
+      if (!obs::WriteJournalJsonl(journal, opt.journal_file, provenance)) {
+        std::fprintf(stderr, "cannot open journal file '%s'\n",
+                     opt.journal_file.c_str());
+        return 1;
+      }
+      std::printf("journal                %8lld records -> %s (every %d, signature %s)\n",
+                  static_cast<long long>(journal.cells().front()->recorded()),
+                  opt.journal_file.c_str(), journal.every(),
+                  obs::JournalHex(journal.Signature()).c_str());
+    }
+    if (expecting) {
+      const obs::CellJournal& cj = *journal.cells().front();
+      if (diverged_cycle >= 0) {
+        std::printf("journal                DIVERGED at cycle %lld (%s hash)\n",
+                    diverged_cycle,
+                    diverged_component >= 0 &&
+                            diverged_component < obs::kJournalComponentCount
+                        ? obs::kJournalComponents[diverged_component]
+                        : "chain");
+        journal_mismatch = true;
+      } else if (static_cast<std::size_t>(cj.recorded()) != expect_count) {
+        std::printf("journal                record count %lld != reference %lld\n",
+                    static_cast<long long>(cj.recorded()),
+                    static_cast<long long>(expect_count));
+        journal_mismatch = true;
+      } else {
+        std::printf("journal                matches reference (%lld records)\n",
+                    static_cast<long long>(cj.recorded()));
+      }
+    }
+  }
   if (!opt.metrics_file.empty()) {
     obs::MetricsRegistry registry;
     metrics::RegisterCellMetrics(registry, cell);
@@ -842,5 +1014,6 @@ int main(int argc, char** argv) {
     std::printf("audit                  %s\n", auditor.Report().c_str());
     if (!auditor.violations().empty()) return 2;
   }
+  if (journal_mismatch) return 3;
   return 0;
 }

@@ -8,6 +8,7 @@ Usage:
 Requires matplotlib (and pandas).  Each plot mirrors one figure of the
 ICDCS 2001 paper; see EXPERIMENTS.md for the paper-vs-measured discussion.
 """
+import json
 import sys
 from pathlib import Path
 
@@ -23,6 +24,38 @@ def save(fig, outdir: Path, name: str) -> None:
     fig.savefig(outdir / name, dpi=150)
     plt.close(fig)
     print(f"wrote {outdir / name}")
+
+
+def plot_perf_trajectory(outdir: Path) -> None:
+    """Per-phase wall-clock trajectory across make_figures runs.
+
+    make_figures appends one JSONL line per run to bench/history.jsonl
+    (provenance + {phase: total_seconds}); this charts each phase's seconds
+    against run index so perf drift is visible as a slope, not a surprise.
+    Skipped silently when no history has been recorded yet.
+    """
+    history = Path(__file__).resolve().parent.parent / "bench" / "history.jsonl"
+    if not history.is_file():
+        print(f"no {history}; skipping perf trajectory")
+        return
+    runs = []
+    for line in history.read_text().splitlines():
+        if line.strip():
+            runs.append(json.loads(line))
+    if not runs:
+        print(f"{history} is empty; skipping perf trajectory")
+        return
+    phases = sorted({name for run in runs for name in run.get("phases", {})})
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for name in phases:
+        ys = [run.get("phases", {}).get(name) for run in runs]
+        ax.plot(range(len(runs)), ys, "o-", label=name)
+    ax.set_xlabel("run index (bench/history.jsonl order)")
+    ax.set_ylabel("phase wall time (s)")
+    ax.set_yscale("log")
+    ax.set_title(f"make_figures perf trajectory ({len(runs)} run(s))")
+    ax.legend(fontsize=7)
+    save(fig, outdir, "perf_trajectory.png")
 
 
 def main() -> None:
@@ -96,6 +129,8 @@ def main() -> None:
     ax.set_xlabel("load index ρ"); ax.set_ylabel("data slots used / cycle")
     ax.set_title("Fig. 12(b): dynamic slot adjustment"); ax.legend(fontsize=8)
     save(fig, outdir, "fig12b.png")
+
+    plot_perf_trajectory(outdir)
 
     print("done")
 

@@ -10,6 +10,12 @@ digests agree.
 
     python3 tools/sweep_digest.py figures/BENCH_sweeps.json [more.json ...]
 
+BENCH_perf.json files (an obs::WriteWallTimersJson "phases" array) get a
+different treatment: timings are machine-dependent, so their digest covers
+only the sorted *set of phase names*.  That makes the digest a structural
+fingerprint — a dropped or renamed bench phase changes it and fails CI,
+while a faster machine does not.
+
 Prints `<sha256>  <path>` per file (shasum-compatible layout).  With
 --check A B, exits 1 and prints a diff summary if the two digests differ.
 """
@@ -22,8 +28,16 @@ import sys
 from pathlib import Path
 
 
+def is_perf_doc(data) -> bool:
+    """A wall-timer trajectory doc: a "phases" array of {name, ...} entries."""
+    return isinstance(data, dict) and isinstance(data.get("phases"), list)
+
+
 def canonical_digest(path: Path) -> str:
     data = json.loads(path.read_text())
+    if is_perf_doc(data):
+        canonical = json.dumps(sorted(phase_names(path)), separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
     data.pop("provenance", None)
     canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
@@ -32,6 +46,12 @@ def canonical_digest(path: Path) -> str:
 def point_names(path: Path) -> list[str]:
     data = json.loads(path.read_text())
     return [p.get("name", "?") for p in data.get("points", [])]
+
+
+def phase_names(path: Path) -> list[str]:
+    data = json.loads(path.read_text())
+    return [p.get("name", "?") for p in data.get("phases", [])
+            if isinstance(p, dict)]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,6 +71,16 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         a, b = args.files
         if digests[a] != digests[b]:
+            if is_perf_doc(json.loads(a.read_text())):
+                set_a, set_b = set(phase_names(a)), set(phase_names(b))
+                print(f"\nbench phase sets differ: {a} vs {b}",
+                      file=sys.stderr)
+                for label, names in [("only in A", set_a - set_b),
+                                     ("only in B", set_b - set_a)]:
+                    if names:
+                        print(f"  {label}: {', '.join(sorted(names))}",
+                              file=sys.stderr)
+                return 1
             names_a, names_b = point_names(a), point_names(b)
             print(f"\nsweep digests differ: {a} vs {b}", file=sys.stderr)
             if names_a != names_b:
