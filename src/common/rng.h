@@ -51,6 +51,19 @@ class SplitMix64Rng {
   std::uint64_t state_;
 };
 
+/// Derives the seed of the `index`-th sibling sub-stream of `seed`.
+///
+/// Mixes the root seed through SplitMix64 *before* adding the per-index
+/// offset, so distinct (seed, index) pairs cannot collide the way plain
+/// `seed + index * constant` does (e.g. seeds 7/index 2 and 7 + 2*gamma /
+/// index 0 are the same additive stream).  This is the required spelling for
+/// fanning one seed out to N peer consumers — per-cell Network seeds, sweep
+/// workers, anything sharded by index.
+[[nodiscard]] inline std::uint64_t DeriveSubstreamSeed(std::uint64_t seed,
+                                                      std::uint64_t index) {
+  return SplitMix64(SplitMix64(seed) + index * kSplitMix64Gamma);
+}
+
 /// A seeded pseudo-random generator with the distribution helpers the
 /// simulator needs.  Thin wrapper over std::mt19937_64.
 class Rng {

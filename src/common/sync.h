@@ -16,6 +16,7 @@
 // FlightRecorder).
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -33,8 +34,39 @@ class CAPABILITY("mutex") Mutex {
   void Unlock() RELEASE() { impl_.unlock(); }
   bool TryLock() TRY_ACQUIRE(true) { return impl_.try_lock(); }
 
+  // BasicLockable spellings so CondVar (std::condition_variable_any) can
+  // release/reacquire the capability inside Wait.  Annotated like their
+  // capitalized twins, so analyzed callers still balance.
+  void lock() ACQUIRE() { impl_.lock(); }
+  void unlock() RELEASE() { impl_.unlock(); }
+
  private:
   std::mutex impl_;
+};
+
+/// Condition variable over osumac::Mutex.  Wait() must be called with the
+/// mutex held; like std::condition_variable it releases the mutex while
+/// blocked and reacquires before returning (the release/reacquire happens
+/// inside the standard library, outside -Wthread-safety's view, so the
+/// caller's lock set is unchanged across the call).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mutex) REQUIRES(mutex) { impl_.wait(mutex); }
+
+  template <typename Predicate>
+  void Wait(Mutex& mutex, Predicate done) REQUIRES(mutex) {
+    impl_.wait(mutex, std::move(done));
+  }
+
+  void NotifyOne() { impl_.notify_one(); }
+  void NotifyAll() { impl_.notify_all(); }
+
+ private:
+  std::condition_variable_any impl_;
 };
 
 /// RAII guard: acquires on construction, releases on destruction.

@@ -15,9 +15,11 @@ mac::CellConfig NetworkScenarioSpec::BuildCellConfig() const {
 
 NetworkScenarioRun::NetworkScenarioRun(const NetworkScenarioSpec& spec)
     : spec_(spec),
-      network_(std::make_unique<mac::Network>(spec.BuildCellConfig(), spec.cells)),
+      network_(std::make_unique<mac::Network>(spec.BuildCellConfig(),
+                                              spec.cells, spec.threads)),
       rng_(DeriveSeed(spec.seed, SeedStream::kNetwork)) {
   OSUMAC_CHECK_GT(spec_.cells, 0);
+  OSUMAC_CHECK_GE(spec_.threads, 1);
   OSUMAC_CHECK_GE(spec_.data_users_per_cell, 0);
   OSUMAC_CHECK_GE(spec_.gps_users_per_cell, 0);
   OSUMAC_CHECK_GT(spec_.walk_period_cycles, 0);

@@ -50,6 +50,10 @@ struct NetworkScenarioSpec {
   // --- cell template / determinism ----------------------------------------
   mac::MacConfig mac;
   std::uint64_t seed = 2001;
+  /// Worker threads for the lockstep loop (1 = serial).  Purely a wall-
+  /// clock knob: results, journals and rollups are bit-identical at any
+  /// value (Network's deterministic barrier, docs/SCENARIOS.md).
+  int threads = 1;
 
   /// The per-cell template config (Network derives per-cell seeds from it).
   mac::CellConfig BuildCellConfig() const;

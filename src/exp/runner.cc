@@ -1,13 +1,11 @@
 #include "exp/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <exception>
-#include <thread>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/sync.h"
 #include "exp/seed.h"
@@ -17,61 +15,6 @@
 #include "obs/profiler.h"
 
 namespace osumac::exp {
-
-namespace {
-
-/// The shared mutable state of one ParallelForIndex fan-out.  Everything
-/// here is annotated or atomic (checked by -Wthread-safety and the
-/// shared-state-annotation lint rule): the claim cursor and stop flag are
-/// atomics — a plain int cursor or bool flag here would be a data race the
-/// compiler is free to hoist out of the worker loop — and the first-error
-/// slot is mutex-guarded so exactly one exception survives the fan-out.
-class WorkerPool {
- public:
-  WorkerPool(int count, const std::function<void(int)>& fn)
-      : count_(count), fn_(fn) {}
-
-  /// Claims and runs indices until the range is exhausted or a sibling
-  /// worker failed.  Runs on every pool thread.
-  void Work() EXCLUDES(mu_) {
-    for (;;) {
-      if (stop_.load(std::memory_order_relaxed)) return;
-      const int i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count_) return;
-      try {
-        fn_(i);
-      } catch (...) {
-        // Tell the siblings to stop claiming; keep only the first error so
-        // the caller sees the original failure, not a cascade.
-        stop_.store(true, std::memory_order_relaxed);
-        const MutexLock lock(mu_);
-        if (!first_error_) first_error_ = std::current_exception();
-        return;
-      }
-    }
-  }
-
-  /// Rethrows the first worker exception, if any.  Call after every pool
-  /// thread has joined.
-  void RethrowIfFailed() EXCLUDES(mu_) {
-    std::exception_ptr error;
-    {
-      const MutexLock lock(mu_);
-      error = first_error_;
-    }
-    if (error) std::rethrow_exception(error);
-  }
-
- private:
-  const int count_;
-  const std::function<void(int)>& fn_;
-  std::atomic<int> next_{0};      ///< next unclaimed index
-  std::atomic<bool> stop_{false};  ///< latched by the first failing worker
-  Mutex mu_;
-  std::exception_ptr first_error_ GUARDED_BY(mu_);
-};
-
-}  // namespace
 
 ScenarioRun::ScenarioRun(const ScenarioSpec& spec)
     : spec_(spec), cell_(std::make_unique<mac::Cell>(spec.BuildCellConfig())) {
@@ -392,11 +335,7 @@ RunResult RunScenario(const ScenarioSpec& spec, const RunHooks& hooks) {
   return run.Finish();
 }
 
-int ResolveJobs(int jobs) {
-  if (jobs > 0) return jobs;
-  const unsigned hardware = std::thread::hardware_concurrency();
-  return hardware > 0 ? static_cast<int>(hardware) : 1;
-}
+int ResolveJobs(int jobs) { return ResolveParallelism(jobs); }
 
 int JobsFromArgs(int argc, char** argv, int fallback) {
   for (int i = 1; i < argc; ++i) {
@@ -411,17 +350,7 @@ int JobsFromArgs(int argc, char** argv, int fallback) {
 }
 
 void ParallelForIndex(int count, int jobs, const std::function<void(int)>& fn) {
-  jobs = std::min(ResolveJobs(jobs), count);
-  if (jobs <= 1) {
-    for (int i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  WorkerPool shared(count, fn);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(jobs));
-  for (int t = 0; t < jobs; ++t) pool.emplace_back([&shared] { shared.Work(); });
-  for (std::thread& t : pool) t.join();
-  shared.RethrowIfFailed();
+  osumac::ParallelForIndex(count, jobs, fn);
 }
 
 SweepRunner::SweepRunner(int jobs) : jobs_(ResolveJobs(jobs)) {}

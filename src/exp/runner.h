@@ -168,8 +168,8 @@ class SweepRunner {
 
  private:
   // Immutable after construction; the fan-out's shared mutable state lives
-  // in the annotated WorkerPool in runner.cc, not on this object (which is
-  // why Run() can be const and the runner reusable across sweeps).
+  // inside common/parallel.h's ParallelForIndex, not on this object (which
+  // is why Run() can be const and the runner reusable across sweeps).
   const int jobs_;
 };
 

@@ -1,0 +1,116 @@
+#include "mac/ein_directory.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace osumac::mac {
+
+namespace {
+
+constexpr std::size_t kShardCount = 16;       // power of two
+constexpr std::size_t kInitialSlots = 16;     // per shard, power of two
+
+std::uint64_t HashEin(Ein ein) {
+  return SplitMix64(static_cast<std::uint64_t>(ein));
+}
+
+}  // namespace
+
+EinDirectory::EinDirectory() : shards_(kShardCount) {
+  for (Shard& shard : shards_) shard.slots.resize(kInitialSlots);
+}
+
+EinDirectory::Shard& EinDirectory::ShardFor(Ein ein) {
+  return shards_[HashEin(ein) & (kShardCount - 1)];
+}
+
+const EinDirectory::Shard& EinDirectory::ShardFor(Ein ein) const {
+  return shards_[HashEin(ein) & (kShardCount - 1)];
+}
+
+std::size_t EinDirectory::Probe(const Shard& shard, Ein ein, bool* found) {
+  const std::size_t mask = shard.slots.size() - 1;
+  // Skip the shard-selection bits so siblings within a shard still spread.
+  std::size_t index = (HashEin(ein) >> 4) & mask;
+  std::size_t insert_at = shard.slots.size();  // sentinel: none seen yet
+  for (std::size_t step = 0; step <= mask; ++step) {
+    const Entry& entry = shard.slots[index];
+    if (entry.state == 0) {  // empty: key is absent, probe chain ends
+      *found = false;
+      return insert_at < shard.slots.size() ? insert_at : index;
+    }
+    if (entry.state == 2) {  // tombstone: reusable, but keep probing
+      if (insert_at == shard.slots.size()) insert_at = index;
+    } else if (entry.ein == ein) {
+      *found = true;
+      return index;
+    }
+    index = (index + 1) & mask;
+  }
+  // Table of tombstones with no empty slot; the rehash in Grow() prevents
+  // this, but a full wrap must still terminate correctly.
+  *found = false;
+  OSUMAC_CHECK_LT(insert_at, shard.slots.size());
+  return insert_at;
+}
+
+void EinDirectory::Grow(Shard& shard) {
+  std::vector<Entry> old = std::move(shard.slots);
+  shard.slots.assign(old.size() * 2, Entry{});
+  shard.filled = 0;
+  const std::size_t mask = shard.slots.size() - 1;
+  for (const Entry& entry : old) {
+    if (entry.state != 1) continue;  // tombstones die in the rehash
+    std::size_t index = (HashEin(entry.ein) >> 4) & mask;
+    while (shard.slots[index].state != 0) index = (index + 1) & mask;
+    shard.slots[index] = entry;
+    ++shard.filled;
+  }
+}
+
+void EinDirectory::Insert(Ein ein, int cell, int node) {
+  Shard& shard = ShardFor(ein);
+  // Keep load (live + tombstones) under 3/4 so probe chains stay short.
+  if ((static_cast<std::size_t>(shard.filled) + 1) * 4 >
+      shard.slots.size() * 3) {
+    Grow(shard);
+  }
+  bool found = false;
+  const std::size_t index = Probe(shard, ein, &found);
+  OSUMAC_CHECK(!found);  // duplicate EIN registration
+  if (shard.slots[index].state == 0) ++shard.filled;
+  shard.slots[index] = Entry{ein, Location{cell, node}, 1};
+  ++shard.occupied;
+}
+
+void EinDirectory::Update(Ein ein, int cell, int node) {
+  Shard& shard = ShardFor(ein);
+  bool found = false;
+  const std::size_t index = Probe(shard, ein, &found);
+  OSUMAC_CHECK(found);  // handoff of an unregistered EIN
+  shard.slots[index].loc = Location{cell, node};
+}
+
+void EinDirectory::Erase(Ein ein) {
+  Shard& shard = ShardFor(ein);
+  bool found = false;
+  const std::size_t index = Probe(shard, ein, &found);
+  OSUMAC_CHECK(found);  // sign-off of an unregistered EIN
+  shard.slots[index].state = 2;  // tombstone keeps probe chains intact
+  --shard.occupied;
+}
+
+const EinDirectory::Location* EinDirectory::Find(Ein ein) const {
+  const Shard& shard = ShardFor(ein);
+  bool found = false;
+  const std::size_t index = Probe(shard, ein, &found);
+  return found ? &shard.slots[index].loc : nullptr;
+}
+
+int EinDirectory::size() const {
+  int total = 0;
+  for (const Shard& shard : shards_) total += shard.occupied;
+  return total;
+}
+
+}  // namespace osumac::mac

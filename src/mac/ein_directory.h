@@ -1,0 +1,75 @@
+// Sharded O(1) directory mapping an EIN to its current location in the
+// network: {cell index, node index within that cell}.
+//
+// This is the backbone's mobility registry.  The old implementation scanned
+// every mobile per routed message, which made routing O(subscribers) and a
+// metro-scale network quadratic; the directory makes Route a constant-time
+// hash probe.
+//
+// Concurrency contract (matches Network's deterministic barrier model):
+// writes (Insert/Update/Erase) happen only on the network's driver thread,
+// between notification cycles — AddSubscriber, Handoff and SignOff are all
+// between-cycle operations.  During a parallel cycle the worker threads only
+// call Find(), a const probe of immutable storage, so the directory needs no
+// locks.  The sharding keys entries by the high bits of a SplitMix64 hash,
+// which keeps probe sequences short under EIN churn and gives each shard an
+// independent growth schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/ids.h"
+
+namespace osumac::mac {
+
+class EinDirectory {
+ public:
+  struct Location {
+    int cell = -1;
+    int node = -1;
+  };
+
+  EinDirectory();
+
+  /// Registers a new EIN.  Dies if the EIN is already present.
+  void Insert(Ein ein, int cell, int node);
+
+  /// Moves an existing EIN (handoff).  Dies if the EIN is absent.
+  void Update(Ein ein, int cell, int node);
+
+  /// Removes an EIN (sign-off).  Dies if the EIN is absent.
+  void Erase(Ein ein);
+
+  /// Current location, or nullptr if the EIN is not registered anywhere.
+  /// The pointer is invalidated by the next mutating call.
+  const Location* Find(Ein ein) const;
+
+  /// Number of registered EINs.
+  int size() const;
+
+ private:
+  // Open-addressing slots: linear probing with tombstones, so Erase never
+  // breaks another key's probe chain and Find never locks.
+  struct Entry {
+    Ein ein = 0;
+    Location loc;
+    std::uint8_t state = 0;  // 0 = empty, 1 = occupied, 2 = tombstone
+  };
+  struct Shard {
+    std::vector<Entry> slots;
+    int occupied = 0;  ///< live entries
+    int filled = 0;    ///< live + tombstones (drives rehash)
+  };
+
+  Shard& ShardFor(Ein ein);
+  const Shard& ShardFor(Ein ein) const;
+  /// Index of `ein` in `shard` (occupied), or the insertion slot (first
+  /// tombstone on the probe path, else first empty).
+  static std::size_t Probe(const Shard& shard, Ein ein, bool* found);
+  static void Grow(Shard& shard);
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace osumac::mac

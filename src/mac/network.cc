@@ -1,15 +1,24 @@
 #include "mac/network.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/rng.h"
 #include "obs/profiler.h"
 
 namespace osumac::mac {
 
-Network::Network(const CellConfig& config, int num_cells) {
+Network::Network(const CellConfig& config, int num_cells, int threads)
+    : threads_(std::max(1, threads)) {
   OSUMAC_CHECK_GT(num_cells, 0);
+  cells_.reserve(static_cast<std::size_t>(num_cells));
+  slots_.resize(static_cast<std::size_t>(num_cells));
   for (int i = 0; i < num_cells; ++i) {
     CellConfig cell_config = config;
-    cell_config.seed = config.seed + static_cast<std::uint64_t>(i) * 0x9E3779B9u;
+    // Each cell gets a collision-free sibling stream of the network seed;
+    // plain `seed + i * constant` would alias (seed, cell) pairs.
+    cell_config.seed = DeriveSubstreamSeed(config.seed,
+                                           static_cast<std::uint64_t>(i));
     cells_.push_back(std::make_unique<Cell>(cell_config));
     const int from_cell = i;
     cells_.back()->base_station().SetBackboneRouter(
@@ -19,90 +28,146 @@ Network::Network(const CellConfig& config, int num_cells) {
   }
 }
 
+Network::~Network() = default;
+
 int Network::AddSubscriber(int cell_index, bool wants_gps) {
   OSUMAC_CHECK(cell_index >= 0 && cell_index < cell_count());
-  Mobile mobile;
-  mobile.ein = next_ein_++;
-  mobile.gps = wants_gps;
-  mobile.cell = cell_index;
-  mobile.node = cell(cell_index).AddSubscriber(wants_gps, mobile.ein);
-  mobiles_.push_back(mobile);
-  return static_cast<int>(mobiles_.size()) - 1;
+  const Ein ein = next_ein_++;
+  const int node = cell(cell_index).AddSubscriber(wants_gps, ein);
+  mobiles_.ein.push_back(ein);
+  mobiles_.gps.push_back(wants_gps ? 1 : 0);
+  mobiles_.cell.push_back(cell_index);
+  mobiles_.node.push_back(node);
+  directory_.Insert(ein, cell_index, node);
+  return static_cast<int>(mobiles_.ein.size()) - 1;
 }
 
 void Network::PowerOn(int subscriber_id) {
-  const Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
-  cell(m.cell).PowerOn(m.node);
+  const std::size_t id = static_cast<std::size_t>(subscriber_id);
+  OSUMAC_CHECK_GE(mobiles_.cell[id], 0);
+  cell(mobiles_.cell[id]).PowerOn(mobiles_.node[id]);
 }
 
 Network::Location Network::WhereIs(int subscriber_id) const {
-  const Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
-  return {m.cell, m.node};
+  const std::size_t id = static_cast<std::size_t>(subscriber_id);
+  return {mobiles_.cell[id], mobiles_.node[id]};
 }
 
 Ein Network::EinOf(int subscriber_id) const {
-  return mobiles_[static_cast<std::size_t>(subscriber_id)].ein;
+  return mobiles_.ein[static_cast<std::size_t>(subscriber_id)];
 }
 
 MobileSubscriber& Network::subscriber(int subscriber_id) {
-  const Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
-  return cell(m.cell).subscriber(m.node);
+  const std::size_t id = static_cast<std::size_t>(subscriber_id);
+  OSUMAC_CHECK_GE(mobiles_.cell[id], 0);
+  return cell(mobiles_.cell[id]).subscriber(mobiles_.node[id]);
 }
 
 void Network::Handoff(int subscriber_id, int to_cell) {
-  Mobile& m = mobiles_[static_cast<std::size_t>(subscriber_id)];
-  if (m.cell == to_cell) return;
+  const std::size_t id = static_cast<std::size_t>(subscriber_id);
+  OSUMAC_CHECK(to_cell >= 0 && to_cell < cell_count());
+  OSUMAC_CHECK_GE(mobiles_.cell[id], 0);  // signed-off mobiles cannot move
+  if (mobiles_.cell[id] == to_cell) return;
   // Leave the old cell (its base station releases the user ID / GPS slot)
   // and enter the new one as a fresh arrival with the same EIN.
-  cell(m.cell).SignOff(m.node);
-  m.cell = to_cell;
-  m.node = cell(to_cell).AddSubscriber(m.gps, m.ein);
-  cell(to_cell).PowerOn(m.node);
+  cell(mobiles_.cell[id]).SignOff(mobiles_.node[id]);
+  const int node = cell(to_cell).AddSubscriber(mobiles_.gps[id] != 0,
+                                               mobiles_.ein[id]);
+  mobiles_.cell[id] = to_cell;
+  mobiles_.node[id] = node;
+  cell(to_cell).PowerOn(node);
+  directory_.Update(mobiles_.ein[id], to_cell, node);
   ++counters_.handoffs;
 }
 
+void Network::SignOff(int subscriber_id) {
+  const std::size_t id = static_cast<std::size_t>(subscriber_id);
+  OSUMAC_CHECK_GE(mobiles_.cell[id], 0);
+  cell(mobiles_.cell[id]).SignOff(mobiles_.node[id]);
+  directory_.Erase(mobiles_.ein[id]);
+  mobiles_.cell[id] = -1;
+  mobiles_.node[id] = -1;
+  ++counters_.sign_offs;
+}
+
 bool Network::SendMessage(int src_subscriber, int dst_subscriber, int bytes) {
-  const Mobile& src = mobiles_[static_cast<std::size_t>(src_subscriber)];
-  const Mobile& dst = mobiles_[static_cast<std::size_t>(dst_subscriber)];
-  return cell(src.cell).SendSubscriberMessage(src.node, dst.ein, bytes);
+  const std::size_t src = static_cast<std::size_t>(src_subscriber);
+  const std::size_t dst = static_cast<std::size_t>(dst_subscriber);
+  OSUMAC_CHECK_GE(mobiles_.cell[src], 0);
+  return cell(mobiles_.cell[src])
+      .SendSubscriberMessage(mobiles_.node[src], mobiles_.ein[dst], bytes);
 }
 
 void Network::RandomWalk(double handoff_prob, Rng& rng) {
-  for (std::size_t id = 0; id < mobiles_.size(); ++id) {
-    const Mobile& m = mobiles_[id];
-    MobileSubscriber& sub = cell(m.cell).subscriber(m.node);
+  const int count = subscriber_count();
+  for (int id = 0; id < count; ++id) {
+    const int here = mobiles_.cell[static_cast<std::size_t>(id)];
+    if (here < 0) continue;  // signed off
+    MobileSubscriber& sub =
+        cell(here).subscriber(mobiles_.node[static_cast<std::size_t>(id)]);
     if (sub.state() != MobileSubscriber::State::kActive) continue;
     if (!rng.Bernoulli(handoff_prob)) continue;
-    int target = m.cell + (rng.Bernoulli(0.5) ? 1 : -1);
-    if (target < 0) target = 1;
-    if (target >= cell_count()) target = cell_count() - 2;
-    if (target == m.cell || target < 0) continue;  // single-cell network
-    Handoff(static_cast<int>(id), target);
+    const int target = here + (rng.Bernoulli(0.5) ? 1 : -1);
+    // Reflecting boundary: a step off either end of the line is a rejected
+    // move, not a re-aimed one — clamping the target doubles the edge
+    // cells' handoff rate and skews the stationary distribution.
+    if (target < 0 || target >= cell_count()) continue;
+    Handoff(id, target);
   }
 }
 
 void Network::RunCycles(int cycles) {
+  const int count = cell_count();
+  const bool parallel = threads_ > 1 && count > 1;
+  if (parallel && pool_ == nullptr) {
+    pool_ = std::make_unique<TaskPool>(std::min(threads_, count));
+  }
   for (int c = 0; c < cycles; ++c) {
-    for (auto& cell_ptr : cells_) {
-      OSUMAC_PROFILE_ZONE("net.cell");
-      cell_ptr->RunCycles(1);
+    if (parallel) {
+      // Each worker owns a disjoint set of cells for this cycle; Route only
+      // reads the directory and writes the owning cell's slot, so no cell
+      // observes another's cycle-c activity until the barrier below.
+      pool_->Run(count, [this](int i) {
+        cells_[static_cast<std::size_t>(i)]->RunCycles(1);
+      });
+    } else {
+      for (auto& cell_ptr : cells_) {
+        OSUMAC_PROFILE_ZONE("net.cell");
+        cell_ptr->RunCycles(1);
+      }
     }
+    ApplyBackbone();
   }
 }
 
 bool Network::Route(int from_cell, Ein dest, int bytes) {
   OSUMAC_PROFILE_ZONE("net.route");
-  // Find the destination's current (or last known) cell via the mobility
-  // registry the backbone maintains.
-  for (const Mobile& m : mobiles_) {
-    if (m.ein != dest) continue;
-    if (m.cell == from_cell) return false;  // local after all; let the BS buffer
-    ++counters_.backbone_messages;
-    cell(m.cell).base_station().DeliverToEin(dest, bytes);
-    return true;
+  CellSlot& slot = slots_[static_cast<std::size_t>(from_cell)];
+  const EinDirectory::Location* loc = directory_.Find(dest);
+  if (loc == nullptr) {
+    ++slot.unrouted;
+    return false;
   }
-  ++counters_.backbone_unrouted;
-  return false;
+  if (loc->cell == from_cell) return false;  // local after all; let the BS buffer
+  ++slot.routed;
+  slot.outbox.push_back(PendingDelivery{dest, loc->cell, bytes});
+  return true;
+}
+
+void Network::ApplyBackbone() {
+  OSUMAC_PROFILE_ZONE("net.barrier");
+  // Cell-index order, always: delivery order into any destination cell is a
+  // function of source indices alone, never of worker scheduling.
+  for (CellSlot& slot : slots_) {
+    counters_.backbone_messages += slot.routed;
+    counters_.backbone_unrouted += slot.unrouted;
+    slot.routed = 0;
+    slot.unrouted = 0;
+    for (const PendingDelivery& d : slot.outbox) {
+      cell(d.to_cell).base_station().DeliverToEin(d.dest, d.bytes);
+    }
+    slot.outbox.clear();
+  }
 }
 
 void Network::AttachJournal(obs::RunJournal* journal) {

@@ -6,19 +6,31 @@
 // (sign-off in the old cell, contention-slot registration in the new one —
 // the only mechanism the paper's design offers).
 //
-// Cells run in per-cycle lockstep on their own simulators; backbone
-// forwarding therefore has up to one notification cycle of skew, which
-// models the (fast, wired) backbone as instantaneous relative to the 4 s
-// air cycles.
+// Execution model: cells run in per-cycle lockstep, optionally sharded
+// across a persistent worker pool (`threads` > 1).  Within a cycle each
+// cell touches only its own state plus two read-only shared structures
+// (the EIN directory and the slot array index), and records its backbone
+// sends into a per-source-cell outbox; at the end-of-cycle barrier the
+// driver thread applies all outboxes in cell-index order.  Deliveries
+// therefore land after every cell's cycle regardless of thread count or
+// claim order, which makes runs bit-identical at any `threads` — the same
+// discipline as the sweep runner (docs/SCENARIOS.md).  Backbone forwarding
+// has exactly one notification cycle of latency, modeling the fast wired
+// backbone as instantaneous relative to the 4 s air cycles.
+//
+// Routing is O(1) per message via mac::EinDirectory, the backbone's
+// mobility registry (the previous implementation scanned every mobile);
+// the directory is written only between cycles (AddSubscriber / Handoff /
+// SignOff) and read lock-free during them.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "common/parallel.h"
 #include "mac/cell.h"
+#include "mac/ein_directory.h"
 
 namespace osumac::mac {
 
@@ -27,15 +39,21 @@ struct NetworkCounters {
   std::int64_t backbone_messages = 0;   ///< routed between cells
   std::int64_t backbone_unrouted = 0;   ///< destination unknown anywhere
   std::int64_t handoffs = 0;
+  std::int64_t sign_offs = 0;           ///< network-level departures
 };
 
 class Network {
  public:
-  /// Builds `num_cells` cells from the template config (per-cell seeds are
-  /// derived from config.seed).
-  Network(const CellConfig& config, int num_cells);
+  /// Builds `num_cells` cells from the template config.  Per-cell seeds are
+  /// derived with DeriveSubstreamSeed(config.seed, i), so sibling cells get
+  /// collision-free independent streams.  `threads` shards the lockstep
+  /// loop over a persistent worker pool; results are bit-identical at any
+  /// value (1 = serial, no threads spawned).
+  Network(const CellConfig& config, int num_cells, int threads = 1);
+  ~Network();
 
   int cell_count() const { return static_cast<int>(cells_.size()); }
+  int threads() const { return threads_; }
   Cell& cell(int i) { return *cells_[static_cast<std::size_t>(i)]; }
   const Cell& cell(int i) const { return *cells_[static_cast<std::size_t>(i)]; }
 
@@ -48,6 +66,7 @@ class Network {
   void PowerOn(int subscriber_id);
 
   /// Current location: {cell index, node index within that cell}.
+  /// cell == -1 after a network-level SignOff.
   struct Location {
     int cell = -1;
     int node = -1;
@@ -55,14 +74,21 @@ class Network {
   Location WhereIs(int subscriber_id) const;
   Ein EinOf(int subscriber_id) const;
 
-  /// The subscriber object at the mobile's current location.
+  /// The subscriber object at the mobile's current location.  Must not be
+  /// called for a signed-off mobile.
   MobileSubscriber& subscriber(int subscriber_id);
 
   /// Moves a mobile to another cell: immediate sign-off in the old cell
   /// (resources released, GPS slots consolidated under R3) and power-on /
   /// registration in the new one.  The mobile keeps its EIN, so in-flight
-  /// messages addressed to it re-route once it re-registers.
+  /// messages addressed to it re-route once it re-registers.  A handoff to
+  /// the mobile's current cell is a no-op.  Call between RunCycles batches.
   void Handoff(int subscriber_id, int to_cell);
+
+  /// Removes a mobile from the network: sign-off in its cell and removal
+  /// from the EIN directory, so subsequent backbone traffic to its EIN
+  /// counts as backbone_unrouted.  Call between RunCycles batches.
+  void SignOff(int subscriber_id);
 
   // --- traffic -------------------------------------------------------------------
 
@@ -73,12 +99,17 @@ class Network {
 
   /// One step of a random-walk mobility model: every *active* mobile hands
   /// off to a uniformly chosen adjacent cell (linear topology) with
-  /// probability `handoff_prob`.  Call between RunCycles batches.
+  /// probability `handoff_prob`.  A step off either end of the line is a
+  /// rejected move (the mobile stays put), i.e. a reflecting boundary —
+  /// edge cells hand off at no more than the interior rate, and the
+  /// stationary distribution over cells stays uniform.  Call between
+  /// RunCycles batches.
   void RandomWalk(double handoff_prob, Rng& rng);
 
   // --- running ---------------------------------------------------------------------
 
-  /// Runs all cells for `cycles` notification cycles in lockstep.
+  /// Runs all cells for `cycles` notification cycles in lockstep, applying
+  /// buffered backbone deliveries at each cycle's barrier.
   void RunCycles(int cycles);
 
   const NetworkCounters& counters() const { return counters_; }
@@ -94,27 +125,62 @@ class Network {
 
   /// Attaches a run journal (nullptr detaches all): cell `i` writes its
   /// own thread-confined CellJournal slice, added under id `i`, so the
-  /// journal stays valid when the lockstep loop goes parallel.  The
+  /// journal stays valid when the lockstep loop runs parallel.  The
   /// journal must outlive the attached run.
   void AttachJournal(obs::RunJournal* journal);
 
-  /// Total subscribers across all cells (network census gauge).
-  int subscriber_count() const { return static_cast<int>(mobiles_.size()); }
+  /// Total subscribers ever added (network census gauge; includes mobiles
+  /// later removed with SignOff — ids stay valid as WhereIs sentinels).
+  int subscriber_count() const { return static_cast<int>(mobiles_.ein.size()); }
+
+  /// Live EINs in the backbone's directory (excludes signed-off mobiles).
+  int registered_count() const { return directory_.size(); }
 
  private:
-  struct Mobile {
-    Ein ein = 0;
-    bool gps = false;
-    int cell = -1;
-    int node = -1;
+  /// Per-mobile state, structure-of-arrays: the bulk passes (RandomWalk
+  /// over every mobile each walk period) touch one or two of these columns
+  /// for thousands of mobiles, and parallel vectors keep those scans on
+  /// dense cache lines instead of striding over full records.
+  struct MobileTable {
+    std::vector<Ein> ein;
+    std::vector<std::uint8_t> gps;  ///< bool; uint8_t keeps the column packed
+    std::vector<int> cell;          ///< -1 once signed off
+    std::vector<int> node;
   };
 
-  /// Backbone router installed into every base station: finds the cell
-  /// where `dest` is registered and enqueues the message there.
+  /// One cross-cell backbone delivery, buffered until the cycle barrier.
+  struct PendingDelivery {
+    Ein dest = 0;
+    int to_cell = -1;
+    int bytes = 0;
+  };
+
+  /// Per-source-cell backbone buffer.  During a cycle, cell `i`'s worker
+  /// writes only slot `i`; nobody reads it until the barrier.  Padded to a
+  /// cache line so neighboring cells' workers never false-share.
+  struct alignas(64) CellSlot {
+    std::vector<PendingDelivery> outbox;
+    std::int64_t routed = 0;    ///< accepted by the backbone this cycle
+    std::int64_t unrouted = 0;  ///< destination EIN unknown this cycle
+  };
+
+  /// Backbone router installed into every base station: directory lookup
+  /// plus an outbox append into this cell's own slot.  Runs on whichever
+  /// worker owns `from_cell` this cycle; touches no cross-cell state.
   bool Route(int from_cell, Ein dest, int bytes);
 
+  /// The barrier: folds every slot's counters into counters_ and delivers
+  /// every outbox, in cell-index order.  Driver thread only.
+  void ApplyBackbone();
+
   std::vector<std::unique_ptr<Cell>> cells_;
-  std::vector<Mobile> mobiles_;
+  MobileTable mobiles_;
+  EinDirectory directory_;
+  std::vector<CellSlot> slots_;
+  const int threads_;
+  /// Created lazily on the first parallel RunCycles, so serial networks
+  /// (and the many tests that build them) never spawn a thread.
+  std::unique_ptr<TaskPool> pool_;
   Ein next_ein_ = 5000;
   NetworkCounters counters_;
 };

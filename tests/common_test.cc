@@ -1,8 +1,13 @@
 // Unit tests for the common utilities: tick arithmetic, intervals, bit I/O,
-// statistics and the deterministic RNG.
+// statistics, the deterministic RNG and the fork/join parallel primitives.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
 #include "common/bitio.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/time.h"
@@ -182,6 +187,51 @@ TEST(RngTest, BernoulliRate) {
   const int n = 20000;
   for (int i = 0; i < n; ++i) hits += a.Bernoulli(0.25) ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+// --- parallel ----------------------------------------------------------------
+
+TEST(ParallelForIndexTest, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  ParallelForIndex(257, 4, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndexTest, PropagatesWorkerException) {
+  EXPECT_THROW(ParallelForIndex(64, 4,
+                                [](int i) {
+                                  if (i == 13) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(TaskPoolTest, BarrierCompletesEveryIndexEachRound) {
+  TaskPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  for (int round = 1; round <= 5; ++round) {
+    pool.Run(100, [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+    // Run() is a barrier, so every index is visible right here, every round.
+    for (const auto& h : hits) ASSERT_EQ(h.load(), round);
+  }
+}
+
+TEST(TaskPoolTest, SingleThreadRunsInline) {
+  TaskPool pool(1);
+  int sum = 0;  // no atomics needed: threads_ == 1 never spawns workers
+  pool.Run(10, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(TaskPoolTest, ExceptionSurfacesAndPoolStaysUsable) {
+  TaskPool pool(4);
+  EXPECT_THROW(
+      pool.Run(64, [](int i) { if (i == 7) throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> completed{0};
+  pool.Run(64, [&](int) { completed.fetch_add(1); });
+  EXPECT_EQ(completed.load(), 64);
 }
 
 }  // namespace

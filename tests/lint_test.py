@@ -306,6 +306,24 @@ class RngStreamDisciplineTest(RuleTestCase):
         self.repo.write("src/exp/seed.cc", "auto s = SplitMix64(0x9e3779b9);\n")
         self.assert_findings(rng_stream_discipline.RULE, 0)
 
+    def test_additive_seed_arithmetic_triggers(self):
+        self.repo.write(
+            "src/mac/a.cc",
+            "cfg.seed = config.seed + static_cast<std::uint64_t>(i)"
+            " * 0x9E3779B9u;\n")
+        self.assert_findings(rng_stream_discipline.RULE, 1)
+
+    def test_additive_decimal_constant_triggers(self):
+        self.repo.write("src/mac/a.cc", "auto s = seed + cell * 12345;\n")
+        self.assert_findings(rng_stream_discipline.RULE, 1)
+
+    def test_substream_derivation_ok(self):
+        self.repo.write(
+            "src/mac/a.cc",
+            "cfg.seed = DeriveSubstreamSeed(config.seed, i);\n"
+            "total = seed + offset;\n")
+        self.assert_findings(rng_stream_discipline.RULE, 0)
+
 
 class OrderedIterationTest(RuleTestCase):
     def test_unordered_triggers(self):
@@ -367,6 +385,16 @@ class SharedStateAnnotationTest(RuleTestCase):
     def test_class_without_sync_unchecked(self):
         self.repo.write("src/exp/pool.h",
                         "class Plain {\n int value_;\n std::string name_;\n};\n")
+        self.assert_findings(shared_state_annotation.RULE, 0)
+
+    def test_condvar_member_is_its_own_synchronization(self):
+        self.repo.write("src/common/pool.h",
+                        "class Pool {\n"
+                        "  Mutex mu_;\n"
+                        "  CondVar round_started_;\n"
+                        "  std::condition_variable_any cv_;\n"
+                        "  int round_ GUARDED_BY(mu_) = 0;\n"
+                        "};\n")
         self.assert_findings(shared_state_annotation.RULE, 0)
 
     def test_members_inside_methods_ignored(self):

@@ -7,6 +7,7 @@
 #include "exp/scenario.h"
 #include "mac/cell.h"
 #include "mac/network.h"
+#include "obs/run_journal.h"
 #include "traffic/workload.h"
 
 namespace osumac {
@@ -101,6 +102,55 @@ TEST(SoakTest, NetworkWithRandomWalkMobility) {
   EXPECT_EQ(gps_total, 4);
   for (int m : mobiles) {
     EXPECT_EQ(net.subscriber(m).state(), MobileSubscriber::State::kActive) << m;
+  }
+}
+
+TEST(SoakTest, MetroScaleNetworkIsThreadCountInvariant) {
+  // The ISSUE-10 acceptance scenario: a 1000-cell metro with 1000
+  // subscribers runs to completion and its per-cycle journal is
+  // bit-identical at --threads 1/4/8.  One subscriber per cell keeps the
+  // population at metro scale without blowing past a cell's user capacity.
+  auto run_metro = [](int threads) {
+    CellConfig config;
+    config.seed = 6002;
+    Network net(config, 1000, threads);
+    for (int c = 0; c < 1000; ++c) net.PowerOn(net.AddSubscriber(c, false));
+    net.RunCycles(12);  // registration
+
+    obs::CellJournal::Config jc;
+    obs::RunJournal journal(jc);
+    net.AttachJournal(&journal);
+
+    Rng rng(17);
+    for (int step = 0; step < 4; ++step) {
+      net.RandomWalk(0.05, rng);
+      for (int k = 0; k < 40; ++k) {
+        const int a = static_cast<int>(rng.UniformInt(0, 999));
+        const int b = static_cast<int>(rng.UniformInt(0, 999));
+        if (a == b || net.WhereIs(a).cell < 0) continue;
+        if (net.subscriber(a).state() != MobileSubscriber::State::kActive) {
+          continue;
+        }
+        (void)net.SendMessage(a, b, static_cast<int>(rng.UniformInt(40, 300)));
+      }
+      net.RunCycles(5);
+    }
+    struct Outcome {
+      std::uint64_t signature;
+      std::int64_t backbone;
+      std::int64_t handoffs;
+    };
+    return Outcome{journal.Signature(), net.counters().backbone_messages,
+                   net.counters().handoffs};
+  };
+
+  const auto serial = run_metro(1);
+  EXPECT_GT(serial.backbone, 0);
+  for (const int threads : {4, 8}) {
+    const auto parallel = run_metro(threads);
+    EXPECT_EQ(parallel.signature, serial.signature) << threads << " threads";
+    EXPECT_EQ(parallel.backbone, serial.backbone) << threads << " threads";
+    EXPECT_EQ(parallel.handoffs, serial.handoffs) << threads << " threads";
   }
 }
 

@@ -28,6 +28,7 @@
 // skips that phase (used by the TSan soak, where the run is about races,
 // not digests).  The primary sweep itself always runs journal-off, so
 // BENCH_sweeps.json stays byte-identical to pre-journal artifacts.
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -143,6 +144,45 @@ int main(int argc, char** argv) {
     obs::ScopedWallTimer timer(wall, "bench_network");
     net_result = exp::RunNetworkScenario(net_spec);
   }
+
+  // The metro bench: one 64-cell network scenario run twice — serial, then
+  // sharded over 8 worker threads.  The phase pair gates the parallel
+  // Network's speedup in CI (tools/check_perf.py tiers the bound by the
+  // `cores=` recorded in the perf provenance, so a 1-core artifact host
+  // only proves overhead, not speedup) and doubles as a determinism
+  // cross-check: both passes journal the measured window and must produce
+  // bit-identical signatures, or the artifact write fails.
+  exp::NetworkScenarioSpec metro_spec;
+  metro_spec.name = "bench_metro";
+  metro_spec.cells = 64;
+  metro_spec.data_users_per_cell = 4;
+  metro_spec.gps_users_per_cell = 1;
+  metro_spec.measure_cycles = 60;
+  exp::RunResult metro_result;
+  std::uint64_t metro_signature[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    metro_spec.threads = pass == 0 ? 1 : 8;
+    obs::RunJournal journal;  // declared before the run: cells point into it
+    obs::ScopedWallTimer timer(
+        wall, pass == 0 ? "bench_metro_serial" : "bench_metro_t8");
+    exp::NetworkScenarioRun run(metro_spec);
+    run.BuildPopulation();
+    run.Warmup();
+    run.network().AttachJournal(&journal);
+    run.Measure();
+    metro_result = run.Finish();
+    metro_signature[pass] = journal.Signature();
+  }
+  if (metro_signature[0] != metro_signature[1]) {
+    std::fprintf(stderr,
+                 "bench_metro: serial/parallel journal signatures diverge "
+                 "(%s vs %s); the deterministic barrier is broken\n",
+                 obs::JournalHex(metro_signature[0]).c_str(),
+                 obs::JournalHex(metro_signature[1]).c_str());
+    return 1;
+  }
+  std::printf("bench_metro signature %s (threads 1 == threads 8)\n",
+              obs::JournalHex(metro_signature[0]).c_str());
 
   // The head-to-head MAC matrix (opt-in): every policy over the same load
   // sweep, so the per-point SLO blocks and figure metrics compare MACs
@@ -263,6 +303,16 @@ int main(int argc, char** argv) {
     net_placeholder.measure_cycles = net_spec.measure_cycles;
     specs.push_back(net_placeholder);
     results.push_back(net_result);
+    exp::ScenarioSpec metro_placeholder;
+    metro_placeholder.name = metro_spec.name;
+    metro_placeholder.seed = metro_spec.seed;
+    metro_placeholder.workload.rho = 0.0;
+    metro_placeholder.data_users = metro_spec.data_users_per_cell;
+    metro_placeholder.gps_users = metro_spec.gps_users_per_cell;
+    metro_placeholder.warmup_cycles = metro_spec.warmup_cycles;
+    metro_placeholder.measure_cycles = metro_spec.measure_cycles;
+    specs.push_back(metro_placeholder);
+    results.push_back(metro_result);
     auto sweeps = Open(dir, "BENCH_sweeps.json");
     exp::WriteSweepJson(sweeps, "make_figures", jobs, wall_seconds, specs,
                         results);
@@ -300,12 +350,16 @@ int main(int argc, char** argv) {
 
   // The perf trajectory: one phase entry per stage above, %.17g seconds.
   // tools/check_perf.py validates the schema and phase coverage in CI.
+  // `cores=` records the host's parallelism so the bench_metro speedup
+  // gate can tier its bound: a 1-core artifact host cannot demonstrate a
+  // 3x speedup, only bounded overhead.
   auto perf = Open(dir, "BENCH_perf.json");
   obs::WriteWallTimersJson(
       perf, wall,
       obs::ProvenanceLine("make_figures", 0,
                           "jobs=" + std::to_string(jobs) +
-                              " points=" + std::to_string(specs.size())));
+                              " points=" + std::to_string(specs.size()) +
+                              " cores=" + std::to_string(exp::ResolveJobs(0))));
 
   // Perf-trajectory history: append this run's per-phase wall-clocks to
   // bench/history.jsonl when running from a repo checkout.  The marker is

@@ -5,8 +5,13 @@ live), and no standard-library engines (std::mt19937*, std::random_device,
 std::default_random_engine) outside common/rng.h.  A literal seed is an
 anonymous stream: it silently decouples a consumer from the scenario seed,
 so two runs with different `--seed` values share "random" draws and the
-cross-seed confidence intervals in the figures lie.  Tests and benches may
-use literal seeds freely (they pin exact draw sequences on purpose)."""
+cross-seed confidence intervals in the figures lie.  Additive per-index
+seed arithmetic (`seed + i * constant`) is banned for the same family of
+reasons: distinct (seed, index) pairs collide -- seed 7 index 2 and seed
+7 + 2*c index 0 are the same stream -- so sibling consumers must derive
+sub-streams through DeriveSubstreamSeed (common/rng.h) or exp::DeriveSeed,
+which mix the root seed before offsetting.  Tests and benches may use
+literal seeds freely (they pin exact draw sequences on purpose)."""
 from __future__ import annotations
 
 import re
@@ -22,6 +27,13 @@ LITERAL_SEED_CTOR = re.compile(
 # A raw SplitMix64() mix of a literal: an ad-hoc stream derivation that
 # bypasses exp::DeriveSeed's gamma spacing.
 LITERAL_SPLITMIX_CALL = re.compile(r"\bSplitMix64\s*\(\s*\d")
+# Additive sibling-stream derivation: an expression that offsets a seed by
+# a scaled index (`seed + i * 0x9E3779B9u`, `config.seed + cell * 12345`).
+# The offset aliases across (seed, index) pairs; DeriveSubstreamSeed mixes
+# the root first so siblings can never collide.
+ADDITIVE_SEED = re.compile(
+    r"\b(?:[A-Za-z_]\w*\.)?seed_?\s*\+[^;,]*\*\s*"
+    r"(?:0[xX][0-9A-Fa-f]+|\d+)")
 STD_ENGINE = re.compile(
     r"\bstd::(?:mt19937(?:_64)?|random_device|default_random_engine|"
     r"minstd_rand0?|ranlux\d+(?:_base)?|knuth_b)\b")
@@ -46,6 +58,13 @@ def check(ctx: Context) -> None:
                                 "SplitMix64() mixed from a literal; stream "
                                 "derivation belongs to exp::DeriveSeed so "
                                 "gamma spacing stays collision-free")
+                elif ADDITIVE_SEED.search(code):
+                    ctx.finding(source, lineno,
+                                "additive seed arithmetic (`seed + index * "
+                                "constant`) aliases across (seed, index) "
+                                "pairs; derive sibling streams with "
+                                "DeriveSubstreamSeed (common/rng.h) or "
+                                "exp::DeriveSeed")
             if source.rel != ENGINE_HOME and STD_ENGINE.search(code):
                 ctx.finding(source, lineno,
                             "standard-library RNG engine outside "

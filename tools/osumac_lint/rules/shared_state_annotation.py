@@ -28,6 +28,10 @@ MEMBER = re.compile(
 MUTEX_TYPE = re.compile(
     r"\b(?:osumac::)?Mutex\b|\bstd::(?:recursive_|shared_|timed_)?mutex\b")
 ATOMIC_TYPE = re.compile(r"\bstd::atomic\b")
+# Internally-synchronized primitives: owning one marks the class as shared,
+# but the member itself needs no GUARDED_BY (it *is* the synchronization).
+CONDVAR_TYPE = re.compile(
+    r"\b(?:osumac::)?CondVar\b|\bstd::condition_variable(?:_any)?\b")
 EXEMPT_TYPE = re.compile(r"^(?:static\b|const\b)|&\s*$")
 
 
@@ -75,6 +79,7 @@ def check(ctx: Context) -> None:
                     continue
                 if (MUTEX_TYPE.search(type_text)
                         or ATOMIC_TYPE.search(type_text)
+                        or CONDVAR_TYPE.search(type_text)
                         or EXEMPT_TYPE.search(type_text)):
                     continue
                 ctx.finding(source, lineno,

@@ -63,6 +63,8 @@ struct Options {
   std::string out_file;
   int jobs = 1;
   int cells = 0;  ///< 0 = single-cell mode; N >= 2 = network mode
+  int threads = 1;
+  bool threads_set = false;
   std::string profile_file;
   bool profile_format_set = false;
   std::string profile_format = "speedscope";
@@ -122,6 +124,10 @@ void PrintUsage() {
       "                      --data-users/--gps become per-cell populations\n"
       "                      and the report shows backbone/handoff counters\n"
       "                      plus the merged network SLO rollup\n"
+      "  --threads N         network mode: shard the lockstep loop over N\n"
+      "                      worker threads (0 = all cores, default 1;\n"
+      "                      deterministic — journals and counters are\n"
+      "                      bit-identical at any N; requires --cells)\n"
       "  --profile FILE      self-profile the run (obs::Profiler zones over\n"
       "                      the cycle pipeline) and write the result to FILE\n"
       "  --profile-format F  speedscope | collapsed | chrome | report\n"
@@ -239,6 +245,9 @@ bool ParseArgs(int argc, char** argv, Options& opt) {
       opt.timers = true;
     } else if (arg == "--cells") {
       if (!next_int(opt.cells)) return false;
+    } else if (arg == "--threads") {
+      if (!next_int(opt.threads)) return false;
+      opt.threads_set = true;
     } else if (arg == "--profile") {
       if (!next_string(opt.profile_file)) return false;
     } else if (arg == "--profile-format") {
@@ -377,6 +386,7 @@ int RunNetwork(const Options& opt, const std::string& provenance) {
   spec.warmup_cycles = opt.warmup;
   spec.measure_cycles = opt.cycles;
   spec.seed = opt.seed;
+  spec.threads = exp::ResolveJobs(opt.threads);
   spec.mac.downlink_arq = opt.arq;
   spec.mac.use_second_control_field = !opt.no_second_cf;
   spec.mac.dynamic_gps_slots = !opt.static_gps;
@@ -402,8 +412,10 @@ int RunNetwork(const Options& opt, const std::string& provenance) {
     result = run.Finish();
   }
 
-  std::printf("==== osumac_sim: cells=%d users/cell=%d gps/cell=%d cycles=%d ====\n",
-              opt.cells, opt.data_users, opt.gps_users, opt.cycles);
+  std::printf(
+      "==== osumac_sim: cells=%d users/cell=%d gps/cell=%d cycles=%d "
+      "threads=%d ====\n",
+      opt.cells, opt.data_users, opt.gps_users, opt.cycles, spec.threads);
   std::printf("subscribers            %8d\n", result.network.subscribers);
   std::printf("measured cycles        %8lld per cell\n",
               static_cast<long long>(result.measured_cycles));
@@ -667,6 +679,17 @@ std::string ValidateFlagComposition(const Options& opt) {
       return "--downlink-rho drives a single cell's downlink; network mode "
              "generates its own cross-cell chatter instead";
     }
+    if (opt.threads_set) {
+      if (opt.threads < 0) return "--threads must be >= 0 (0 = all cores)";
+      if (opt.threads != 1 && !opt.profile_file.empty()) {
+        return "--profile zones are thread-local and worker cells would "
+               "profile into the void; use --threads 1 with --profile";
+      }
+    }
+  }
+  if (opt.threads_set && opt.cells == 0) {
+    return "--threads shards the --cells lockstep loop; single-cell runs "
+           "are serial (use --jobs for sweep parallelism)";
   }
   if (opt.trace_format_set && opt.trace_file.empty()) {
     return "--trace-format requires --trace FILE";
